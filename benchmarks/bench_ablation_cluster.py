@@ -1,0 +1,17 @@
+"""Cluster-scale shared-I/O validation of the per-node modeling assumption."""
+
+from conftest import run_once
+from repro.experiments import cluster
+
+
+def test_cluster_share_invariance(benchmark, show):
+    result = run_once(benchmark, cluster.run, node_counts=(1, 2, 4, 8), mttis=80.0)
+    show(result)
+    # Fixed per-node I/O share => efficiency roughly independent of N.
+    assert result.headline["efficiency_spread"] < 0.07
+    # And it tracks the per-node analytic model.
+    share_rows = [r for r in result.rows if r["scenario"] == "share invariance"]
+    for row in share_rows:
+        assert abs(row["efficiency"] - result.headline["per_node_model"]) < 0.08
+    # The pipe actually contends (utilization meaningful, not idle).
+    assert all(r["pipe_utilization"] > 0.1 for r in share_rows)

@@ -1,0 +1,20 @@
+"""Extension bench: consecutive-checkpoint delta/dedup (paper future work)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_delta_compression(benchmark, show):
+    result = run_once(
+        benchmark,
+        ablations.delta_compression,
+        apps=("HPCCG", "miniFE", "CoMD"),
+        steps_between=1,
+    )
+    show(result)
+    rows = {r["app"]: r for r in result.rows}
+    # Solver workloads with static operands benefit from XOR-delta...
+    assert rows["HPCCG"]["delta_factor"] > rows["HPCCG"]["raw_factor"] + 0.10
+    assert rows["miniFE"]["delta_factor"] > rows["miniFE"]["raw_factor"] + 0.10
+    # ...while full-precision MD state (every mantissa bit churns) does not.
+    assert rows["CoMD"]["delta_factor"] < rows["CoMD"]["raw_factor"] + 0.15

@@ -1,0 +1,14 @@
+"""Extension bench: the substitution claim in dollars."""
+
+from repro.experiments import economics
+
+
+def test_economics(benchmark, show):
+    result = benchmark(economics.run)
+    show(result)
+    # The priced Fig. 8/9 substitution: the NDP build is cheaper while not
+    # less efficient.
+    assert result.headline["substitution_saving"] > 1.0
+    baseline = result.rows[:2]
+    assert baseline[1]["efficiency"] >= baseline[0]["efficiency"] - 0.02
+    assert baseline[1]["cost_per_eff"] < baseline[0]["cost_per_eff"]

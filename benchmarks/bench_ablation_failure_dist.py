@@ -1,0 +1,14 @@
+"""Ablation bench: Weibull vs exponential failure interarrivals."""
+
+from conftest import run_once
+from repro.experiments import failure_dist
+
+
+def test_failure_distribution(benchmark, show):
+    result = run_once(benchmark, failure_dist.run, mttis=100.0)
+    show(result)
+    # The NDP advantage persists under bursty and regular failures alike.
+    assert result.headline["min_advantage"] > 0.05
+    shapes = {r["shape"]: r for r in result.rows}
+    assert shapes[1.0]["ndp"] > shapes[1.0]["host"]
+    assert shapes[0.5]["ndp"] > shapes[0.5]["host"]

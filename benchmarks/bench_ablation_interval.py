@@ -1,0 +1,18 @@
+"""Ablation bench: local checkpoint interval sensitivity (model + sim)."""
+
+from conftest import run_once
+from repro.experiments import interval
+
+
+def test_interval_sensitivity(benchmark, show):
+    result = run_once(benchmark, interval.run, mttis=60.0)
+    show(result)
+    # The optimum is interior and flat around Daly's estimate: Table 4's
+    # 150 s choice loses essentially nothing.
+    assert result.headline["loss_at_150"] < 0.01
+    assert 100.0 <= result.headline["best_tau"] <= 400.0
+    # Model and simulation agree on the *location* of the optimum.
+    best_model = max(result.rows, key=lambda r: r["model"])["tau"]
+    best_sim = max(result.rows, key=lambda r: r["sim"])["tau"]
+    taus = [r["tau"] for r in result.rows]
+    assert abs(taus.index(best_model) - taus.index(best_sim)) <= 1

@@ -1,0 +1,23 @@
+"""Extension bench: global-I/O bandwidth required per configuration."""
+
+import math
+
+from repro.experiments import io_budget
+
+
+def test_io_budget(benchmark, show):
+    result = benchmark(io_budget.run)
+    show(result)
+    for row in result.rows:
+        # NDP+compression always needs the least bandwidth; plain NDP beats
+        # both host configurations.
+        assert row["NDP + compression"] < row["NDP"]
+        assert row["NDP"] < row["Host multilevel"]
+        # NDP+compression reaches every target within the provisioned
+        # 100 MB/s per-node share.
+        assert row["NDP + compression"] <= 100e6
+    # Host+compression saturates (blocking host compression becomes the
+    # wall) at high targets.
+    at_85 = next(r for r in result.rows if r["target"] == 0.85)
+    assert math.isinf(at_85["Host + compression"])
+    assert result.headline["saving_at_85pct"] > 10.0

@@ -1,0 +1,18 @@
+"""Three-method comparison: expected-value vs simulation vs renewal chain."""
+
+from conftest import run_once
+from repro.experiments import methods
+
+
+def test_three_methods_bracket(benchmark, show):
+    result = run_once(benchmark, methods.run, mttis=120.0)
+    show(result)
+    for row in result.rows:
+        # The expected-value model lower-bounds and the renewal chain
+        # upper-bounds the simulated efficiency (small noise allowance).
+        assert row["expected_value"] <= row["sim"] + 0.04, row["case"]
+        assert row["renewal"] >= row["sim"] - 0.04, row["case"]
+    # The bracket tightens at the paper's operating points.
+    widths = {r["case"]: r["width"] for r in result.rows}
+    assert widths["NDP + gzip(1), p=85%"] < 0.06
+    assert widths["NDP, no comp, p=50%"] > widths["NDP + gzip(1), p=85%"]

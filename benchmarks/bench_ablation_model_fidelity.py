@@ -1,0 +1,19 @@
+"""Model-vs-simulation fidelity: the evidence behind every figure."""
+
+from conftest import run_once
+from repro.experiments import validation
+
+
+def test_model_vs_simulation(benchmark, show):
+    result = run_once(benchmark, validation.run, mttis=120.0)
+    show(result)
+    for row in result.rows:
+        assert row["failures"] > 50  # enough events to be meaningful
+        if row["regime"] == "paper":
+            # The paper's operating points agree tightly.
+            assert row["diff"] < 0.05, row["case"]
+        else:
+            # Recovery-dominated stress points: the model is conservative
+            # (never claims more efficiency than the simulator observes).
+            assert row["model"] <= row["sim"] + 0.05, row["case"]
+    assert result.headline["worst_paper_regime_diff"] < 0.05

@@ -1,0 +1,15 @@
+"""Extension bench: the value of the explicit partner level."""
+
+from conftest import run_once
+from repro.experiments import partner
+
+
+def test_partner_level(benchmark, show):
+    result = run_once(benchmark, partner.run, mttis=100.0)
+    show(result)
+    # Partner copies convert I/O recoveries into cheap partner recoveries
+    # and buy meaningful efficiency at a degraded p_local.
+    assert result.headline["gain"] > 0.03
+    by_cadence = {r["partner_every"]: r for r in result.rows}
+    assert by_cadence[1]["recoveries_io"] < by_cadence[0]["recoveries_io"]
+    assert by_cadence[1]["recoveries_partner"] > 0

@@ -1,0 +1,32 @@
+"""Ablations over the modeling choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_rerun_accounting(benchmark, show):
+    result = benchmark(ablations.rerun_accounting)
+    show(result)
+    for row in result.rows:
+        # Staleness accounting only adds cost; rankings are unchanged.
+        assert row["staleness"] <= row["paper"] + 1e-12
+    by_paper = sorted(result.rows, key=lambda r: r["paper"])
+    by_stale = sorted(result.rows, key=lambda r: r["staleness"])
+    assert [r["config"] for r in by_paper] == [r["config"] for r in by_stale]
+
+
+def test_daly_order(benchmark, show):
+    result = benchmark(ablations.daly_order)
+    show(result)
+    gains = {r["m_over_delta"]: r["daly"] - r["young"] for r in result.rows}
+    # The higher-order estimate matters only in the interrupt-dominated
+    # regime: the gain at M/delta=2 dwarfs the gain at 1000.
+    assert gains[2.0] > 10 * max(gains[1000.0], 1e-9)
+
+
+def test_ndp_pause(benchmark, show):
+    result = benchmark(ablations.ndp_pause)
+    show(result)
+    for row in result.rows:
+        assert row["no_pause"] >= row["pause"] - 1e-12
+        # The pause costs at most a couple of points of efficiency.
+        assert row["pause"] > row["no_pause"] - 0.03

@@ -1,0 +1,12 @@
+"""Extension bench: the NDP advantage over the full (size x MTTI) plane."""
+
+from repro.experiments import heatmap
+
+
+def test_heatmap(benchmark, show):
+    result = benchmark(heatmap.run, resolution=20)
+    show(result)
+    # NDP+compression never loses to host+compression on the plane and
+    # wins big in the exascale corner (short MTTI, large checkpoints).
+    assert result.headline["min_advantage"] > -0.02
+    assert result.headline["peak_advantage"] > 0.15

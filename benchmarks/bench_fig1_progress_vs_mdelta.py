@@ -1,0 +1,15 @@
+"""Figure 1: progress rate vs M/delta (Daly-optimal interval)."""
+
+import pytest
+
+from repro.experiments import fig1
+
+
+def test_figure1(benchmark, show):
+    result = benchmark(fig1.run, points=40)
+    show(result)
+    # 90% progress requires M/delta ~ 200 (Section 3.3's anchor).
+    assert result.headline["m_over_delta_for_90pct"] == pytest.approx(200, rel=0.1)
+    effs = [r["efficiency"] for r in result.rows]
+    assert effs == sorted(effs)  # monotone rise, saturating toward 1
+    assert effs[-1] > 0.98

@@ -1,0 +1,19 @@
+"""Figure 3: operational timelines (host vs NDP) from simulated schedules."""
+
+from conftest import run_once
+from repro.experiments import fig3
+
+
+def test_figure3(benchmark, show):
+    result = run_once(benchmark, fig3.run)
+    show(result)
+    host_section, ndp_section = result.text.split("(b)")
+    # Host mode blocks on I/O writes ('W'); NDP mode never does, and its
+    # drain activity ('d') appears on the NDP lane instead.  Inspect lane
+    # rows only (the legend line mentions every glyph).
+    host_lanes = [l for l in host_section.splitlines() if "|" in l]
+    ndp_lanes = [l for l in ndp_section.splitlines() if "|" in l]
+    assert any("W" in l for l in host_lanes)
+    assert not any("W" in l for l in ndp_lanes)
+    assert any("d" in l for l in ndp_lanes if l.strip().startswith("NDP"))
+    assert len(ndp_lanes) == 2  # HOST + NDP lanes

@@ -1,0 +1,20 @@
+"""Figure 4: overhead breakdown vs locally-saved:I/O-saved ratio."""
+
+from repro.experiments import fig4
+
+
+def test_figure4(benchmark, show):
+    result = benchmark(fig4.run)
+    show(result)
+    rows = result.rows
+    # Checkpoint-I/O time falls monotonically with the ratio...
+    ck = [r["checkpoint_io"] for r in rows]
+    assert all(a >= b - 1e-12 for a, b in zip(ck, ck[1:]))
+    # ...rerun-I/O rises (over the feasible range)...
+    ru = [r["rerun_io"] for r in rows if r["compute"] > 0]
+    assert all(a <= b + 1e-12 for a, b in zip(ru, ru[1:]))
+    # ...and efficiency has an interior maximum (Fig. 4's headline shape).
+    effs = [r["compute"] for r in rows]
+    peak = effs.index(max(effs))
+    assert 0 < peak < len(effs) - 1
+    assert result.headline["optimal_efficiency"] > 0.40

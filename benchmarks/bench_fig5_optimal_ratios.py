@@ -1,0 +1,22 @@
+"""Figure 5: optimal locally-saved:I/O-saved ratios per configuration."""
+
+from repro.experiments import fig5
+
+
+def test_figure5(benchmark, show):
+    result = benchmark(fig5.run)
+    show(result)
+    for row in result.rows:
+        ratios = row["host_ratios"]
+        ordered = [ratios[p] for p in sorted(ratios)]
+        # Higher probability of local recovery => higher optimal ratio.
+        assert all(a <= b for a, b in zip(ordered, ordered[1:]))
+    # Higher compression factor => lower optimal host ratio at fixed p.
+    by_factor = sorted(result.rows, key=lambda r: r["factor"])
+    at_p96 = [r["host_ratios"][0.96] for r in by_factor]
+    assert at_p96[0] >= at_p96[-1]
+    # NDP ratio is bandwidth-determined: no compression -> 8 cycles,
+    # average-factor gzip(1) -> 3 cycles (Section 6.2 / Table 3).
+    ndp = {round(r["factor"], 3): r["ndp_ratio"] for r in result.rows}
+    assert ndp[0.0] == 8
+    assert ndp[0.728] == 3

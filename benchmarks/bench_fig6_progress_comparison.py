@@ -1,0 +1,30 @@
+"""Figure 6 + the Section 6.3 headline: 51% -> 78% from NDP offload."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+def test_figure6(benchmark, show):
+    result = benchmark(fig6.run)
+    show(result)
+
+    # The paper's headline: averaged over p_local in {20..80}% at the 73%
+    # factor, host-multilevel+compression ~51% -> NDP+compression ~78%.
+    host = result.headline["avg_host_compression"]
+    ndp = result.headline["avg_ndp_compression"]
+    assert host == pytest.approx(0.51, abs=0.05)
+    assert ndp == pytest.approx(0.78, abs=0.04)
+    assert ndp / host - 1 > 0.40  # ">50% speedup" claim, with margin
+
+    rows = {r["config"]: r for r in result.rows}
+    # Paper, p_local=80% walk-up: 32% -> 62% -> 75% -> 84%.
+    assert rows["Local(80%) + I/O-Host"]["average"] == pytest.approx(0.32, abs=0.08)
+    assert rows["Local(80%) + I/O-Host + comp"]["average"] == pytest.approx(0.62, abs=0.06)
+    assert rows["Local(80%) + I/O-NDP"]["average"] == pytest.approx(0.75, abs=0.05)
+    assert rows["Local(80%) + I/O-NDP + comp"]["average"] == pytest.approx(0.84, abs=0.04)
+
+    # Per-app ordering: more-compressible apps benefit more from the
+    # compressed configurations.
+    comp_row = rows["Local(80%) + I/O-NDP + comp"]
+    assert comp_row["CoMD"] > comp_row["miniSMAC2D"]

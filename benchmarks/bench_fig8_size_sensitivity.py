@@ -1,0 +1,33 @@
+"""Figure 8: progress rate vs checkpoint size for five configurations."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_figure8(benchmark, show):
+    result = benchmark(fig8.run)
+    show(result)
+    rows = result.rows
+
+    # Paper anchors: at 10% memory NC ~96% vs HC ~88%; at 80% NC ~87% vs
+    # HC ~65%.
+    first, last = rows[0], rows[-1]
+    assert first["L-15GBps + I/O-NC"] == pytest.approx(0.96, abs=0.03)
+    assert first["L-15GBps + I/O-HC"] == pytest.approx(0.88, abs=0.05)
+    assert last["L-15GBps + I/O-NC"] == pytest.approx(0.87, abs=0.03)
+    assert last["L-15GBps + I/O-HC"] == pytest.approx(0.65, abs=0.07)
+
+    # NDP's gain grows with checkpoint size.
+    gains = [r["L-15GBps + I/O-NC"] - r["L-15GBps + I/O-HC"] for r in rows]
+    assert gains[-1] > gains[0]
+
+    # A 2 GB/s NVM with NDP substitutes for a 15 GB/s NVM without it.
+    for r in rows:
+        assert r["L-2GBps + I/O-NC"] > r["L-15GBps + I/O-HC"] - 0.06
+        assert r["L-2GBps + I/O-N"] > r["L-15GBps + I/O-HC"] - 0.12
+
+    # Efficiency decreases monotonically with checkpoint size, per config.
+    for label in ("L-15GBps + I/O-NC", "L-15GBps + I/O-HC", "L-2GBps + I/O-NC"):
+        series = [r[label] for r in rows]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,23 @@
+"""Figure 9: progress rate vs system MTTI for five configurations."""
+
+from repro.experiments import fig9
+
+
+def test_figure9(benchmark, show):
+    result = benchmark(fig9.run)
+    show(result)
+    rows = result.rows
+
+    # Efficiency rises with MTTI for every configuration.
+    for label in rows[0]:
+        if label == "mtti_min":
+            continue
+        series = [r[label] for r in rows]
+        assert series == sorted(series), label
+
+    # The NDP-over-host gain shrinks as failures get rarer.
+    assert result.headline["gain_at_min_mtti"] > result.headline["gain_at_max_mtti"]
+
+    # The 2 GB/s + NDP substitution holds across the MTTI range too.
+    for r in rows:
+        assert r["L-2GBps + I/O-NC"] > r["L-15GBps + I/O-HC"] - 0.06

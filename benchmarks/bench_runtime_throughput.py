@@ -1,0 +1,76 @@
+"""Engineering benchmarks of the C/R runtime library itself.
+
+Not a paper exhibit: these measure the implementation's own hot paths —
+coordinated checkpoint commit, NDP drain throughput, and parallel restore
+decompression — so regressions in the runtime are caught the same way the
+paper-shape regressions are.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import IOStore, LocalStore, MultilevelCheckpointer
+from repro.ckpt.stream import compress_stream, parallel_decompress
+from repro.compression.codecs import make_codec
+
+GZIP = make_codec("gzip", 1)
+
+
+@pytest.fixture
+def payloads(rng):
+    base = np.cumsum(rng.standard_normal(200_000)).tobytes()  # ~1.6 MB
+    return {r: base for r in range(2)}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_local_checkpoint_commit(benchmark, tmp_path, payloads):
+    """Host-visible cost of one coordinated local checkpoint."""
+    local = LocalStore(tmp_path / "nvm", capacity=4)
+    io = IOStore(tmp_path / "pfs")
+    cr = MultilevelCheckpointer("bench", local, io, mode="host", io_every=10**9)
+
+    benchmark(lambda: cr.checkpoint(payloads))
+    nbytes = sum(len(p) for p in payloads.values())
+    benchmark.extra_info["payload_mb"] = nbytes / 1e6
+
+
+def test_host_mode_io_push(benchmark, tmp_path, payloads):
+    """Host-blocking compressed push to the I/O store (the cost NDP hides)."""
+    local = LocalStore(tmp_path / "nvm", capacity=4)
+    io = IOStore(tmp_path / "pfs")
+    cr = MultilevelCheckpointer("bench", local, io, mode="host", codec=GZIP, io_every=1)
+
+    benchmark(lambda: cr.checkpoint(payloads))
+
+
+def test_ndp_drain_throughput(benchmark, tmp_path, payloads):
+    """End-to-end background drain of one checkpoint (compress + commit)."""
+    from conftest import run_once
+
+    local = LocalStore(tmp_path / "nvm", capacity=8)
+    io = IOStore(tmp_path / "pfs")
+
+    def drain_once():
+        with MultilevelCheckpointer("bench", local, io, mode="ndp", codec=GZIP) as cr:
+            cr.checkpoint(payloads)
+            assert cr.flush_to_io(60)
+
+    run_once(benchmark, drain_once)
+    assert io.latest("bench") is not None
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_parallel_restore_decompression(benchmark, workers, rng):
+    """Section 4.3's multi-core restore path; zlib releases the GIL, so
+    4 workers should beat 1 on multi-core hosts (asserted only loosely —
+    CI machines vary)."""
+    data = np.cumsum(rng.standard_normal(2_000_000)).tobytes()  # ~16 MB
+    stream = compress_stream(data, GZIP, block_size=1 << 20)
+
+    out = benchmark(lambda: parallel_decompress(stream, GZIP, workers=workers))
+    assert out == data
+    benchmark.extra_info["workers"] = workers

@@ -1,0 +1,11 @@
+"""The reproduction scorecard: every paper claim must PASS."""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard_all_claims_pass(benchmark, show):
+    result = benchmark(scorecard.run)
+    show(result)
+    failed = [r["statement"] for r in result.rows if not r["pass"]]
+    assert not failed, f"claims failed: {failed}"
+    assert result.headline["passed"] == result.headline["total"]

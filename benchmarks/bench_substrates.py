@@ -1,0 +1,70 @@
+"""Engineering benchmarks of the substrates: codecs, simulator, kernels."""
+
+import numpy as np
+import pytest
+
+from repro.compression import lz4
+from repro.compression.codecs import make_codec
+from repro.core import NDP_GZIP1, paper_parameters
+from repro.simulation import SimConfig, simulate
+from repro.workloads import make_app
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def checkpoint_blob(rng):
+    app = make_app("miniAero", seed=1, grid=96)
+    app.run(3)
+    return app.checkpoint_bytes()
+
+
+class TestCodecs:
+    def test_lz4_compress(self, benchmark, rng):
+        data = rng.integers(0, 8, 262_144, dtype=np.uint8).tobytes()
+        comp = benchmark(lz4.compress, data)
+        benchmark.extra_info["factor"] = 1 - len(comp) / len(data)
+
+    def test_lz4_decompress(self, benchmark, rng):
+        data = rng.integers(0, 8, 262_144, dtype=np.uint8).tobytes()
+        comp = lz4.compress(data)
+        out = benchmark(lz4.decompress, comp, len(data))
+        assert out == data
+
+    @pytest.mark.parametrize("name", ["gzip(1)", "gzip(6)", "bzip2(1)", "xz(1)"])
+    def test_stdlib_codecs(self, benchmark, name, checkpoint_blob):
+        utility, _, level = name[:-1].partition("(")
+        codec = make_codec(utility, int(level))
+        comp = benchmark(codec.compress, checkpoint_blob)
+        benchmark.extra_info["factor"] = 1 - len(comp) / len(checkpoint_blob)
+
+
+class TestSimulator:
+    def test_ndp_simulation_throughput(self, benchmark):
+        """Simulated seconds per wall second for the NDP scenario."""
+        params = paper_parameters()
+
+        def run():
+            return simulate(
+                SimConfig(
+                    params=params,
+                    strategy="ndp",
+                    compression=NDP_GZIP1,
+                    work=params.mtti * 50,
+                    seed=3,
+                )
+            )
+
+        res = benchmark(run)
+        assert res.efficiency > 0.5
+        benchmark.extra_info["failures"] = res.failures
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ["HPCCG", "miniSMAC2D", "miniAero"])
+    def test_miniapp_step(self, benchmark, name):
+        app = make_app(name, seed=0)
+        benchmark(app.step)

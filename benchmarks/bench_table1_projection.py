@@ -1,0 +1,19 @@
+"""Table 1: the exascale projection scaled from the Titan Cray XK7."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, show):
+    result = benchmark(table1.run)
+    show(result)
+    projected = {r["parameter"]: r["projected"] for r in result.rows}
+    assert projected["Node Count"] == 100_000
+    assert projected["System Peak"] == pytest.approx(1000.0)  # Pflop/s
+    assert projected["Node Memory"] == pytest.approx(140.0)
+    assert projected["System Memory"] == pytest.approx(14.0)
+    assert projected["I/O Bandwidth"] == pytest.approx(10.0)
+    assert projected["System MTTI"] == pytest.approx(30.0)
+    # Section 3.3: commit time ~M/200 => ~9 s.
+    assert result.headline["commit_time_s"] == pytest.approx(9.0, abs=2.0)

@@ -1,0 +1,18 @@
+"""Table 3: required compression speed, NDP cores, minimum I/O interval."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, show):
+    result = benchmark(table3.run, source="paper")
+    show(result)
+    rows = {r["utility"]: r for r in result.rows}
+    for utility, (speed_mbps, cores, interval) in table3.PAPER_REFERENCE.items():
+        assert rows[utility]["required_speed"] / 1e6 == pytest.approx(speed_mbps, rel=0.02)
+        assert rows[utility]["cores"] == cores
+        assert rows[utility]["interval"] == pytest.approx(interval, rel=0.02)
+    # Section 5.3: gzip(1) at 4 NDP cores, ~305 s interval.
+    assert result.headline["chosen_cores"] == 4
+    assert result.headline["chosen_interval"] == pytest.approx(305, rel=0.02)

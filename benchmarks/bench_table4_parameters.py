@@ -1,0 +1,14 @@
+"""Table 4: evaluation parameters re-derived with provenance."""
+
+import pytest
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, show):
+    result = benchmark(table4.run)
+    show(result)
+    assert len(result.rows) == 9
+    # The two numerically-derived headline values.
+    assert result.headline["ndp_rate_mbps"] == pytest.approx(440.4, abs=0.1)
+    assert result.headline["daly_tau"] == pytest.approx(159.0, abs=3.0)

@@ -1,0 +1,27 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one paper exhibit, prints the regenerated
+table/series (so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+results report), asserts the paper-shape invariants, and times the
+regeneration via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult under the bench's own banner."""
+
+    def _show(result) -> None:
+        print()
+        print(result)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Adaptive checkpoint intervals from an online MTTI estimate.
+
+A facility rarely knows its MTTI in advance.  This example runs the
+discrete-event simulator in a closed loop with the library's
+:class:`~repro.ckpt.schedule.AdaptiveScheduler`: the scheduler starts from
+a (wrong) prior, observes the failures the simulation injects, re-estimates
+the MTTI, and re-derives Daly's optimal interval — converging toward the
+efficiency of an oracle that knew the MTTI all along.
+
+Run:  python examples/adaptive_checkpointing.py
+"""
+
+import numpy as np
+
+from repro.ckpt import AdaptiveScheduler, DalyIntervalAdvisor, OnlineMTTIEstimator
+from repro.core import paper_parameters, multilevel_ndp
+from repro.simulation import SimConfig, simulate
+
+TRUE_MTTI = 900.0  # the machine actually fails every 15 minutes
+WRONG_PRIOR = 7200.0  # ...but operations assumed 2 hours
+
+
+def efficiency_at_interval(tau: float, seed: int) -> float:
+    """Simulated NDP-mode efficiency at a fixed local interval."""
+    params = paper_parameters().with_(mtti=TRUE_MTTI, local_interval=tau)
+    res = simulate(
+        SimConfig(params=params, strategy="ndp", work=TRUE_MTTI * 60, seed=seed)
+    )
+    return res.efficiency
+
+
+def main() -> None:
+    params = paper_parameters().with_(mtti=TRUE_MTTI)
+    sched = AdaptiveScheduler(
+        estimator=OnlineMTTIEstimator(prior_mtti=WRONG_PRIOR, prior_weight=2.0),
+        advisor=DalyIntervalAdvisor(
+            commit_time=params.local_commit_time, min_interval=30.0, max_interval=3600.0
+        ),
+    )
+    oracle_tau = params.with_(local_interval=None).tau
+
+    print(f"True MTTI {TRUE_MTTI:.0f}s; operations prior {WRONG_PRIOR:.0f}s")
+    print(f"Oracle (Daly at true MTTI) interval: {oracle_tau:.0f}s\n")
+
+    # Feed the scheduler the failure history a simulated campaign produces.
+    rng = np.random.default_rng(3)
+    print(f"{'failures seen':>14s} {'MTTI estimate':>14s} {'interval':>9s}")
+    observed = 0
+    while observed < 64:
+        gap = float(rng.exponential(TRUE_MTTI))
+        sched.tick(gap)
+        sched.notify_failure()
+        observed += 1
+        if observed in (1, 2, 4, 8, 16, 32, 64):
+            print(
+                f"{observed:14d} {sched.estimator.mtti:12.0f} s "
+                f"{sched.current_interval:8.0f}s"
+            )
+
+    # What did the adaptation buy?  Compare simulated efficiency at the
+    # prior-derived, adapted, and oracle intervals.
+    prior_tau = DalyIntervalAdvisor(commit_time=params.local_commit_time).recommend(
+        WRONG_PRIOR
+    )
+    adapted_tau = sched.current_interval
+    print("\nSimulated NDP-mode efficiency at each interval policy (3 seeds):")
+    for label, tau in (
+        ("prior (wrong MTTI)", prior_tau),
+        ("adapted (online)", adapted_tau),
+        ("oracle (true MTTI)", oracle_tau),
+    ):
+        effs = [efficiency_at_interval(tau, seed) for seed in range(3)]
+        print(f"  {label:20s} tau={tau:6.0f}s -> {np.mean(effs):6.1%}")
+
+    model = multilevel_ndp(
+        params.with_(local_interval=adapted_tau), rerun_accounting="staleness"
+    ).efficiency
+    print(f"\nAnalytic model (staleness accounting) at the adapted interval: {model:.1%}")
+    print("The online estimate converges within a few tens of failures and")
+    print("recovers nearly all of the oracle's efficiency.")
+
+
+if __name__ == "__main__":
+    main()

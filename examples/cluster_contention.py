@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Shared-I/O contention at cluster scale.
+
+The paper's model treats the 10 TB/s global I/O as a fixed 100 MB/s
+per-node share.  This example uses the N-node coordinated simulation with
+a genuinely *shared* processor-sharing pipe to answer three operational
+questions the per-node model cannot:
+
+1. Does system efficiency actually stay put as the machine grows at a
+   fixed per-node share?  (Yes — which is why the paper can model
+   per-node.)
+2. Does staggering the nodes' drains help?  (No, for symmetric load —
+   fair sharing makes phase irrelevant.)
+3. How much PFS headroom is there — what if the pipe is undersized by 2x?
+
+Run:  python examples/cluster_contention.py
+"""
+
+from repro.core import NDP_GZIP1, multilevel_ndp, paper_parameters
+from repro.simulation import ClusterConfig, simulate_cluster
+
+MTTIS = 80.0
+
+
+def run(label, **kw):
+    params = kw.pop("params", paper_parameters())
+    cfg = ClusterConfig(
+        params=params,
+        compression=NDP_GZIP1,
+        work=params.mtti * MTTIS,
+        seed=11,
+        **kw,
+    )
+    res = simulate_cluster(cfg)
+    print(
+        f"  {label:34s} eff={res.efficiency:6.3f}  pipe util={res.pipe_utilization:5.2f}  "
+        f"I/O snapshots={res.io_snapshots:5d}  I/O recoveries={res.recoveries_io}"
+    )
+    return res
+
+
+def main() -> None:
+    params = paper_parameters()
+    model = multilevel_ndp(
+        params, NDP_GZIP1, rerun_accounting="staleness", pause_during_local=False
+    )
+    print(f"Per-node analytic model: efficiency {model.efficiency:.3f}\n")
+
+    print("1. Share invariance (pipe capacity = N x 100 MB/s):")
+    for n in (1, 4, 16):
+        run(f"{n} node(s)", nodes=n)
+
+    print("\n2. Drain scheduling (8 nodes):")
+    run("synchronized drains", nodes=8)
+    run("staggered drains", nodes=8, stagger=True)
+    run("recovery contends with drains", nodes=8, pause_drains_on_recovery=False)
+
+    print("\n3. Undersized PFS (8 nodes, per-node share halved / doubled):")
+    for share_mb, label in ((50, "50 MB/s per node (half)"),
+                            (100, "100 MB/s per node (paper)"),
+                            (200, "200 MB/s per node (double)")):
+        p = params.with_(io_bandwidth=share_mb * 1e6)
+        run(label, nodes=8, params=p)
+
+    print("\nReading: efficiency is flat in N (per-node modeling is sound); "
+          "staggering is\nneutral; halving the PFS mostly costs I/O-recovery "
+          "rerun distance, not steady-state\nthroughput — the NDP drain just "
+          "falls further behind the checkpoint stream.")
+
+
+if __name__ == "__main__":
+    main()

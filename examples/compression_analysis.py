@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Compression study workflow: measure, explain, and provision.
+
+The Section-5 pipeline end to end on live data: generate calibrated proxy
+checkpoints for three mini-apps, measure two codecs on them, explain the
+factors with entropy analysis, quantify the consecutive-checkpoint delta
+headroom (the paper's future work), and derive the NDP core provisioning
+from the *measured* numbers (Table 3's methodology on your own data).
+
+Run:  python examples/compression_analysis.py
+"""
+
+from repro.compression import (
+    BlockDeduper,
+    analyze,
+    make_codec,
+    run_study,
+    sizing_inputs,
+    xor_delta,
+)
+from repro.core import paper_parameters, select_utility, sizing_table
+from repro.workloads import checkpoint_chunks, rank_apps
+
+APPS = ("HPCCG", "miniFE", "miniSMAC2D")
+
+
+def main() -> None:
+    codecs = [make_codec("gzip", 1), make_codec("gzip", 6)]
+
+    # -- 1. measure --------------------------------------------------------------
+    print("Measuring gzip(1)/gzip(6) on calibrated proxy checkpoints (2 ranks each):")
+    datasets = {app: checkpoint_chunks(app, ranks=2) for app in APPS}
+    study = run_study(datasets, codecs)
+    for app in APPS:
+        m1 = study.results[app]["gzip(1)"]
+        m6 = study.results[app]["gzip(6)"]
+        print(
+            f"  {app:11s} gzip(1): {m1.factor:6.1%} at {m1.compress_speed / 1e6:6.1f} MB/s"
+            f"   gzip(6): {m6.factor:6.1%} at {m6.compress_speed / 1e6:6.1f} MB/s"
+        )
+
+    # -- 2. explain with entropy ---------------------------------------------------
+    print("\nWhy do the factors differ?  Order-0 entropy of the checkpoint bytes:")
+    for app in APPS:
+        rep = analyze(datasets[app][0])
+        gz = study.results[app]["gzip(1)"].factor
+        print(
+            f"  {app:11s} entropy {rep.entropy:5.2f} bits/byte "
+            f"(order-0 bound {rep.order0_bound:5.1%}), zero bytes {rep.zero_fraction:5.1%}, "
+            f"achieved {gz:5.1%}"
+        )
+    print("  -> low-entropy quantized solver state compresses well; the CFD's")
+    print("     dense mantissas leave little for any codec.")
+
+    # -- 3. delta headroom (the paper's future work) --------------------------------
+    print("\nConsecutive-checkpoint delta headroom (XOR vs previous, 4 KiB dedup):")
+    import zlib
+
+    for app in APPS:
+        (a,) = rank_apps(app, ranks=1, seed=2, warmup_steps=3, calibrated=False)
+        first = a.checkpoint_bytes()
+        a.run(1)
+        second = a.checkpoint_bytes()
+        raw = 1 - len(zlib.compress(second, 1)) / len(second)
+        delta = xor_delta(first, second)
+        dfac = 1 - len(zlib.compress(delta, 1)) / len(delta)
+        dd = BlockDeduper(4096)
+        dd.push(first)
+        dedup = dd.push(second).dedup_factor
+        print(f"  {app:11s} raw gzip(1) {raw:6.1%}   XOR-delta gzip(1) {dfac:6.1%}   dedup {dedup:6.1%}")
+
+    # -- 4. provision the NDP from measured data --------------------------------------
+    print("\nNDP provisioning from the *measured* study (Table 3 methodology):")
+    params = paper_parameters()
+    sizings = sizing_table(sizing_inputs("measured", study), params)
+    for s in sizings:
+        print(
+            f"  {s.utility:9s} requires {s.required_speed / 1e6:5.0f} MB/s -> "
+            f"{s.cores:3d} core(s), I/O checkpoint every {s.checkpoint_interval:5.0f} s"
+        )
+    pick = select_utility(sizings, max_cores=8)
+    print(f"  selection (<=8 cores): {pick.utility}")
+    print("\nNote: measured speeds are this machine's; the paper's own Section 5")
+    print("re-measures for the same reason rather than reusing prior studies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""A distributed CG solve surviving failures via multilevel C/R.
+
+The full stack in one script: an 8-rank slab-decomposed conjugate-gradient
+solver (halo exchanges + allreduce collectives, the real HPCCG
+communication pattern) runs under coordinated multilevel checkpointing
+with the NDP drain daemon compressing checkpoints to a throttled global
+I/O store.  We crash it twice — once recovering from node-local NVM, once
+after total node loss recovering from the compressed I/O copies — and
+verify the final solution matches an uninterrupted run.
+
+Run:  python examples/distributed_solver.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.ckpt import IOStore, LocalStore, MultilevelCheckpointer
+from repro.compression import make_codec
+from repro.parallel import CoordinatedRun, DistributedStencilCG
+
+GRID, RANKS, ITERS = 24, 8, 10
+
+
+def main() -> None:
+    # Reference: the same solve with no failures, no checkpointing.
+    ref = DistributedStencilCG(grid=GRID, ranks=RANKS, seed=11)
+    ref.run(ITERS)
+    reference = ref.assemble(ref.x)
+    print(f"{RANKS}-rank CG on a {GRID}^3 grid, {ITERS} iterations")
+    print(f"reference residual: {ref.residual_norm():.3e}")
+    print(f"halo traffic so far: {ref.comm.bytes_sent / 1e6:.1f} MB, "
+          f"{ref.comm.messages_sent} messages\n")
+
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        local = LocalStore(root / "nvm", capacity=3)
+        io = IOStore(root / "pfs", throttle_bps=80e6)
+        with MultilevelCheckpointer(
+            "cg", local, io, mode="ndp", codec=make_codec("gzip", 1)
+        ) as cr:
+            solver = DistributedStencilCG(grid=GRID, ranks=RANKS, seed=11)
+            run = CoordinatedRun(solver, cr, checkpoint_every=2)
+
+            # -- crash 1: process dies, NVM survives ------------------------
+            outcome = run.run(iterations=6, crash_at=5)
+            print(f"crash at iteration {outcome.crashed_at}: recovered "
+                  f"checkpoint {outcome.recovered_from} from "
+                  f"'{outcome.recovery_level}', redid "
+                  f"{outcome.iterations - 6} iteration(s)")
+
+            # -- crash 2: the node is lost, NVM contents gone ----------------
+            assert cr.flush_to_io(60)
+            cr.local.wipe("cg")
+            result = cr.restart()
+            print(f"node loss: recovered checkpoint {result.ckpt_id} from "
+                  f"'{result.level}' ({len(result.payloads)} compressed rank files)")
+            solver.restore_payloads(result.payloads)
+            remaining = ITERS - int(result.positions[0])
+            run.run(iterations=remaining)
+
+            final = solver.assemble(solver.x)
+            ok = np.allclose(final, reference, rtol=1e-9)
+            print(f"\nfinal solution matches the uninterrupted run: {ok}")
+            print(f"checkpointer metrics: {cr.metrics.summary()}")
+            print(f"drain stats: {cr.daemon.stats.checkpoints_drained} drained, "
+                  f"compression factor {cr.daemon.stats.achieved_factor:.1%}")
+            assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Monte-Carlo study with the discrete-event simulator.
+
+Runs the C/R simulator over many seeds per strategy using the batch
+machinery (:func:`repro.simulation.mc_run`), compares against the analytic
+model, makes the NDP-vs-host claim *statistically* via a paired
+common-random-numbers test, replays an adversarial failure trace, and
+prints an operational timeline.
+
+Run:  python examples/simulation_study.py
+"""
+
+from repro.core import NDP_GZIP1, NO_COMPRESSION, multilevel_host, multilevel_ndp, paper_parameters
+from repro.simulation import (
+    SimConfig,
+    TimelineRecorder,
+    compare_strategies,
+    default_work,
+    mc_run,
+    render_ascii,
+    simulate,
+)
+
+SEEDS = range(8)
+MTTIS = 80.0  # work target per run, in MTTIs
+
+
+def main() -> None:
+    params = paper_parameters()
+    work = default_work(params, MTTIS)
+    print(f"{len(list(SEEDS))} seeds x {MTTIS:.0f} MTTIs of work per configuration\n")
+
+    cases = [
+        ("host r=15 + gzip(1)",
+         SimConfig(params=params, strategy="host", ratio=15, compression=NDP_GZIP1, work=work),
+         multilevel_host(params, 15, NDP_GZIP1, rerun_accounting="staleness")),
+        ("NDP, no compression",
+         SimConfig(params=params, strategy="ndp", compression=NO_COMPRESSION, work=work),
+         multilevel_ndp(params, rerun_accounting="staleness")),
+        ("NDP + gzip(1)",
+         SimConfig(params=params, strategy="ndp", compression=NDP_GZIP1, work=work),
+         multilevel_ndp(params, NDP_GZIP1, rerun_accounting="staleness")),
+    ]
+    print(f"{'configuration':24s} {'sim eff (95% CI)':>22s} {'model':>7s}")
+    for label, cfg, model in cases:
+        mc = mc_run(cfg, SEEDS)
+        print(f"{label:24s} {mc.mean:10.3f} +- {mc.ci95:6.3f} {model.efficiency:7.3f}")
+
+    # The headline claim, statistically: paired under common failures.
+    paired = compare_strategies(cases[0][1], cases[2][1], seeds=SEEDS)
+    print(
+        f"\nPaired NDP-vs-host difference: {paired.mean_diff:+.3f} "
+        f"+- {paired.ci95_diff:.3f} (95% CI) -> "
+        f"{'significant' if paired.significant else 'not significant'}"
+    )
+
+    # Failure-trace replay: the same number of failures, placed either just
+    # before each checkpoint commits (maximum lost work) or right after
+    # (minimum).  Distributional models cannot answer this; replay can.
+    cycle = params.cycle_time
+    replay_work = params.mtti * 5
+
+    def replay(times):
+        return simulate(
+            SimConfig(
+                params=params,
+                strategy="ndp",
+                compression=NDP_GZIP1,
+                work=replay_work,
+                failure_times=times,
+            )
+        ).efficiency
+
+    worst = replay(tuple((i + 1) * 8 * cycle - 0.5 for i in range(6)))
+    best = replay(tuple((i + 1) * 8 * cycle - 0.9 * cycle for i in range(6)))
+    print(
+        f"\nTrace replay, 6 failures each: just-before-commit placement "
+        f"{worst:.3f} vs just-after {best:.3f} — same failure count, "
+        f"{best - worst:.1%} of efficiency decided by placement alone."
+    )
+
+    # A short operational timeline (fails once, recovers, drains resume).
+    print("\nOperational timeline (NDP + gzip(1), first 2500 s, one seed):")
+    tr = TimelineRecorder(horizon=2500)
+    simulate(
+        SimConfig(
+            params=params.with_(mtti=900.0),  # denser failures for the demo
+            strategy="ndp",
+            compression=NDP_GZIP1,
+            work=2500.0,
+            seed=5,
+            trace=tr,
+        )
+    )
+    print(render_ascii(tr, width=100, t_end=2500))
+
+
+if __name__ == "__main__":
+    main()

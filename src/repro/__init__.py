@@ -1,0 +1,63 @@
+"""repro — reproduction of *Leveraging Near Data Processing for
+High-Performance Checkpoint/Restart* (Agrawal, Loh, Tuck; SC'17).
+
+The package provides four layers:
+
+* :mod:`repro.core` — the analytic multilevel C/R performance model, Daly's
+  equations, the exascale scaling study and the NDP provisioning analysis.
+* :mod:`repro.simulation` — a from-scratch discrete-event simulator of a
+  compute node with NDP-capable NVM, used to validate the analytic model
+  and regenerate the paper's operational timelines.
+* :mod:`repro.compression` — the compression substrate (stdlib codecs plus
+  a from-scratch LZ4 block codec) and the Section 5 compression study.
+* :mod:`repro.workloads` — Mantevo mini-app proxy kernels producing
+  realistic, compression-calibrated checkpoint state.
+* :mod:`repro.ckpt` — a functional multilevel checkpoint/restart runtime
+  (BLCR-style context files, NVM circular buffer, background NDP drain
+  daemon, local->partner->I/O recovery).
+
+Quickstart::
+
+    from repro import core
+    params = core.paper_parameters()
+    host = core.optimal_host(params, core.HOST_GZIP1)
+    ndp = core.multilevel_ndp(params, core.NDP_GZIP1)
+    print(host.efficiency, ndp.efficiency)
+"""
+
+from . import core
+from .core import (
+    HOST_GZIP1,
+    NDP_GZIP1,
+    NO_COMPRESSION,
+    CompressionSpec,
+    CRParameters,
+    ModelResult,
+    OverheadBreakdown,
+    io_only,
+    multilevel_host,
+    multilevel_ndp,
+    optimal_host,
+    optimal_ratio,
+    paper_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "CRParameters",
+    "CompressionSpec",
+    "ModelResult",
+    "OverheadBreakdown",
+    "paper_parameters",
+    "io_only",
+    "multilevel_host",
+    "multilevel_ndp",
+    "optimal_host",
+    "optimal_ratio",
+    "NO_COMPRESSION",
+    "HOST_GZIP1",
+    "NDP_GZIP1",
+    "__version__",
+]

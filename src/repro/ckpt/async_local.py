@@ -1,0 +1,132 @@
+"""Asynchronous local checkpoint commits (double-buffered writes).
+
+The paper removes the *I/O-level* write from the critical path; the
+local-NVM write (``delta_L``, ~7.5 s at exascale) still blocks the
+application because continued execution would mutate the memory being
+written.  The standard mitigation is double buffering: the host memcpys
+the state into a staging buffer (fast — memory bandwidth, not NVM
+bandwidth) and a writer thread persists the staged copy while the
+application computes.
+
+:class:`AsyncLocalWriter` implements that for the runtime's local store:
+
+* ``submit`` snapshots the payloads (bytes are immutable in Python, so
+  "staging" is reference capture — the zero-copy best case) and returns
+  once the previous commit finished, preserving ordering with one
+  checkpoint in flight at most;
+* the local commit happens on the writer thread;
+* ``drain`` waits for everything in flight (restart paths call it —
+  recovery must not race an in-flight commit).
+
+A crash before the background commit lands simply means the previous
+checkpoint is the newest recoverable one — the same guarantee a blocking
+writer gives for a crash *during* the write.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .backends import LocalStore
+from .format import ContextHeader
+
+__all__ = ["AsyncLocalWriter", "AsyncWriteStats"]
+
+
+@dataclass
+class AsyncWriteStats:
+    """Counters for the background local writer."""
+
+    submitted: int = 0
+    committed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class AsyncLocalWriter:
+    """Background committer for local checkpoints (one in flight).
+
+    Parameters
+    ----------
+    app_id, local:
+        Where commits go.
+    pre_commit, post_commit:
+        Optional callables run on the writer thread around each commit —
+        the multilevel checkpointer uses them to pause/resume the NDP
+        drain while the NVM write is in progress (Section 4.2.1's
+        all-bandwidth-to-the-host rule applies to the background writer
+        just as it does to a blocking one).
+    on_commit:
+        Optional callback invoked with the checkpoint id after each
+        successful commit.
+    """
+
+    def __init__(
+        self,
+        app_id: str,
+        local: LocalStore,
+        pre_commit=None,
+        post_commit=None,
+        on_commit=None,
+    ):
+        self.app_id = app_id
+        self.local = local
+        self.pre_commit = pre_commit
+        self.post_commit = post_commit
+        self.on_commit = on_commit
+        self.stats = AsyncWriteStats()
+        self._pending: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def submit(
+        self, ckpt_id: int, files: dict[int, tuple[ContextHeader, bytes]]
+    ) -> None:
+        """Stage one checkpoint and return; the commit happens off-thread.
+
+        Blocks only while a *previous* commit is still in flight (double
+        buffering with depth 1 — deeper queues would let the application
+        outrun the NVM indefinitely).
+        """
+        with self._lock:
+            self._wait_pending()
+            worker = threading.Thread(
+                target=self._commit,
+                args=(ckpt_id, files),
+                name=f"async-local-{ckpt_id}",
+                daemon=True,
+            )
+            self.stats.submitted += 1
+            self._pending = worker
+            worker.start()
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Wait for any in-flight commit; False on timeout."""
+        with self._lock:
+            return self._wait_pending(timeout)
+
+    def _wait_pending(self, timeout: float = 60.0) -> bool:
+        if self._pending is not None:
+            self._pending.join(timeout)
+            alive = self._pending.is_alive()
+            if alive:
+                return False
+            self._pending = None
+        return True
+
+    def _commit(
+        self, ckpt_id: int, files: dict[int, tuple[ContextHeader, bytes]]
+    ) -> None:
+        if self.pre_commit is not None:
+            self.pre_commit()
+        try:
+            self.local.write_checkpoint(self.app_id, ckpt_id, files)
+        except Exception as exc:  # noqa: BLE001 - surfaced via stats
+            self.stats.errors.append(f"ckpt {ckpt_id}: {exc}")
+            return
+        finally:
+            if self.post_commit is not None:
+                self.post_commit()
+        self.stats.committed += 1
+        if self.on_commit is not None:
+            self.on_commit(ckpt_id)

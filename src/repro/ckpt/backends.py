@@ -1,0 +1,296 @@
+"""Storage backends for the multilevel C/R runtime.
+
+Three directory-backed stores model the paper's three storage levels:
+
+* :class:`LocalStore` — node-local NVM.  Holds at most ``capacity``
+  checkpoints in FIFO order (the Section 4.2.1 circular buffer) with
+  per-checkpoint drain locks (Section 4.2.2).
+* :class:`PartnerStore` — a partner node's local storage (redundant copy).
+* :class:`IOStore` — the global parallel file system, optionally
+  bandwidth-throttled so examples exhibit realistic relative timings.
+
+A checkpoint is one directory of per-rank context files committed
+atomically via a manifest update (write-temp-then-rename), so readers
+never observe partially-written checkpoints — the same invariant BLCR's
+metadata provides.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+from pathlib import Path
+
+from .format import ContextHeader, read_context_file, write_context_file
+
+__all__ = ["DirectoryStore", "LocalStore", "PartnerStore", "IOStore"]
+
+_MANIFEST = "MANIFEST.json"
+
+
+class DirectoryStore:
+    """A checkpoint store rooted at a directory.
+
+    Layout: ``root/<app_id>/ckpt_<id>/rank_<r>.ctx`` plus a per-app
+    ``MANIFEST.json`` listing committed checkpoint ids.  All public
+    methods are thread-safe (one lock per store instance — the NDP drain
+    daemon and the host touch stores concurrently).
+    """
+
+    level = "generic"
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _app_dir(self, app_id: str) -> Path:
+        return self.root / app_id
+
+    def _ckpt_dir(self, app_id: str, ckpt_id: int) -> Path:
+        return self._app_dir(app_id) / f"ckpt_{ckpt_id:08d}"
+
+    def _manifest_path(self, app_id: str) -> Path:
+        return self._app_dir(app_id) / _MANIFEST
+
+    # -- manifest ------------------------------------------------------------
+
+    def _read_manifest(self, app_id: str) -> dict:
+        path = self._manifest_path(app_id)
+        if not path.exists():
+            return {"committed": [], "locked": []}
+        return json.loads(path.read_text())
+
+    def _write_manifest(self, app_id: str, manifest: dict) -> None:
+        path = self._manifest_path(app_id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        tmp.replace(path)
+
+    # -- public API ------------------------------------------------------------
+
+    def write_checkpoint(
+        self,
+        app_id: str,
+        ckpt_id: int,
+        files: dict[int, tuple[ContextHeader, bytes]],
+    ) -> None:
+        """Persist one checkpoint (all rank files), then commit it.
+
+        The checkpoint becomes visible to readers only after every context
+        file is on disk and the manifest rename lands.
+        """
+        if not files:
+            raise ValueError("a checkpoint needs at least one rank file")
+        for rank, (header, payload) in sorted(files.items()):
+            self.stage_rank_file(app_id, ckpt_id, rank, header, payload)
+        self.commit_checkpoint(app_id, ckpt_id)
+
+    def stage_rank_file(
+        self,
+        app_id: str,
+        ckpt_id: int,
+        rank: int,
+        header: ContextHeader,
+        payload: bytes,
+    ) -> None:
+        """Write one rank's context file without committing the checkpoint.
+
+        Staged files are invisible to readers until
+        :meth:`commit_checkpoint` lands; the NDP drain daemon uses this to
+        overlap compression of one rank with the (throttled) write of the
+        previous one.
+        """
+        cdir = self._ckpt_dir(app_id, ckpt_id)
+        cdir.mkdir(parents=True, exist_ok=True)
+        self._write_file(cdir / f"rank_{rank:05d}.ctx", payload, header)
+
+    def commit_checkpoint(self, app_id: str, ckpt_id: int) -> None:
+        """Atomically publish a fully-staged checkpoint."""
+        with self._lock:
+            manifest = self._read_manifest(app_id)
+            if ckpt_id not in manifest["committed"]:
+                manifest["committed"].append(ckpt_id)
+                manifest["committed"].sort()
+            self._write_manifest(app_id, manifest)
+            self._post_commit(app_id)
+
+    def read_checkpoint(
+        self, app_id: str, ckpt_id: int, verify: bool = True
+    ) -> dict[int, tuple[ContextHeader, bytes]]:
+        """Load all rank files of a committed checkpoint."""
+        with self._lock:
+            if ckpt_id not in self.committed(app_id):
+                raise FileNotFoundError(
+                    f"checkpoint {ckpt_id} of {app_id!r} not committed on {self.level}"
+                )
+            cdir = self._ckpt_dir(app_id, ckpt_id)
+            out: dict[int, tuple[ContextHeader, bytes]] = {}
+            for path in sorted(cdir.glob("rank_*.ctx")):
+                header, payload = read_context_file(path, verify=verify)
+                out[header.rank] = (header, payload)
+            if not out:
+                raise FileNotFoundError(
+                    f"checkpoint {ckpt_id} of {app_id!r} is committed but has "
+                    f"no rank files on {self.level} (directory lost?)"
+                )
+            return out
+
+    def committed(self, app_id: str) -> list[int]:
+        """Committed checkpoint ids, ascending."""
+        with self._lock:
+            return list(self._read_manifest(app_id)["committed"])
+
+    def latest(self, app_id: str) -> int | None:
+        """Newest committed checkpoint id, or None."""
+        ids = self.committed(app_id)
+        return ids[-1] if ids else None
+
+    def delete_checkpoint(self, app_id: str, ckpt_id: int) -> None:
+        """Remove a checkpoint and uncommit it."""
+        with self._lock:
+            manifest = self._read_manifest(app_id)
+            if ckpt_id in manifest["committed"]:
+                manifest["committed"].remove(ckpt_id)
+                self._write_manifest(app_id, manifest)
+            shutil.rmtree(self._ckpt_dir(app_id, ckpt_id), ignore_errors=True)
+
+    def wipe(self, app_id: str) -> None:
+        """Destroy every checkpoint of an app (models NVM loss in tests)."""
+        with self._lock:
+            shutil.rmtree(self._app_dir(app_id), ignore_errors=True)
+
+    def usage(self, app_id: str) -> int:
+        """On-store bytes held by an app's committed checkpoints.
+
+        Counts context-file payload+header bytes of committed checkpoints
+        only (staged/uncommitted files are excluded), so capacity planning
+        sees what retention actually retains.
+        """
+        with self._lock:
+            total = 0
+            for ckpt_id in self._read_manifest(app_id)["committed"]:
+                cdir = self._ckpt_dir(app_id, ckpt_id)
+                for path in cdir.glob("rank_*.ctx"):
+                    try:
+                        total += path.stat().st_size
+                    except OSError:
+                        continue
+            return total
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _write_file(self, path: Path, payload: bytes, header: ContextHeader) -> None:
+        write_context_file(path, payload, header)
+
+    def _post_commit(self, app_id: str) -> None:
+        """Post-commit hook (retention policy lives here)."""
+
+
+class LocalStore(DirectoryStore):
+    """Node-local NVM: FIFO circular buffer with NDP drain locks.
+
+    Keeps the newest ``capacity`` checkpoints; older ones are evicted at
+    commit time unless locked by the drain daemon, matching the paper's
+    circular-buffer-with-locks organization.
+    """
+
+    level = "local"
+
+    def __init__(self, root: Path | str, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        super().__init__(root)
+        self.capacity = capacity
+
+    def lock(self, app_id: str, ckpt_id: int) -> None:
+        """Prevent eviction while the NDP drains this checkpoint."""
+        with self._lock:
+            manifest = self._read_manifest(app_id)
+            if ckpt_id not in manifest["committed"]:
+                raise FileNotFoundError(f"cannot lock uncommitted checkpoint {ckpt_id}")
+            if ckpt_id not in manifest["locked"]:
+                manifest["locked"].append(ckpt_id)
+                self._write_manifest(app_id, manifest)
+
+    def unlock(self, app_id: str, ckpt_id: int) -> None:
+        """Release a drain lock (the checkpoint becomes evictable)."""
+        with self._lock:
+            manifest = self._read_manifest(app_id)
+            if ckpt_id in manifest["locked"]:
+                manifest["locked"].remove(ckpt_id)
+                self._write_manifest(app_id, manifest)
+            self._post_commit(app_id)
+
+    def locked(self, app_id: str) -> list[int]:
+        """Currently drain-locked checkpoint ids."""
+        with self._lock:
+            return list(self._read_manifest(app_id)["locked"])
+
+    def _post_commit(self, app_id: str) -> None:
+        manifest = self._read_manifest(app_id)
+        committed = manifest["committed"]
+        locked = set(manifest["locked"])
+        # Evict oldest unlocked first, but never the newest checkpoint —
+        # it is the recovery point.  Locked slots defer eviction to the
+        # unlock that releases them (the buffer runs over capacity until
+        # then, mirroring the NDP drain-lock semantics of Section 4.2.2).
+        newest = committed[-1] if committed else None
+        evictable = [c for c in committed if c not in locked and c != newest]
+        excess = len(committed) - self.capacity
+        for victim in evictable:
+            if excess <= 0:
+                break
+            committed.remove(victim)
+            excess -= 1
+            self._write_manifest(app_id, manifest)
+            shutil.rmtree(self._ckpt_dir(app_id, victim), ignore_errors=True)
+
+
+class PartnerStore(DirectoryStore):
+    """A partner node's local storage holding redundant copies."""
+
+    level = "partner"
+
+    def __init__(self, root: Path | str, capacity: int = 2):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        super().__init__(root)
+        self.capacity = capacity
+
+    def _post_commit(self, app_id: str) -> None:
+        manifest = self._read_manifest(app_id)
+        committed = manifest["committed"]
+        while len(committed) > self.capacity:
+            victim = committed.pop(0)
+            self._write_manifest(app_id, manifest)
+            shutil.rmtree(self._ckpt_dir(app_id, victim), ignore_errors=True)
+
+
+class IOStore(DirectoryStore):
+    """Global I/O (parallel file system), optionally bandwidth-throttled.
+
+    ``throttle_bps`` caps the apparent write bandwidth by sleeping
+    proportionally to bytes written — the examples use it to make the
+    NDP-vs-host contrast observable at laptop scale.  ``None`` disables
+    throttling (tests).
+    """
+
+    level = "io"
+
+    def __init__(self, root: Path | str, throttle_bps: float | None = None):
+        super().__init__(root)
+        if throttle_bps is not None and throttle_bps <= 0:
+            raise ValueError("throttle_bps must be positive or None")
+        self.throttle_bps = throttle_bps
+        self.bytes_written = 0
+
+    def _write_file(self, path: Path, payload: bytes, header: ContextHeader) -> None:
+        super()._write_file(path, payload, header)
+        self.bytes_written += len(payload)
+        if self.throttle_bps is not None:
+            time.sleep(len(payload) / self.throttle_bps)

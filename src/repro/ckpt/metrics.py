@@ -1,0 +1,72 @@
+"""Runtime telemetry for the multilevel checkpointer.
+
+Collects the quantities the paper's model is about, measured live:
+host-blocked wall time per activity (the critical-path cost NDP is
+supposed to hide), checkpoint counts and bytes per level.  The MD example
+uses this to show the NDP-vs-host contrast on real data.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["RuntimeMetrics"]
+
+
+@dataclass
+class RuntimeMetrics:
+    """Host-visible cost counters for one checkpointer instance.
+
+    Attributes
+    ----------
+    blocked_seconds:
+        Wall seconds the application thread spent inside blocking C/R
+        operations, keyed by activity (``"local"``, ``"partner"``,
+        ``"io"``, ``"restore"``).
+    checkpoints:
+        Checkpoints committed (locally).
+    bytes_local, bytes_partner, bytes_io_host:
+        Payload bytes written on the critical path per level
+        (``bytes_io_host`` counts only *host-mode* synchronous pushes —
+        NDP drains are background and tracked by the daemon's own stats).
+    restores:
+        Recoveries served.
+    """
+
+    blocked_seconds: dict[str, float] = field(
+        default_factory=lambda: {"local": 0.0, "partner": 0.0, "io": 0.0, "restore": 0.0}
+    )
+    checkpoints: int = 0
+    restores: int = 0
+    bytes_local: int = 0
+    bytes_partner: int = 0
+    bytes_io_host: int = 0
+
+    @contextmanager
+    def timed(self, activity: str) -> Iterator[None]:
+        """Context manager charging elapsed wall time to ``activity``."""
+        if activity not in self.blocked_seconds:
+            raise KeyError(f"unknown activity {activity!r}")
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.blocked_seconds[activity] += time.perf_counter() - t0
+
+    @property
+    def total_blocked(self) -> float:
+        """Total host-blocked wall seconds across activities."""
+        return sum(self.blocked_seconds.values())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = ", ".join(
+            f"{k}={v:.3f}s" for k, v in self.blocked_seconds.items() if v > 0
+        )
+        return (
+            f"{self.checkpoints} checkpoints, {self.restores} restores, "
+            f"blocked {self.total_blocked:.3f}s ({parts or 'none'})"
+        )

@@ -1,0 +1,280 @@
+"""The NDP drain daemon: background checkpoint-to-I/O offload.
+
+This thread plays the role of the NDP processor in Figure 2: it watches
+the node-local store for newly committed checkpoints, locks the newest
+undrained one, compresses it block-by-block, and ships it to the global
+I/O store — all without involving the "host" (the caller's thread).
+Faithful to Section 4.2:
+
+* always drains the *newest* eligible checkpoint (older undrained ones are
+  skipped — draining them would only lengthen I/O-recovery rerun),
+* locks the checkpoint in the local circular buffer for the duration and
+  unlocks (making it evictable) on completion,
+* compression overlaps the I/O write: rank files are compressed in the
+  daemon thread while a single writer thread pushes completed files to the
+  (possibly throttled) I/O store,
+* :meth:`pause` / :meth:`resume` let the host claim full NVM bandwidth
+  during its local checkpoint writes, and recovery code pauses the drain
+  while it reads from global I/O (Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..compression.codecs import Codec
+from ..compression.delta import xor_delta, zero_rle
+from .backends import IOStore, LocalStore
+from .format import CorruptCheckpointError, make_header
+from .stream import DEFAULT_BLOCK_SIZE, compress_stream
+
+__all__ = ["NDPDrainDaemon", "DrainStats"]
+
+
+@dataclass
+class DrainStats:
+    """Counters exposed by the daemon for tests and examples."""
+
+    checkpoints_drained: int = 0
+    checkpoints_skipped: int = 0
+    delta_drains: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    drained_ids: list[int] = field(default_factory=list)
+
+    @property
+    def achieved_factor(self) -> float:
+        """Aggregate compression factor over everything drained."""
+        if self.bytes_in == 0:
+            return 0.0
+        return 1.0 - self.bytes_out / self.bytes_in
+
+
+class NDPDrainDaemon:
+    """Background drainer from a :class:`LocalStore` to an :class:`IOStore`.
+
+    Parameters
+    ----------
+    app_id:
+        Application whose checkpoints are drained.
+    local, io:
+        Source and destination stores.
+    codec:
+        Optional compression codec; ``None`` drains uncompressed.
+    block_size:
+        Compression block size (Section 4.2.2's small-DMA blocks).
+    poll_interval:
+        Idle poll period, seconds.
+    delta_every:
+        The paper's future-work optimization: 0 disables (every drain is a
+        full checkpoint); ``k > 0`` stores ``k-1`` drains out of every
+        ``k`` as zero-RLE'd XOR *deltas* against the most recent full
+        drain, shrinking I/O traffic for slowly-evolving state.  Recovery
+        reconstructs delta checkpoints from their base
+        (:mod:`repro.ckpt.restart`).
+    """
+
+    def __init__(
+        self,
+        app_id: str,
+        local: LocalStore,
+        io: IOStore,
+        codec: Codec | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        poll_interval: float = 0.005,
+        delta_every: int = 0,
+    ):
+        if delta_every < 0:
+            raise ValueError("delta_every must be >= 0")
+        self.app_id = app_id
+        self.local = local
+        self.io = io
+        self.codec = codec
+        self.block_size = block_size
+        self.poll_interval = poll_interval
+        self.delta_every = delta_every
+        self.stats = DrainStats()
+        # Delta state: the most recent *full* drained checkpoint.
+        self._base_id: int | None = None
+        self._base_payloads: dict[int, bytes] = {}
+        self._since_full = 0
+
+        self._stop = threading.Event()
+        self._running = threading.Event()  # set => not paused
+        self._running.set()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._high_water = -1
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "NDPDrainDaemon":
+        """Start the drain thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._loop, name="ndp-drain", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the daemon, waiting for the current drain to finish."""
+        self._stop.set()
+        self._running.set()  # unblock a paused loop so it can exit
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("NDP drain daemon failed to stop in time")
+            self._thread = None
+
+    def __enter__(self) -> "NDPDrainDaemon":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- host-facing controls ----------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend draining (host NVM write or I/O recovery in progress)."""
+        self._running.clear()
+
+    def resume(self) -> None:
+        """Resume draining after :meth:`pause`."""
+        self._running.set()
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no drain is in progress and nothing is eligible.
+
+        Returns False on timeout.  Useful in tests and at application
+        shutdown ("flush the last checkpoint to I/O").
+        """
+        deadline = threading.Event()
+        end = _monotonic() + timeout
+        while _monotonic() < end:
+            if self._idle.is_set() and self._candidate() is None:
+                return True
+            deadline.wait(self.poll_interval)
+        return False
+
+    # -- internals ---------------------------------------------------------------
+
+    def _candidate(self) -> int | None:
+        """Newest local checkpoint not yet drained/skipped or on I/O."""
+        latest = self.local.latest(self.app_id)
+        if latest is None or latest <= self._high_water:
+            return None
+        on_io = set(self.io.committed(self.app_id))
+        if latest in on_io:
+            return None
+        return latest
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._running.wait()
+            if self._stop.is_set():
+                return
+            ckpt_id = self._candidate()
+            if ckpt_id is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            self._idle.clear()
+            try:
+                self._drain_one(ckpt_id)
+            finally:
+                self._idle.set()
+
+    def _drain_one(self, ckpt_id: int) -> None:
+        """Lock, compress (overlapped with writing), commit, unlock."""
+        try:
+            self.local.lock(self.app_id, ckpt_id)
+        except FileNotFoundError:
+            # Evicted between candidate selection and lock: skip it.
+            self._note_skip(ckpt_id)
+            return
+        try:
+            files = self.local.read_checkpoint(self.app_id, ckpt_id)
+        except (FileNotFoundError, CorruptCheckpointError, OSError):
+            # Evicted, corrupted on NVM, or unreadable: draining it would
+            # propagate bad data to the I/O level — skip it and move on.
+            self.local.unlock(self.app_id, ckpt_id)
+            self._note_skip(ckpt_id)
+            return
+        use_delta = self._delta_eligible(files)
+        try:
+            # Overlap: compress rank r+1 in this thread while the writer
+            # thread streams rank r into the (throttled) I/O store.
+            with ThreadPoolExecutor(max_workers=1, thread_name_prefix="ndp-write") as writer:
+                pending: Future | None = None
+                for rank, (header, payload) in sorted(files.items()):
+                    self._running.wait()
+                    if use_delta:
+                        body = zero_rle(xor_delta(self._base_payloads[rank], payload))
+                        delta_base = self._base_id
+                    else:
+                        body = payload
+                        delta_base = None
+                    if self.codec is not None:
+                        out_payload = compress_stream(body, self.codec, self.block_size)
+                        codec_name = self.codec.name
+                    else:
+                        out_payload = body
+                        codec_name = None
+                    out_header = make_header(
+                        app_id=header.app_id,
+                        rank=header.rank,
+                        ckpt_id=header.ckpt_id,
+                        payload=out_payload,
+                        position=header.position,
+                        uncompressed_size=header.uncompressed_size,
+                        codec=codec_name,
+                        delta_base=delta_base,
+                    )
+                    self.stats.bytes_in += len(payload)
+                    self.stats.bytes_out += len(out_payload)
+                    if pending is not None:
+                        pending.result()
+                    pending = writer.submit(
+                        self.io.stage_rank_file,
+                        self.app_id,
+                        ckpt_id,
+                        rank,
+                        out_header,
+                        out_payload,
+                    )
+                if pending is not None:
+                    pending.result()
+            self.io.commit_checkpoint(self.app_id, ckpt_id)
+            self.stats.checkpoints_drained += 1
+            self.stats.drained_ids.append(ckpt_id)
+            self._high_water = max(self._high_water, ckpt_id)
+            if use_delta:
+                self.stats.delta_drains += 1
+                self._since_full += 1
+            elif self.delta_every > 0:
+                self._base_id = ckpt_id
+                self._base_payloads = {r: p for r, (_, p) in files.items()}
+                self._since_full = 0
+        finally:
+            self.local.unlock(self.app_id, ckpt_id)
+
+    def _delta_eligible(self, files: dict) -> bool:
+        """Whether this drain may be stored as a delta against the base."""
+        if self.delta_every <= 0 or self._base_id is None:
+            return False
+        if self._since_full >= self.delta_every - 1:
+            return False  # due for a full checkpoint
+        # Every rank needs a base of matching size semantics.
+        return set(files) == set(self._base_payloads)
+
+    def _note_skip(self, ckpt_id: int) -> None:
+        self.stats.checkpoints_skipped += 1
+        self._high_water = max(self._high_water, ckpt_id)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

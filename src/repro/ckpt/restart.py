@@ -1,0 +1,136 @@
+"""Recovery protocol: local -> partner -> global I/O (Section 4.2.3).
+
+Given the prioritized list of stores, :func:`recover` determines the
+rollback point (the newest checkpoint committed *anywhere*), then fetches
+it from the fastest level that holds it, verifying integrity and
+decompressing drained checkpoints with parallel host-side block decoding
+(Section 4.3).  Delta-drained checkpoints (the NDP daemon's
+``delta_every`` mode) are reconstructed from their full base checkpoint on
+the same store.  If the designated checkpoint is unreadable (corrupt file,
+CRC mismatch, missing delta base) recovery walks back to the next-newest
+id rather than failing — a failed restore must never strand the
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compression.codecs import codec_from_name
+from ..compression.delta import apply_xor_delta, zero_rle_decode
+from .backends import DirectoryStore
+from .format import ContextHeader, CorruptCheckpointError
+from .stream import parallel_decompress
+
+__all__ = ["RecoveryResult", "recover", "NoCheckpointError"]
+
+
+class NoCheckpointError(RuntimeError):
+    """No usable checkpoint exists on any storage level."""
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """A successful recovery.
+
+    Attributes
+    ----------
+    ckpt_id:
+        The checkpoint recovered.
+    level:
+        Storage level that served it (``"local"``, ``"partner"``, ``"io"``).
+    payloads:
+        Per-rank application state, decompressed (and delta-reconstructed).
+    positions:
+        Per-rank progress markers from the context headers.
+    """
+
+    ckpt_id: int
+    level: str
+    payloads: dict[int, bytes]
+    positions: dict[int, float]
+
+
+def recover(
+    app_id: str,
+    stores: list[DirectoryStore],
+    decompress_workers: int = 4,
+    verify: bool = True,
+) -> RecoveryResult:
+    """Restore the newest usable checkpoint, preferring earlier stores.
+
+    ``stores`` is ordered fastest-first (local, partner, I/O).  The
+    rollback point is the newest id committed on any store; each store
+    holding that id is tried in priority order; on corruption the next
+    older id is designated, until no candidates remain.
+    """
+    if not stores:
+        raise ValueError("need at least one store")
+    candidates: set[int] = set()
+    for store in stores:
+        candidates.update(store.committed(app_id))
+    if not candidates:
+        raise NoCheckpointError(f"no committed checkpoints for {app_id!r} on any level")
+
+    for ckpt_id in sorted(candidates, reverse=True):
+        for store in stores:
+            if ckpt_id not in store.committed(app_id):
+                continue
+            try:
+                files = store.read_checkpoint(app_id, ckpt_id, verify=verify)
+                payloads, positions = _unpack(
+                    files, decompress_workers, store, app_id, verify
+                )
+            except (CorruptCheckpointError, FileNotFoundError, OSError, ValueError, KeyError):
+                continue
+            return RecoveryResult(
+                ckpt_id=ckpt_id,
+                level=store.level,
+                payloads=payloads,
+                positions=positions,
+            )
+    raise NoCheckpointError(
+        f"all committed checkpoints of {app_id!r} failed verification"
+    )
+
+
+def _decode(header: ContextHeader, payload: bytes, workers: int) -> bytes:
+    """Undo the codec layer of one rank file (not the delta layer)."""
+    if header.codec is None:
+        return payload
+    codec = codec_from_name(header.codec)
+    return parallel_decompress(payload, codec, workers=workers)
+
+
+def _unpack(
+    files: dict[int, tuple[ContextHeader, bytes]],
+    workers: int,
+    store: DirectoryStore,
+    app_id: str,
+    verify: bool,
+) -> tuple[dict[int, bytes], dict[int, float]]:
+    """Decompress and delta-reconstruct payloads/positions per rank."""
+    payloads: dict[int, bytes] = {}
+    positions: dict[int, float] = {}
+    base_files: dict[int, tuple[ContextHeader, bytes]] | None = None
+    for rank, (header, payload) in files.items():
+        body = _decode(header, payload, workers)
+        if header.delta_base is not None:
+            if base_files is None:
+                base_files = store.read_checkpoint(app_id, header.delta_base, verify=verify)
+            base_header, base_payload = base_files[rank]
+            if base_header.delta_base is not None:
+                raise ValueError(
+                    f"delta base {header.delta_base} is itself a delta "
+                    "(chained deltas are not produced by the daemon)"
+                )
+            base = _decode(base_header, base_payload, workers)
+            body = apply_xor_delta(base, zero_rle_decode(body))
+        if len(body) != header.uncompressed_size:
+            raise ValueError(
+                f"rank {rank}: reconstructed {len(body)} bytes, "
+                f"expected {header.uncompressed_size}"
+            )
+        payloads[rank] = body
+        positions[rank] = header.position
+    return payloads, positions

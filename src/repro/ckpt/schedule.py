@@ -1,0 +1,141 @@
+"""Checkpoint-interval policy: online MTTI estimation + Daly's optimum.
+
+The paper fixes the local checkpoint interval from Daly's estimate with a
+*known* MTTI (Table 4).  Production systems don't know their MTTI — they
+estimate it from observed interrupts.  This module provides that loop:
+
+* :class:`OnlineMTTIEstimator` — maximum-likelihood MTTI for exponential
+  interarrivals (total observed time / failures) blended with a prior so
+  the estimate is usable before the first failure;
+* :class:`DalyIntervalAdvisor` — maps the current estimate and commit time
+  to Daly's higher-order optimal interval, clamped to sane bounds;
+* :class:`AdaptiveScheduler` — the runtime-facing object: feed it
+  progress and failures, ask it ``should_checkpoint(now)``.
+
+Used by ``examples/adaptive_checkpointing.py`` and usable with
+:class:`~repro.ckpt.multilevel.MultilevelCheckpointer` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import daly
+
+__all__ = ["OnlineMTTIEstimator", "DalyIntervalAdvisor", "AdaptiveScheduler"]
+
+
+@dataclass
+class OnlineMTTIEstimator:
+    """MLE of the mean time to interrupt with a conjugate-style prior.
+
+    For exponential interarrivals the MLE is ``observed_time / failures``.
+    We add a prior of ``prior_weight`` pseudo-failures at ``prior_mtti``
+    (equivalent to a Gamma prior on the rate), so the estimate starts at
+    ``prior_mtti`` and converges to the empirical value as failures accrue.
+    """
+
+    prior_mtti: float
+    prior_weight: float = 1.0
+    observed_time: float = 0.0
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prior_mtti <= 0:
+            raise ValueError("prior_mtti must be positive")
+        if self.prior_weight <= 0:
+            raise ValueError("prior_weight must be positive")
+
+    def observe_time(self, dt: float) -> None:
+        """Record ``dt`` seconds of exposure (failure-free or not)."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.observed_time += dt
+
+    def observe_failure(self) -> None:
+        """Record one interrupt."""
+        self.failures += 1
+
+    @property
+    def mtti(self) -> float:
+        """Current posterior-mean-style MTTI estimate."""
+        total_time = self.observed_time + self.prior_weight * self.prior_mtti
+        total_failures = self.failures + self.prior_weight
+        return total_time / total_failures
+
+
+@dataclass
+class DalyIntervalAdvisor:
+    """Daly-optimal local checkpoint interval for a live MTTI estimate.
+
+    ``commit_time`` is the measured local checkpoint commit time.  The
+    recommendation is clamped to ``[min_interval, max_interval]`` so a
+    wild early estimate cannot drive the system into pathological
+    checkpoint storms or droughts.
+    """
+
+    commit_time: float
+    min_interval: float = 1.0
+    max_interval: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.commit_time <= 0:
+            raise ValueError("commit_time must be positive")
+        if not 0 < self.min_interval <= self.max_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+
+    def recommend(self, mtti: float) -> float:
+        """Daly's higher-order optimal interval at the given MTTI."""
+        if mtti <= 0:
+            raise ValueError("mtti must be positive")
+        tau = float(daly.daly_interval(self.commit_time, mtti))
+        return min(max(tau, self.min_interval), self.max_interval)
+
+
+@dataclass
+class AdaptiveScheduler:
+    """Decides when the application should take its next checkpoint.
+
+    Wire-up::
+
+        sched = AdaptiveScheduler(
+            estimator=OnlineMTTIEstimator(prior_mtti=1800.0),
+            advisor=DalyIntervalAdvisor(commit_time=7.5),
+        )
+        ...
+        sched.tick(dt)                # every iteration: report elapsed time
+        if sched.should_checkpoint():
+            cr.checkpoint(...); sched.notify_checkpoint()
+        ...
+        # on failure/restart:
+        sched.notify_failure()
+    """
+
+    estimator: OnlineMTTIEstimator
+    advisor: DalyIntervalAdvisor
+    _since_checkpoint: float = 0.0
+    intervals_used: list[float] = field(default_factory=list)
+
+    def tick(self, dt: float) -> None:
+        """Report ``dt`` seconds of application progress."""
+        self.estimator.observe_time(dt)
+        self._since_checkpoint += dt
+
+    @property
+    def current_interval(self) -> float:
+        """The interval currently in force."""
+        return self.advisor.recommend(self.estimator.mtti)
+
+    def should_checkpoint(self) -> bool:
+        """Whether enough work has accumulated since the last checkpoint."""
+        return self._since_checkpoint >= self.current_interval
+
+    def notify_checkpoint(self) -> None:
+        """Reset the work accumulator after a checkpoint commits."""
+        self.intervals_used.append(self._since_checkpoint)
+        self._since_checkpoint = 0.0
+
+    def notify_failure(self) -> None:
+        """Record an interrupt; the estimator shortens its MTTI."""
+        self.estimator.observe_failure()
+        self._since_checkpoint = 0.0

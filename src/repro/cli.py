@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro experiment figure6
+    python -m repro experiment table2 -o source=paper
+    python -m repro experiment figure8 --json fig8.json
+    python -m repro all --skip-slow
+    python -m repro report -o report.md --skip-slow
+    python -m repro calibrate
+
+Options after ``-o``/``--override`` are ``key=value`` pairs forwarded to
+the experiment's ``run()`` (values parsed as Python literals when
+possible).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .experiments import REGISTRY, run_experiment
+from .experiments.common import ExperimentResult
+
+__all__ = ["main"]
+
+#: Experiments that take minutes (live compression study / simulations).
+SLOW_EXPERIMENTS = (
+    "table2",
+    "validation",
+    "figure3",
+    "ablation-methods",
+    "ablation-cluster",
+    "ablation-failure-dist",
+    "ablation-delta",
+    "ablation-partner",
+    "ablation-interval",
+)
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"override must be key=value: {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            out[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            out[key] = raw
+    return out
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in REGISTRY:
+        slow = "  (slow)" if name in SLOW_EXPERIMENTS else ""
+        print(f"{name}{slow}")
+    return 0
+
+
+def _result_to_json(result: ExperimentResult) -> dict:
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "headline": result.headline,
+        "rows": result.rows,
+        "text": result.text,
+    }
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name, **_parse_overrides(args.override))
+    print(result)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(_result_to_json(result), indent=1, default=str)
+        )
+        print(f"(wrote {args.json})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    sections = []
+    for name in REGISTRY:
+        if args.skip_slow and name in SLOW_EXPERIMENTS:
+            continue
+        result = run_experiment(name)
+        sections.append(f"## {result.title}\n\n```\n{result.text}\n```\n")
+        print(f"ran {name}", file=sys.stderr)
+    body = "# repro — regenerated experiments\n\n" + "\n".join(sections)
+    if args.output:
+        Path(args.output).write_text(body)
+        print(f"wrote {args.output}")
+    else:
+        print(body)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    failures = 0
+    for name in REGISTRY:
+        if args.skip_slow and name in SLOW_EXPERIMENTS:
+            print(f"-- skipping {name} (slow)")
+            continue
+        try:
+            print(run_experiment(name))
+            print()
+        except Exception as exc:  # pragma: no cover - defensive CLI surface
+            failures += 1
+            print(f"!! {name} failed: {exc}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    from .ckpt.backends import DirectoryStore
+    from .ckpt.tools import deep_verify, discover_apps, inventory, verify_store
+
+    stores = [DirectoryStore(root) for root in args.roots]
+    for store, root in zip(stores, args.roots):
+        store.level = str(root)
+    apps = args.app and [args.app] or sorted(
+        {a for root in args.roots for a in discover_apps(root)}
+    )
+    if not apps:
+        print("no checkpointed applications found", file=sys.stderr)
+        return 1
+    status = 0
+    for app in apps:
+        print(f"== {app} ==")
+        if args.action == "ls":
+            for store in stores:
+                for info in inventory(app, store):
+                    delta = f" delta-of={info.delta_base}" if info.delta_base else ""
+                    codec = f" codec={info.codec}" if info.codec else ""
+                    print(
+                        f"  [{store.level}] ckpt {info.ckpt_id:6d}  "
+                        f"ranks={info.ranks}  pos={info.position:g}  "
+                        f"{info.stored_bytes / 1e6:.2f} MB"
+                        f" ({info.stored_factor:.0%} reduced){codec}{delta}"
+                    )
+        else:  # verify
+            for store in stores:
+                report = verify_store(app, store)
+                print(f"  {report.summary()}")
+                if not report.healthy:
+                    status = 1
+            recoverable = deep_verify(app, stores)
+            print(f"  end-to-end recoverable: {recoverable}")
+            if not recoverable:
+                status = 1
+    return status
+
+
+def _cmd_calibrate(_: argparse.Namespace) -> int:
+    from .compression.study import paper_factor
+    from .workloads.calibration import calibrate_precision, gzip1_factor
+    from .workloads.miniapps import APP_REGISTRY, make_app
+
+    print("Recalibrating proxy precision knobs against Table 2 gzip(1) factors:")
+    for name in APP_REGISTRY:
+        target = paper_factor(name, "gzip(1)")
+        bits = calibrate_precision(
+            lambda b, n=name: make_app(n, seed=0, precision_bits=b), target
+        )
+        app = make_app(name, seed=0, precision_bits=bits)
+        app.run(5)
+        achieved = gzip1_factor(app.checkpoint_bytes())
+        print(f"  {name:11s} target={target:.3f} bits={bits:6.2f} achieved={achieved:.3f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Leveraging NDP for High-Performance "
+        "Checkpoint/Restart' (SC'17): regenerate paper tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("name", choices=sorted(REGISTRY))
+    p_exp.add_argument(
+        "-o",
+        "--override",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="keyword override forwarded to the experiment's run()",
+    )
+    p_exp.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--skip-slow", action="store_true", help="skip slow experiments")
+    p_all.set_defaults(func=_cmd_all)
+
+    p_rep = sub.add_parser("report", help="write a markdown report of all experiments")
+    p_rep.add_argument("-o", "--output", metavar="PATH", help="output file (default stdout)")
+    p_rep.add_argument("--skip-slow", action="store_true", help="skip slow experiments")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_ck = sub.add_parser("ckpt", help="inspect / verify checkpoint stores")
+    p_ck.add_argument("action", choices=["ls", "verify"])
+    p_ck.add_argument("roots", nargs="+", help="store root directories (fastest first)")
+    p_ck.add_argument("--app", help="restrict to one application id")
+    p_ck.set_defaults(func=_cmd_ckpt)
+
+    sub.add_parser(
+        "calibrate", help="recompute proxy-app precision calibration"
+    ).set_defaults(func=_cmd_calibrate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: normal CLI etiquette is
+        # to exit quietly rather than traceback.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Compression substrate: codecs, measurement, the Section 5 study, and
+checkpoint delta/dedup encodings.
+
+Real codecs (zlib/bz2/lzma wrap the same C libraries as the paper's
+gzip/bzip2/xz; lz4 is implemented from scratch in
+:mod:`repro.compression.lz4`) plus the transcribed paper measurements used
+for exact Table 2/3 regeneration.
+"""
+
+from . import lz4
+from .codecs import PAPER_UTILITIES, Codec, codec_from_name, default_codecs, make_codec
+from .entropy import (
+    CompressibilityReport,
+    analyze,
+    block_entropy_profile,
+    byte_entropy,
+    entropy_factor_bound,
+)
+from .delta import (
+    BlockDeduper,
+    DedupResult,
+    apply_xor_delta,
+    xor_delta,
+    zero_rle,
+    zero_rle_decode,
+)
+from .measure import Measurement, measure_codec, scale_threads
+from .study import (
+    PAPER_TABLE2,
+    PAPER_UTILITY_AVERAGES,
+    AppCompressionData,
+    StudyResult,
+    average_by_utility,
+    paper_factor,
+    paper_speed,
+    run_study,
+    sizing_inputs,
+)
+
+__all__ = [
+    "lz4",
+    "Codec",
+    "make_codec",
+    "codec_from_name",
+    "default_codecs",
+    "byte_entropy",
+    "entropy_factor_bound",
+    "block_entropy_profile",
+    "analyze",
+    "CompressibilityReport",
+    "PAPER_UTILITIES",
+    "Measurement",
+    "measure_codec",
+    "scale_threads",
+    "AppCompressionData",
+    "PAPER_TABLE2",
+    "PAPER_UTILITY_AVERAGES",
+    "paper_factor",
+    "paper_speed",
+    "StudyResult",
+    "run_study",
+    "average_by_utility",
+    "sizing_inputs",
+    "xor_delta",
+    "apply_xor_delta",
+    "zero_rle",
+    "zero_rle_decode",
+    "BlockDeduper",
+    "DedupResult",
+]

@@ -1,0 +1,196 @@
+"""Checkpoint delta encoding and block deduplication (paper's future work).
+
+The paper's conclusion singles out "compar[ing] data for consecutive
+checkpoints" as the next NDP optimization.  This module implements the two
+standard flavours so the ablation bench can quantify the headroom:
+
+* :func:`xor_delta` / :func:`apply_xor_delta` — byte-wise XOR against the
+  previous checkpoint.  Unchanged regions become zero runs, which any
+  downstream codec (or :func:`zero_rle`) collapses.
+* :class:`BlockDeduper` — content-hash deduplication at a fixed block
+  size: blocks already present in the previous checkpoint are replaced by
+  references, as in checkpoint-dedup systems (Kaiser et al., Nicolae).
+
+Both are pure functions of checkpoint bytes, so the NDP drain daemon in
+:mod:`repro.ckpt.ndp_daemon` can apply them before its codec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "xor_delta",
+    "apply_xor_delta",
+    "zero_rle",
+    "zero_rle_decode",
+    "BlockDeduper",
+    "DedupResult",
+]
+
+
+def xor_delta(previous: bytes, current: bytes) -> bytes:
+    """Byte-wise XOR of ``current`` against ``previous``.
+
+    Checkpoints may grow or shrink: the overlapping prefix is XORed, the
+    tail of ``current`` passes through verbatim.  Unchanged bytes become
+    zero, making the delta highly compressible for slowly-evolving state.
+    """
+    n = min(len(previous), len(current))
+    prev = np.frombuffer(previous, dtype=np.uint8, count=n)
+    curr = np.frombuffer(current, dtype=np.uint8, count=n)
+    out = np.bitwise_xor(prev, curr).tobytes()
+    return out + current[n:]
+
+
+def apply_xor_delta(previous: bytes, delta: bytes) -> bytes:
+    """Invert :func:`xor_delta`: reconstruct ``current``."""
+    n = min(len(previous), len(delta))
+    prev = np.frombuffer(previous, dtype=np.uint8, count=n)
+    dlt = np.frombuffer(delta, dtype=np.uint8, count=n)
+    out = np.bitwise_xor(prev, dlt).tobytes()
+    return out + delta[n:]
+
+
+def zero_rle(data: bytes, min_run: int = 8) -> bytes:
+    """Collapse zero runs: a cheap NDP-friendly encoding for XOR deltas.
+
+    Format: a stream of records, each either ``0x00 + varint(run_length)``
+    for a zero run of >= ``min_run`` bytes, or ``0x01 + varint(length) +
+    literal bytes``.  Runs shorter than ``min_run`` stay literal (record
+    overhead would exceed the saving).
+    """
+    arr = np.frombuffer(data, dtype=np.uint8)
+    out = bytearray()
+    # Boundaries of zero/nonzero runs via diff of the zero mask.
+    is_zero = arr == 0
+    if len(arr) == 0:
+        return bytes(out)
+    changes = np.flatnonzero(np.diff(is_zero.view(np.int8)))
+    starts = np.concatenate(([0], changes + 1))
+    ends = np.concatenate((changes + 1, [len(arr)]))
+    pending_literal: list[bytes] = []
+
+    def flush_literal() -> None:
+        if not pending_literal:
+            return
+        blob = b"".join(pending_literal)
+        pending_literal.clear()
+        out.append(0x01)
+        out.extend(_varint(len(blob)))
+        out.extend(blob)
+
+    for s, e in zip(starts, ends):
+        run = data[s:e]
+        if is_zero[s] and (e - s) >= min_run:
+            flush_literal()
+            out.append(0x00)
+            out.extend(_varint(e - s))
+        else:
+            pending_literal.append(run)
+    flush_literal()
+    return bytes(out)
+
+
+def zero_rle_decode(encoded: bytes) -> bytes:
+    """Invert :func:`zero_rle`."""
+    out = bytearray()
+    i = 0
+    n = len(encoded)
+    while i < n:
+        tag = encoded[i]
+        i += 1
+        length, i = _read_varint(encoded, i)
+        if tag == 0x00:
+            out.extend(bytes(length))
+        elif tag == 0x01:
+            if i + length > n:
+                raise ValueError("truncated literal record")
+            out.extend(encoded[i : i + length])
+            i += length
+        else:
+            raise ValueError(f"bad record tag {tag:#x} at offset {i - 1}")
+    return bytes(out)
+
+
+def _varint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    out = bytearray()
+    while True:
+        b = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def _read_varint(data: bytes, i: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if i >= len(data):
+            raise ValueError("truncated varint")
+        b = data[i]
+        i += 1
+        value |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return value, i
+        shift += 7
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Outcome of deduplicating one checkpoint against its predecessor.
+
+    Attributes
+    ----------
+    unique_blocks:
+        Blocks not present in the previous checkpoint (must be stored).
+    total_blocks:
+        Total blocks in the current checkpoint.
+    dedup_factor:
+        Fraction of data eliminated: ``1 - unique/total`` (block-count
+        based; the last partial block counts as one block).
+    """
+
+    unique_blocks: int
+    total_blocks: int
+
+    @property
+    def dedup_factor(self) -> float:
+        """Fraction of blocks eliminated by deduplication."""
+        if self.total_blocks == 0:
+            return 0.0
+        return 1.0 - self.unique_blocks / self.total_blocks
+
+
+class BlockDeduper:
+    """Fixed-block content-hash deduplication across consecutive checkpoints.
+
+    Keeps the block-hash set of the most recent checkpoint; ``push`` of the
+    next checkpoint reports how many of its blocks are new.  SHA-1 is used
+    as the content hash (collision-safe at simulation scales and fast in
+    CPython).
+    """
+
+    def __init__(self, block_size: int = 4096):
+        if block_size < 16:
+            raise ValueError("block_size must be >= 16")
+        self.block_size = block_size
+        self._previous: set[bytes] = set()
+
+    def push(self, checkpoint: bytes) -> DedupResult:
+        """Dedup ``checkpoint`` against the previously pushed one."""
+        bs = self.block_size
+        hashes = [
+            hashlib.sha1(checkpoint[i : i + bs]).digest()
+            for i in range(0, len(checkpoint), bs)
+        ]
+        unique = sum(1 for h in hashes if h not in self._previous)
+        self._previous = set(hashes)
+        return DedupResult(unique_blocks=unique, total_blocks=len(hashes))

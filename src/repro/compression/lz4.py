@@ -1,0 +1,209 @@
+"""A from-scratch LZ4 block-format codec.
+
+The paper's compression study includes lz4, which the Python standard
+library does not provide, so this module implements the LZ4 *block* format
+(https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md) from scratch:
+
+* a greedy hash-chain-free compressor in the spirit of the reference
+  "fast" mode — a 4-byte hash table finds the most recent prior occurrence
+  of the next 4 bytes and extends the match forward, and
+* a decompressor implementing token / extended-length / offset decoding,
+  including overlapping-copy semantics for ``offset < match_length`` (the
+  RLE trick).
+
+Format rules enforced (and property-tested):
+
+* every sequence is ``[token][literal-len*][literals][offset(2, LE)]
+  [match-len*]``; match length is stored minus the 4-byte minimum,
+* the final sequence is literals-only,
+* the last 5 bytes of the block are always literals and no match may start
+  within the last 12 bytes (mfLimit) — blocks shorter than 13 bytes are
+  stored as pure literals,
+* offsets are in ``[1, 65535]``.
+
+Being pure Python, throughput is orders of magnitude below the C
+implementation; the compression *factor* is comparable to ``lz4 -1``
+(same format, similar greedy parse), which is what the study consumes.
+Speeds for the paper-parity tables come from the calibrated
+``PAPER_TABLE2`` constants (see :mod:`repro.compression.study`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["compress", "decompress", "LZ4DecodeError", "MIN_MATCH", "MF_LIMIT"]
+
+MIN_MATCH = 4
+#: No match may begin within this many bytes of the end of the block.
+MF_LIMIT = 12
+#: The final literal run must cover at least this many bytes.
+LAST_LITERALS = 5
+
+_HASH_LOG = 16
+_HASH_MASK = (1 << _HASH_LOG) - 1
+_MAX_OFFSET = 65535
+
+
+class LZ4DecodeError(ValueError):
+    """Raised when a block does not decode as valid LZ4."""
+
+
+def _hash32(word: int) -> int:
+    """Fibonacci hash of a 32-bit little-endian word to _HASH_LOG bits."""
+    return ((word * 2654435761) >> (32 - _HASH_LOG)) & _HASH_MASK
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data`` into an LZ4 block.
+
+    Worst case output is ``len(data) + len(data)//255 + 16`` bytes
+    (incompressible input costs the literal-length extensions only).
+    """
+    src = bytes(data)
+    n = len(src)
+    out = bytearray()
+    if n == 0:
+        return b"\x00"  # single empty-literal token
+    if n < MF_LIMIT + 1:
+        _emit_last_literals(out, src, 0, n)
+        return bytes(out)
+
+    # Hash table: position of the most recent occurrence of each 4-byte
+    # prefix hash.  -1 = empty.
+    table = [-1] * (1 << _HASH_LOG)
+    match_limit = n - LAST_LITERALS
+    search_limit = n - MF_LIMIT
+
+    anchor = 0  # start of the pending literal run
+    i = 0
+    while i < search_limit:
+        word = int.from_bytes(src[i : i + 4], "little")
+        h = _hash32(word)
+        cand = table[h]
+        table[h] = i
+        if (
+            cand < 0
+            or i - cand > _MAX_OFFSET
+            or src[cand : cand + 4] != src[i : i + 4]
+        ):
+            i += 1
+            continue
+        # Extend the match forward as far as allowed.
+        m = i + MIN_MATCH
+        c = cand + MIN_MATCH
+        while m < match_limit and src[m] == src[c]:
+            m += 1
+            c += 1
+        match_len = m - i
+        _emit_sequence(out, src, anchor, i, i - cand, match_len)
+        # Index a couple of positions inside the match to improve the
+        # next search (cheap approximation of the reference behaviour).
+        step_end = min(m, search_limit)
+        for j in range(i + 1, step_end, max(1, match_len // 4)):
+            w = int.from_bytes(src[j : j + 4], "little")
+            table[_hash32(w)] = j
+        i = m
+        anchor = m
+    _emit_last_literals(out, src, anchor, n)
+    return bytes(out)
+
+
+def _emit_length(out: bytearray, length: int) -> None:
+    """Emit the 255-run extension bytes for a length >= 15."""
+    length -= 15
+    while length >= 255:
+        out.append(255)
+        length -= 255
+    out.append(length)
+
+
+def _emit_sequence(
+    out: bytearray, src: bytes, anchor: int, i: int, offset: int, match_len: int
+) -> None:
+    """Emit one literal-run + match sequence."""
+    lit_len = i - anchor
+    ml = match_len - MIN_MATCH
+    token = (min(lit_len, 15) << 4) | min(ml, 15)
+    out.append(token)
+    if lit_len >= 15:
+        _emit_length(out, lit_len)
+    out += src[anchor:i]
+    out += offset.to_bytes(2, "little")
+    if ml >= 15:
+        _emit_length(out, ml)
+
+
+def _emit_last_literals(out: bytearray, src: bytes, anchor: int, end: int) -> None:
+    """Emit the final literals-only sequence."""
+    lit_len = end - anchor
+    out.append(min(lit_len, 15) << 4)
+    if lit_len >= 15:
+        _emit_length(out, lit_len)
+    out += src[anchor:end]
+
+
+def decompress(block: bytes, expected_size: int | None = None) -> bytes:
+    """Decode an LZ4 block; optionally verify the decoded size.
+
+    Raises :class:`LZ4DecodeError` on malformed input (truncated
+    sequences, zero/overlarge offsets, or a size mismatch).
+    """
+    src = bytes(block)
+    n = len(src)
+    out = bytearray()
+    i = 0
+    if n == 0:
+        raise LZ4DecodeError("empty input is not a valid LZ4 block")
+    while True:
+        if i >= n:
+            raise LZ4DecodeError("truncated block: missing token")
+        token = src[i]
+        i += 1
+        lit_len = token >> 4
+        if lit_len == 15:
+            lit_len, i = _read_length(src, i, lit_len)
+        if i + lit_len > n:
+            raise LZ4DecodeError("truncated block: literals run past end")
+        out += src[i : i + lit_len]
+        i += lit_len
+        if i == n:
+            # Final literals-only sequence.
+            break
+        if i + 2 > n:
+            raise LZ4DecodeError("truncated block: missing match offset")
+        offset = int.from_bytes(src[i : i + 2], "little")
+        i += 2
+        if offset == 0:
+            raise LZ4DecodeError("invalid zero match offset")
+        if offset > len(out):
+            raise LZ4DecodeError(
+                f"match offset {offset} exceeds decoded length {len(out)}"
+            )
+        match_len = token & 0xF
+        if match_len == 15:
+            match_len, i = _read_length(src, i, match_len)
+        match_len += MIN_MATCH
+        # Overlapping copy: byte-by-byte semantics when offset < length.
+        start = len(out) - offset
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            for k in range(match_len):
+                out.append(out[start + k])
+    if expected_size is not None and len(out) != expected_size:
+        raise LZ4DecodeError(
+            f"decoded size {len(out)} != expected {expected_size}"
+        )
+    return bytes(out)
+
+
+def _read_length(src: bytes, i: int, base: int) -> tuple[int, int]:
+    """Read 255-run extension bytes; returns (length, new_index)."""
+    length = base
+    while True:
+        if i >= len(src):
+            raise LZ4DecodeError("truncated block: unterminated length run")
+        b = src[i]
+        i += 1
+        length += b
+        if b != 255:
+            return length, i

@@ -1,0 +1,106 @@
+"""Throughput and factor measurement for codecs (Section 5.1.2 methodology).
+
+Measures single-thread compression speed (uncompressed MB/s) and
+compression factor over checkpoint data, mirroring the paper's per-utility,
+per-mini-app measurements.  Decompression speed is measured too (the model
+needs it for the restore path).
+
+The paper measures on an in-memory pipeline backed by a fast SSD so codec
+speed, not storage, is the bottleneck; measuring ``bytes -> bytes`` in
+memory reproduces that setup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .codecs import Codec
+
+__all__ = ["Measurement", "measure_codec", "scale_threads"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of measuring one codec on one dataset.
+
+    Attributes
+    ----------
+    codec:
+        The ``utility(level)`` label.
+    input_bytes, output_bytes:
+        Total uncompressed / compressed sizes.
+    compress_seconds, decompress_seconds:
+        Wall time spent in the codec.
+    """
+
+    codec: str
+    input_bytes: int
+    output_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def factor(self) -> float:
+        """Compression factor ``1 - compressed/uncompressed``."""
+        return 1.0 - self.output_bytes / self.input_bytes
+
+    @property
+    def compress_speed(self) -> float:
+        """Single-thread compression speed, uncompressed bytes/second."""
+        return self.input_bytes / self.compress_seconds
+
+    @property
+    def decompress_speed(self) -> float:
+        """Single-thread decompression speed, uncompressed bytes/second."""
+        return self.input_bytes / self.decompress_seconds
+
+
+def measure_codec(codec: Codec, chunks: list[bytes], verify: bool = True) -> Measurement:
+    """Measure ``codec`` over checkpoint data split into ``chunks``.
+
+    Chunked processing mirrors how the study compresses one context file
+    per MPI rank.  With ``verify`` each chunk is round-tripped and checked
+    (costs one extra decompression pass, which is also how decompression
+    speed is measured).
+    """
+    if not chunks or not any(chunks):
+        raise ValueError("need non-empty input data")
+    in_total = 0
+    out_total = 0
+    c_time = 0.0
+    d_time = 0.0
+    for chunk in chunks:
+        if not chunk:
+            continue
+        t0 = time.perf_counter()
+        comp = codec.compress(chunk)
+        c_time += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        back = codec.decompress(comp)
+        d_time += time.perf_counter() - t0
+        if verify and back != chunk:
+            raise AssertionError(f"{codec.name} round-trip mismatch on {len(chunk)}-byte chunk")
+        in_total += len(chunk)
+        out_total += len(comp)
+    return Measurement(
+        codec=codec.name,
+        input_bytes=in_total,
+        output_bytes=out_total,
+        compress_seconds=max(c_time, 1e-12),
+        decompress_seconds=max(d_time, 1e-12),
+    )
+
+
+def scale_threads(single_thread_speed: float, threads: int, efficiency: float = 1.0) -> float:
+    """Aggregate speed of ``threads`` independent compression threads.
+
+    Checkpoint compression parallelizes embarrassingly across per-rank
+    context files, so the paper assumes linear scaling (``efficiency=1``);
+    a derating factor is available for sensitivity studies.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    return single_thread_speed * threads * efficiency

@@ -1,0 +1,89 @@
+"""Analytic core: Daly model, exascale projection, multilevel C/R model.
+
+This subpackage is the paper's primary contribution — the performance model
+of Section 6.1.1 together with the scaling study (Section 3) and the NDP
+provisioning analysis (Sections 4.4/5.3) that feed it.
+"""
+
+from .breakdown import OverheadBreakdown
+from .configs import (
+    HOST_GZIP1,
+    NDP_GZIP1,
+    NO_COMPRESSION,
+    CompressionSpec,
+    CRParameters,
+    paper_parameters,
+)
+from .economics import CostModel, ConfigurationCost, cheapest_for_target, price_configuration
+from .daly import (
+    daly_interval,
+    efficiency,
+    efficiency_vs_m_over_delta,
+    expected_wall_time,
+    optimal_efficiency,
+    required_delta_for_efficiency,
+    young_interval,
+)
+from .model import (
+    ModelResult,
+    io_only,
+    multilevel_host,
+    multilevel_ndp,
+    ndp_io_interval,
+    single_level,
+)
+from .ndp_sizing import NDPSizing, select_utility, size_ndp, sizing_table
+from .optimizer import optimal_host, optimal_local_interval, optimal_ratio, sweep_ratio
+from .projection import (
+    EXASCALE,
+    TITAN,
+    CheckpointRequirements,
+    MachineSpec,
+    checkpoint_requirements,
+    mtti_from_socket_mttf,
+    project_exascale,
+    projection_table,
+)
+
+__all__ = [
+    "OverheadBreakdown",
+    "CostModel",
+    "ConfigurationCost",
+    "price_configuration",
+    "cheapest_for_target",
+    "CompressionSpec",
+    "CRParameters",
+    "paper_parameters",
+    "NO_COMPRESSION",
+    "HOST_GZIP1",
+    "NDP_GZIP1",
+    "daly_interval",
+    "young_interval",
+    "efficiency",
+    "efficiency_vs_m_over_delta",
+    "expected_wall_time",
+    "optimal_efficiency",
+    "required_delta_for_efficiency",
+    "ModelResult",
+    "io_only",
+    "single_level",
+    "multilevel_host",
+    "multilevel_ndp",
+    "ndp_io_interval",
+    "NDPSizing",
+    "size_ndp",
+    "sizing_table",
+    "select_utility",
+    "optimal_ratio",
+    "optimal_host",
+    "optimal_local_interval",
+    "sweep_ratio",
+    "MachineSpec",
+    "TITAN",
+    "EXASCALE",
+    "project_exascale",
+    "projection_table",
+    "mtti_from_socket_mttf",
+    "CheckpointRequirements",
+    "checkpoint_requirements",
+]

@@ -1,0 +1,119 @@
+"""Execution-time breakdown into the paper's four overhead components.
+
+Section 6.2 decomposes total execution time into *compute*, *checkpoint*,
+*restore* and *rerun* time; Figures 4 and 7 further split the last three by
+storage level (local vs global I/O).  :class:`OverheadBreakdown` is that
+seven-way decomposition, expressed as fractions of total wall time, and is
+the common currency returned by every model configuration and by the
+discrete-event simulator's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OverheadBreakdown"]
+
+_COMPONENTS = (
+    "compute",
+    "checkpoint_local",
+    "checkpoint_io",
+    "restore_local",
+    "restore_io",
+    "rerun_local",
+    "rerun_io",
+)
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Fractions of total wall time spent in each activity.
+
+    All fields are in ``[0, 1]`` and sum to 1 (up to float rounding).
+    ``compute`` is the paper's *progress rate* / efficiency.
+
+    Attributes
+    ----------
+    compute:
+        Useful application work.
+    checkpoint_local:
+        Host blocked writing checkpoints to node-local NVM.
+    checkpoint_io:
+        Host blocked writing (possibly compressed) checkpoints to global
+        I/O.  Zero by construction for NDP configurations.
+    restore_local:
+        Reading checkpoints back from local/partner storage after failures.
+    restore_io:
+        Retrieving (and decompressing) checkpoints from global I/O.
+    rerun_local:
+        Re-executing work lost since the last local checkpoint.
+    rerun_io:
+        Re-executing work lost since the last I/O-saved checkpoint.
+    """
+
+    compute: float
+    checkpoint_local: float = 0.0
+    checkpoint_io: float = 0.0
+    restore_local: float = 0.0
+    restore_io: float = 0.0
+    rerun_local: float = 0.0
+    rerun_io: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not -1e-9 <= v <= 1.0 + 1e-9:
+                raise ValueError(f"{f.name} fraction out of [0, 1]: {v}")
+
+    @property
+    def efficiency(self) -> float:
+        """Alias: the compute fraction is the progress rate."""
+        return self.compute
+
+    @property
+    def checkpoint(self) -> float:
+        """Total checkpoint time fraction (both levels)."""
+        return self.checkpoint_local + self.checkpoint_io
+
+    @property
+    def restore(self) -> float:
+        """Total restore time fraction (both levels)."""
+        return self.restore_local + self.restore_io
+
+    @property
+    def rerun(self) -> float:
+        """Total rerun (lost-work re-execution) fraction (both levels)."""
+        return self.rerun_local + self.rerun_io
+
+    @property
+    def overhead(self) -> float:
+        """Total C/R overhead fraction (everything but compute)."""
+        return 1.0 - self.compute
+
+    @property
+    def total(self) -> float:
+        """Sum of all components; 1.0 for a consistent breakdown."""
+        return sum(getattr(self, name) for name in _COMPONENTS)
+
+    def normalized_to_compute(self) -> dict[str, float]:
+        """Components expressed relative to compute time (Fig. 4a / 7-left).
+
+        The paper's left-hand plots normalize execution time to compute
+        time, so compute is exactly 1 and overheads are slowdown terms.
+        """
+        if self.compute <= 0:
+            raise ValueError("cannot normalize: compute fraction is zero")
+        return {name: getattr(self, name) / self.compute for name in _COMPONENTS}
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (fractions of total time, Fig. 4b / 7-right)."""
+        return {name: getattr(self, name) for name in _COMPONENTS}
+
+    def scaled_to(self, wall_time: float) -> dict[str, float]:
+        """Absolute seconds spent in each component over ``wall_time``."""
+        return {name: getattr(self, name) * wall_time for name in _COMPONENTS}
+
+    @staticmethod
+    def component_names() -> tuple[str, ...]:
+        """Ordered component names, as used across benches and reports."""
+        return _COMPONENTS

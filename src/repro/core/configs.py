@@ -1,0 +1,212 @@
+"""Parameter bundles for the C/R performance model (Table 4 of the paper).
+
+Two dataclasses carry everything the analytic model and the discrete-event
+simulator need:
+
+* :class:`CompressionSpec` — a compression engine: factor achieved and the
+  aggregate throughput of whatever is running it (host cores or NDP cores).
+* :class:`CRParameters` — the per-node C/R scenario: MTTI, checkpoint size,
+  storage bandwidths, scheduling knobs and recovery probabilities.
+
+Module-level constants reproduce the paper's Table 4 configuration and the
+compression engines it evaluates (64 host cores at 10 MB/s; 4 NDP cores of
+gzip(1) at 110.1 MB/s each; 64-core host decompression capped at 16 GB/s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from . import daly
+from .units import gb, gb_per_s, mb_per_s, minutes
+
+__all__ = [
+    "CompressionSpec",
+    "CRParameters",
+    "NO_COMPRESSION",
+    "HOST_GZIP1",
+    "NDP_GZIP1",
+    "paper_parameters",
+]
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """A compression engine applied to I/O-level checkpoint traffic.
+
+    Attributes
+    ----------
+    factor:
+        Compression factor, defined as in the paper:
+        ``1 - compressed_size / uncompressed_size``.  0 means
+        incompressible; the paper's mini-app average under gzip(1) is 0.728.
+    compress_rate:
+        Aggregate compression throughput of the engine in *uncompressed*
+        bytes per second (threads x per-thread speed).
+    decompress_rate:
+        Aggregate decompression throughput in *uncompressed* bytes per
+        second, used on the restore path.
+    name:
+        Label for reports.
+    """
+
+    factor: float
+    compress_rate: float
+    decompress_rate: float
+    name: str = "compression"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError(f"compression factor must be in [0, 1): {self.factor}")
+        if self.compress_rate <= 0 or self.decompress_rate <= 0:
+            raise ValueError("compression rates must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """``uncompressed / compressed`` size ratio (paper Section 4.4)."""
+        return 1.0 / (1.0 - self.factor)
+
+    def compressed_size(self, nbytes: float) -> float:
+        """Size after compression of ``nbytes`` of checkpoint data."""
+        return nbytes * (1.0 - self.factor)
+
+    def with_factor(self, factor: float) -> "CompressionSpec":
+        """Copy of this engine achieving a different compression factor."""
+        return replace(self, factor=factor)
+
+
+#: Sentinel spec for "no compression" — factor 0, infinite throughput so it
+#: never appears on any critical path.
+NO_COMPRESSION = CompressionSpec(
+    factor=0.0, compress_rate=math.inf, decompress_rate=math.inf, name="none"
+)
+
+#: Host-side compression: 64 CPU cores at the conservative 10 MB/s/thread
+#: figure of Section 3.5 => 640 MB/s aggregate.  Decompression at the
+#: conservative 16 GB/s of Table 4.
+HOST_GZIP1 = CompressionSpec(
+    factor=0.728,
+    compress_rate=mb_per_s(640),
+    decompress_rate=gb_per_s(16),
+    name="host-gzip(1)",
+)
+
+#: NDP-side compression: 4 NDP cores of gzip(1) at the measured
+#: 110.1 MB/s/core => 440.4 MB/s (Section 5.3).  Restore-side
+#: decompression still happens on the host (Section 4.3).
+NDP_GZIP1 = CompressionSpec(
+    factor=0.728,
+    compress_rate=mb_per_s(440.4),
+    decompress_rate=gb_per_s(16),
+    name="ndp-gzip(1)",
+)
+
+
+@dataclass(frozen=True)
+class CRParameters:
+    """Per-node checkpoint/restart scenario (the paper's Table 4).
+
+    Attributes
+    ----------
+    mtti:
+        System mean time to interrupt (seconds).  Failures are
+        exponentially distributed.
+    checkpoint_size:
+        Uncompressed checkpoint size per node (bytes); the paper uses 80%
+        of the 140 GB node memory = 112 GB.
+    local_bandwidth:
+        Node-local NVM read/write bandwidth (B/s).
+    io_bandwidth:
+        Effective per-node bandwidth to global I/O (B/s); the projected
+        10 TB/s over 100k nodes = 100 MB/s.
+    local_interval:
+        Useful-compute interval between local checkpoints, seconds.
+        ``None`` selects Daly's optimum for the local commit time.
+    p_local_recovery:
+        Probability a failure can be recovered from a locally-saved
+        (local- or partner-level) checkpoint.  The remainder recover from
+        global I/O.
+    restart_overhead:
+        Fixed per-recovery overhead (job relaunch etc.), seconds.  The
+        paper folds this into restore time; default 0.
+    """
+
+    mtti: float = minutes(30)
+    checkpoint_size: float = gb(112)
+    local_bandwidth: float = gb_per_s(15)
+    io_bandwidth: float = mb_per_s(100)
+    local_interval: float | None = 150.0
+    p_local_recovery: float = 0.85
+    restart_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtti <= 0:
+            raise ValueError("mtti must be positive")
+        if self.checkpoint_size <= 0:
+            raise ValueError("checkpoint_size must be positive")
+        if self.local_bandwidth <= 0 or self.io_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.local_interval is not None and self.local_interval <= 0:
+            raise ValueError("local_interval must be positive")
+        if not 0.0 <= self.p_local_recovery <= 1.0:
+            raise ValueError("p_local_recovery must be in [0, 1]")
+        if self.restart_overhead < 0:
+            raise ValueError("restart_overhead must be non-negative")
+
+    @property
+    def local_commit_time(self) -> float:
+        """Time to write one checkpoint to local NVM (``delta_L``)."""
+        return self.checkpoint_size / self.local_bandwidth
+
+    @property
+    def local_restore_time(self) -> float:
+        """Time to read one checkpoint back from local NVM (``R_L``)."""
+        return self.checkpoint_size / self.local_bandwidth
+
+    @property
+    def tau(self) -> float:
+        """The local checkpoint interval actually used by the model.
+
+        Either the explicit :attr:`local_interval` or Daly's higher-order
+        optimum for the local commit time.
+        """
+        if self.local_interval is not None:
+            return self.local_interval
+        return float(daly.daly_interval(self.local_commit_time, self.mtti))
+
+    @property
+    def cycle_time(self) -> float:
+        """One local cycle: compute interval + local commit."""
+        return self.tau + self.local_commit_time
+
+    def io_commit_time(self, compression: CompressionSpec = NO_COMPRESSION) -> float:
+        """Wall time to push one checkpoint to global I/O (``delta_IO``).
+
+        Compression overlaps with the network write (Section 4.2.2), so
+        the commit is bound by the slower of producing compressed bytes
+        and draining them: ``max(size/compress_rate, csize/io_bw)``.
+        """
+        stream = compression.compressed_size(self.checkpoint_size) / self.io_bandwidth
+        produce = self.checkpoint_size / compression.compress_rate
+        return max(stream, produce)
+
+    def io_restore_time(self, compression: CompressionSpec = NO_COMPRESSION) -> float:
+        """Time to restore a checkpoint from global I/O (``R_IO``).
+
+        The compressed stream is decompressed on the fly by the host
+        (Section 4.3), so restore is bound by
+        ``max(csize/io_bw, size/decompress_rate)``.
+        """
+        stream = compression.compressed_size(self.checkpoint_size) / self.io_bandwidth
+        expand = self.checkpoint_size / compression.decompress_rate
+        return max(stream, expand)
+
+    def with_(self, **changes: object) -> "CRParameters":
+        """Functional update, e.g. ``params.with_(mtti=minutes(60))``."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def paper_parameters(**overrides: object) -> CRParameters:
+    """The exact Table 4 configuration, with optional field overrides."""
+    return CRParameters().with_(**overrides) if overrides else CRParameters()

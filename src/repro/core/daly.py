@@ -1,0 +1,212 @@
+"""Daly's analytic checkpoint/restart model.
+
+This module implements the two classic results the paper builds on:
+
+* J. T. Daly, *A higher order estimate of the optimum checkpoint interval
+  for restart dumps*, FGCS 22 (2006) — the "complete" expected wall-time
+  model for an application running under exponentially-distributed
+  interrupts with periodic checkpointing, and the first-order /
+  higher-order estimates of the optimum checkpoint interval.
+* J. T. Daly, *Quantifying checkpoint efficiency* (2007) — efficiency
+  (a.k.a. *progress rate*) at the optimum interval as a function of the
+  ratio ``M/delta`` of mean time to interrupt to checkpoint commit time.
+  This is Figure 1 of the reproduced paper.
+
+Notation (matching the paper):
+
+* ``M`` — system mean time to interrupt (seconds),
+* ``delta`` — time to commit one checkpoint (seconds),
+* ``R`` — time to restore from a checkpoint (the paper assumes
+  ``R == delta`` throughout),
+* ``tau`` — useful-compute interval between checkpoints (seconds),
+* ``W`` — total useful work ("solve time") of the application (seconds).
+
+All functions are vectorized over numpy arrays; scalars in, scalars out.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "young_interval",
+    "daly_interval",
+    "expected_wall_time",
+    "efficiency",
+    "optimal_efficiency",
+    "efficiency_vs_m_over_delta",
+    "required_delta_for_efficiency",
+    "optimal_interval_fraction",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def young_interval(delta: ArrayLike, mtti: ArrayLike) -> ArrayLike:
+    """First-order (Young's) optimum checkpoint interval ``sqrt(2*delta*M)``.
+
+    Valid when ``delta << M``.  Returned value is the *useful compute*
+    interval between the end of one checkpoint and the start of the next.
+    """
+    delta = np.asarray(delta, dtype=float)
+    mtti = np.asarray(mtti, dtype=float)
+    return _unwrap(np.sqrt(2.0 * delta * mtti))
+
+
+def daly_interval(delta: ArrayLike, mtti: ArrayLike) -> ArrayLike:
+    """Daly's higher-order estimate of the optimum checkpoint interval.
+
+    Implements eq. (37) of Daly (2006)::
+
+        tau_opt = sqrt(2*delta*M) * [1 + (1/3)*sqrt(delta/(2M))
+                                       + (1/9)*(delta/(2M))] - delta
+
+    for ``delta < 2M``, and ``tau_opt = M`` otherwise (the interrupt-
+    dominated regime, where checkpointing more often than once per MTTI
+    is futile).
+    """
+    delta = np.asarray(delta, dtype=float)
+    mtti = np.asarray(mtti, dtype=float)
+    x = delta / (2.0 * mtti)
+    series = np.sqrt(2.0 * delta * mtti) * (1.0 + np.sqrt(x) / 3.0 + x / 9.0) - delta
+    out = np.where(delta < 2.0 * mtti, series, mtti)
+    return _unwrap(out)
+
+
+def expected_wall_time(
+    work: ArrayLike,
+    tau: ArrayLike,
+    delta: ArrayLike,
+    mtti: ArrayLike,
+    restart: ArrayLike | None = None,
+) -> ArrayLike:
+    """Daly's complete expected wall-time model.
+
+    Expected total wall-clock time to complete ``work`` seconds of useful
+    computation, checkpointing every ``tau`` seconds of compute with commit
+    time ``delta``, restart time ``restart`` (defaults to ``delta``), under
+    exponential interrupts with mean ``mtti``::
+
+        T = M * exp(R/M) * (exp((tau + delta)/M) - 1) * work / tau
+
+    This form accounts for failures striking during checkpoint commits,
+    restarts, and rework (the exponential terms compound them exactly for
+    memoryless interrupts).
+    """
+    work = np.asarray(work, dtype=float)
+    tau = np.asarray(tau, dtype=float)
+    delta = np.asarray(delta, dtype=float)
+    mtti = np.asarray(mtti, dtype=float)
+    r = delta if restart is None else np.asarray(restart, dtype=float)
+    n_segments = work / tau
+    per_segment = mtti * np.exp(r / mtti) * np.expm1((tau + delta) / mtti)
+    return _unwrap(per_segment * n_segments)
+
+
+def efficiency(
+    tau: ArrayLike,
+    delta: ArrayLike,
+    mtti: ArrayLike,
+    restart: ArrayLike | None = None,
+) -> ArrayLike:
+    """Progress rate ``work / expected_wall_time`` at interval ``tau``.
+
+    Independent of total work because the model is linear in ``work``.
+    """
+    tau = np.asarray(tau, dtype=float)
+    wall = expected_wall_time(1.0, tau, delta, mtti, restart)
+    return _unwrap(1.0 / np.asarray(wall, dtype=float))
+
+
+def optimal_efficiency(
+    delta: ArrayLike,
+    mtti: ArrayLike,
+    restart: ArrayLike | None = None,
+    order: str = "daly",
+) -> ArrayLike:
+    """Progress rate at the optimum checkpoint interval.
+
+    ``order`` selects the interval estimate: ``"daly"`` (higher order,
+    default) or ``"young"`` (first order).  The paper's Figure 1 plots this
+    quantity against ``M/delta``.
+    """
+    if order == "daly":
+        tau = daly_interval(delta, mtti)
+    elif order == "young":
+        tau = young_interval(delta, mtti)
+    else:
+        raise ValueError(f"unknown interval order: {order!r}")
+    # Guard against degenerate non-positive tau in extreme regimes.
+    tau = np.maximum(np.asarray(tau, dtype=float), np.asarray(mtti, float) * 1e-9)
+    return efficiency(tau, delta, mtti, restart)
+
+
+def efficiency_vs_m_over_delta(
+    m_over_delta: ArrayLike,
+    order: str = "daly",
+) -> ArrayLike:
+    """Figure 1 of the paper: progress rate as a function of ``M/delta``.
+
+    The efficiency at the optimum interval depends on ``M`` and ``delta``
+    only through their ratio (with ``R = delta``), so the curve is
+    universal.  We fix ``delta = 1`` and vary ``M``.
+    """
+    ratio = np.asarray(m_over_delta, dtype=float)
+    if np.any(ratio <= 0):
+        raise ValueError("M/delta must be positive")
+    return optimal_efficiency(1.0, ratio, order=order)
+
+
+def required_delta_for_efficiency(
+    target: float,
+    mtti: float,
+    order: str = "daly",
+    tol: float = 1e-10,
+) -> float:
+    """Invert Figure 1: the commit time needed to hit a target progress rate.
+
+    Solves ``optimal_efficiency(delta, mtti) == target`` for ``delta`` by
+    bisection.  The paper uses this to derive that a 90% progress rate
+    requires ``delta ~ M/200`` (Section 3.3).
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target efficiency must be in (0, 1)")
+    lo, hi = mtti * 1e-12, mtti * 10.0
+    f_lo = float(optimal_efficiency(lo, mtti, order=order))
+    if f_lo < target:
+        raise ValueError(
+            f"target efficiency {target} unreachable even with delta -> 0 "
+            f"(max achievable {f_lo:.4f})"
+        )
+    # Efficiency is monotonically decreasing in delta.
+    for _ in range(200):
+        mid = np.sqrt(lo * hi)  # geometric bisection: delta spans decades
+        if float(optimal_efficiency(mid, mtti, order=order)) >= target:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo - 1.0 < tol:
+            break
+    return float(np.sqrt(lo * hi))
+
+
+def optimal_interval_fraction(target: float, mtti: float, order: str = "daly") -> float:
+    """Optimum checkpoint period as a fraction of MTTI at a target efficiency.
+
+    The paper notes the checkpoint *period* (interval + commit) should be
+    roughly ``M/10`` at 90% efficiency.  This helper reproduces that
+    derivation: find the commit time for the target efficiency, then report
+    ``(tau_opt + delta) / M``.
+    """
+    delta = required_delta_for_efficiency(target, mtti, order=order)
+    tau = float(daly_interval(delta, mtti) if order == "daly" else young_interval(delta, mtti))
+    return (tau + delta) / mtti
+
+
+def _unwrap(a: np.ndarray) -> ArrayLike:
+    """Return a python float for 0-d arrays, pass arrays through."""
+    if isinstance(a, np.ndarray) and a.ndim == 0:
+        return float(a)
+    return a

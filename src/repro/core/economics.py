@@ -1,0 +1,163 @@
+"""Cost modeling: what does each C/R configuration cost to build?
+
+The paper's closing arguments are economic — "reduce the cost of the I/O
+system by decreasing the peak bandwidth supported", "substitute a 15 GB/s
+local storage with a 2 GB/s storage with NDP".  This module turns those
+into numbers: a simple component cost model (per-node NVM bandwidth, NDP
+cores, and the system-wide parallel file system bandwidth) priced against
+the efficiency each configuration achieves, yielding cost-per-delivered-
+efficiency and cheapest-configuration-for-a-target answers.
+
+Prices are inputs (defaults are order-of-magnitude placeholders clearly
+marked as such); the *structure* — NDP trades a few cheap cores for a lot
+of expensive PFS and NVM bandwidth — is the result that matters and is
+insensitive to the exact unit prices (tested across a price range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .configs import NDP_GZIP1, CompressionSpec, CRParameters
+from .model import ModelResult, multilevel_ndp
+from .optimizer import optimal_host
+
+__all__ = ["CostModel", "ConfigurationCost", "price_configuration", "cheapest_for_target"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit prices for the C/R-relevant components.
+
+    Attributes
+    ----------
+    nvm_per_gbps:
+        Cost of 1 GB/s of node-local NVM bandwidth, $ per node.
+    ndp_core:
+        Cost of one NDP core, $ per node.
+    pfs_per_gbps:
+        Cost of 1 GB/s of *system* parallel-file-system bandwidth, $.
+    nodes:
+        Node count the per-node components multiply over.
+
+    Defaults are placeholders of plausible relative magnitude (PFS
+    bandwidth is by far the most expensive resource per GB/s); swap in
+    procurement numbers for real studies.
+    """
+
+    nvm_per_gbps: float = 150.0
+    ndp_core: float = 50.0
+    pfs_per_gbps: float = 100_000.0
+    nodes: int = 100_000
+
+    def __post_init__(self) -> None:
+        if min(self.nvm_per_gbps, self.ndp_core, self.pfs_per_gbps) < 0:
+            raise ValueError("prices must be non-negative")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ConfigurationCost:
+    """A configuration's hardware bill and achieved efficiency.
+
+    ``cost_per_efficiency`` is the headline comparator: total C/R hardware
+    dollars per point of delivered progress rate.
+    """
+
+    label: str
+    efficiency: float
+    nvm_cost: float
+    ndp_cost: float
+    pfs_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total C/R-attributable hardware cost, $."""
+        return self.nvm_cost + self.ndp_cost + self.pfs_cost
+
+    @property
+    def cost_per_efficiency(self) -> float:
+        """Dollars per percentage point of progress rate."""
+        if self.efficiency <= 0:
+            return float("inf")
+        return self.total / (self.efficiency * 100.0)
+
+
+def price_configuration(
+    label: str,
+    params: CRParameters,
+    result: ModelResult,
+    prices: CostModel,
+    ndp_cores: int = 0,
+) -> ConfigurationCost:
+    """Price the hardware a configuration's parameters imply."""
+    nvm = prices.nvm_per_gbps * (params.local_bandwidth / 1e9) * prices.nodes
+    ndp = prices.ndp_core * ndp_cores * prices.nodes
+    pfs = prices.pfs_per_gbps * (params.io_bandwidth * prices.nodes / 1e9)
+    return ConfigurationCost(
+        label=label,
+        efficiency=result.efficiency,
+        nvm_cost=nvm,
+        ndp_cost=ndp,
+        pfs_cost=pfs,
+    )
+
+
+def cheapest_for_target(
+    target: float,
+    prices: CostModel,
+    base: CRParameters,
+    nvm_options_gbps: tuple[float, ...] = (2.0, 5.0, 15.0),
+    io_options_mbps: tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    compression: CompressionSpec = NDP_GZIP1,
+    ndp_cores: int = 4,
+) -> tuple[ConfigurationCost | None, ConfigurationCost | None]:
+    """Cheapest (host, NDP) builds reaching ``target`` efficiency.
+
+    Sweeps the NVM x PFS design grid for both engines; returns None for an
+    engine that cannot reach the target anywhere on the grid.
+    """
+    best_host: ConfigurationCost | None = None
+    best_ndp: ConfigurationCost | None = None
+    for nvm in nvm_options_gbps:
+        for io in io_options_mbps:
+            p = base.with_(
+                local_bandwidth=nvm * 1e9, io_bandwidth=io * 1e6, local_interval=None
+            )
+            host = optimal_host(p, compression.with_factor(compression.factor))
+            if host.efficiency >= target:
+                cost = price_configuration(f"host {nvm}GB/s+{io}MB/s", p, host, prices)
+                if best_host is None or cost.total < best_host.total:
+                    best_host = cost
+            ndp = multilevel_ndp(p, compression)
+            if ndp.efficiency >= target:
+                cost = price_configuration(
+                    f"ndp {nvm}GB/s+{io}MB/s", p, ndp, prices, ndp_cores=ndp_cores
+                )
+                if best_ndp is None or cost.total < best_ndp.total:
+                    best_ndp = cost
+    return best_host, best_ndp
+
+
+def _baseline_comparison(
+    params: CRParameters, prices: CostModel
+) -> tuple[ConfigurationCost, ConfigurationCost]:
+    """The paper's Figure 8/9 substitution, priced: 15 GB/s host+comp vs
+    2 GB/s NVM with NDP+compression."""
+    p_host = params.with_(local_bandwidth=15e9, local_interval=None)
+    host = price_configuration(
+        "host: 15 GB/s NVM + compression",
+        p_host,
+        optimal_host(p_host, NDP_GZIP1),
+        prices,
+    )
+    p_ndp = params.with_(local_bandwidth=2e9, local_interval=None)
+    ndp = price_configuration(
+        "NDP: 2 GB/s NVM + 4 cores + compression",
+        p_ndp,
+        multilevel_ndp(p_ndp, NDP_GZIP1),
+        prices,
+        ndp_cores=4,
+    )
+    return host, ndp

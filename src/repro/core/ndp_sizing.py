@@ -1,0 +1,127 @@
+"""NDP provisioning analysis (Sections 4.4 / 5.3, Table 3).
+
+Given a compression utility's average compression factor and single-thread
+speed, derive:
+
+* the *required* aggregate compression speed — the rate at which compressed
+  output exactly saturates the per-node I/O bandwidth,
+  ``rate = (uncompressed/compressed) * IO_bw`` (going faster is wasted,
+  slower leaves I/O idle);
+* the number of NDP cores needed to reach it; and
+* the smallest achievable interval between I/O-level checkpoints, i.e. the
+  time to stream one compressed checkpoint at full I/O bandwidth.
+
+These three columns are Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .configs import CompressionSpec, CRParameters
+
+__all__ = ["NDPSizing", "size_ndp", "sizing_table", "select_utility"]
+
+
+@dataclass(frozen=True)
+class NDPSizing:
+    """Provisioning result for one compression utility (one Table 3 row).
+
+    Attributes
+    ----------
+    utility:
+        Utility name with compression level, e.g. ``"gzip(1)"``.
+    factor:
+        Average compression factor used (``1 - compressed/uncompressed``).
+    thread_speed:
+        Single-thread compression speed, uncompressed B/s.
+    required_speed:
+        Aggregate compression speed saturating I/O bandwidth, B/s.
+    cores:
+        NDP cores needed: ``ceil(required_speed / thread_speed)``.
+    checkpoint_interval:
+        Minimum interval between I/O-level checkpoints, seconds.
+    """
+
+    utility: str
+    factor: float
+    thread_speed: float
+    required_speed: float
+    cores: int
+    checkpoint_interval: float
+
+    def as_spec(self, decompress_rate: float) -> CompressionSpec:
+        """A :class:`CompressionSpec` provisioned per this sizing.
+
+        The engine's aggregate rate is ``cores * thread_speed`` — the
+        actually-provisioned rate, which is >= the required rate.
+        """
+        return CompressionSpec(
+            factor=self.factor,
+            compress_rate=self.cores * self.thread_speed,
+            decompress_rate=decompress_rate,
+            name=f"ndp-{self.utility}",
+        )
+
+
+def size_ndp(
+    utility: str,
+    factor: float,
+    thread_speed: float,
+    params: CRParameters,
+) -> NDPSizing:
+    """Table 3's arithmetic for a single utility.
+
+    ``factor`` and ``thread_speed`` come from the compression study
+    (Table 2 averages); the I/O bandwidth and checkpoint size come from
+    ``params``.
+    """
+    if not 0.0 <= factor < 1.0:
+        raise ValueError(f"factor must be in [0, 1): {factor}")
+    if thread_speed <= 0:
+        raise ValueError("thread_speed must be positive")
+    ratio = 1.0 / (1.0 - factor)
+    required = ratio * params.io_bandwidth
+    cores = math.ceil(required / thread_speed - 1e-9)
+    compressed = params.checkpoint_size * (1.0 - factor)
+    return NDPSizing(
+        utility=utility,
+        factor=factor,
+        thread_speed=thread_speed,
+        required_speed=required,
+        cores=max(1, cores),
+        checkpoint_interval=compressed / params.io_bandwidth,
+    )
+
+
+def sizing_table(
+    study: dict[str, tuple[float, float]],
+    params: CRParameters,
+) -> list[NDPSizing]:
+    """Table 3: one :class:`NDPSizing` per utility.
+
+    ``study`` maps utility name to ``(average_factor,
+    average_thread_speed_Bps)`` — the output of
+    :func:`repro.compression.study.average_by_utility` or the paper's
+    calibration table.
+    """
+    return [size_ndp(name, f, s, params) for name, (f, s) in study.items()]
+
+
+def select_utility(
+    sizings: list[NDPSizing],
+    max_cores: int = 8,
+) -> NDPSizing:
+    """The paper's Section 5.3 selection rule.
+
+    Among utilities whose core requirement is feasible (<= ``max_cores``),
+    pick the one with the smallest achievable I/O checkpoint interval;
+    break ties toward fewer cores.  With the paper's numbers this selects
+    gzip(6) at 8 cores by interval, but the paper chooses gzip(1) as the
+    sweet spot — pass ``max_cores=4`` to reproduce that choice exactly.
+    """
+    feasible = [s for s in sizings if s.cores <= max_cores]
+    if not feasible:
+        raise ValueError(f"no utility feasible within {max_cores} NDP cores")
+    return min(feasible, key=lambda s: (s.checkpoint_interval, s.cores))

@@ -1,0 +1,154 @@
+"""Empirical optimizers over the performance model (Sections 6.1.2 / 6.2).
+
+The paper derives the optimal locally-saved : I/O-saved checkpoint ratio
+*empirically* — by sweeping the ratio in the model and picking the maximum
+progress rate (Figure 4 shows the sweep, Figure 5 the optima).  This module
+implements that sweep plus a Daly-seeded optimizer for the local checkpoint
+interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from . import daly
+from .configs import NO_COMPRESSION, CompressionSpec, CRParameters
+from .model import ModelResult, multilevel_host
+
+__all__ = [
+    "RatioSweepPoint",
+    "sweep_ratio",
+    "optimal_ratio",
+    "optimal_host",
+    "optimal_local_interval",
+    "golden_section_max",
+]
+
+
+@dataclass(frozen=True)
+class RatioSweepPoint:
+    """One point of the Figure-4 sweep: ratio and the model result at it."""
+
+    ratio: int
+    result: ModelResult
+
+    @property
+    def efficiency(self) -> float:
+        """Progress rate at this ratio."""
+        return self.result.efficiency
+
+
+def sweep_ratio(
+    params: CRParameters,
+    ratios: Sequence[int],
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+) -> list[RatioSweepPoint]:
+    """Evaluate *Local + I/O-Host* at each ratio (Figure 4's x-axis)."""
+    return [
+        RatioSweepPoint(r, multilevel_host(params, r, compression, rerun_accounting))
+        for r in ratios
+    ]
+
+
+def optimal_ratio(
+    params: CRParameters,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+    max_ratio: int = 2000,
+) -> int:
+    """The ratio maximizing host-multilevel progress rate (Figure 5).
+
+    Efficiency as a function of the (integer) ratio is unimodal: small
+    ratios over-pay checkpoint-I/O time, large ratios over-pay rerun-I/O
+    time.  We exploit unimodality with a doubling bracket followed by a
+    ternary search, falling back to a linear scan of the final bracket, so
+    the search is exact and cheap even when the optimum is large.
+    """
+
+    def eff(r: int) -> float:
+        return multilevel_host(params, r, compression, rerun_accounting).efficiency
+
+    # Doubling bracket: find hi with eff(hi) <= eff(hi/2).
+    lo, hi = 1, 2
+    while hi < max_ratio and eff(hi) > eff(max(1, hi // 2)):
+        hi *= 2
+    hi = min(hi, max_ratio)
+    lo = max(1, hi // 4)
+    # Ternary search down to a small window, then exact linear scan.
+    while hi - lo > 8:
+        m1 = lo + (hi - lo) // 3
+        m2 = hi - (hi - lo) // 3
+        if eff(m1) < eff(m2):
+            lo = m1 + 1
+        else:
+            hi = m2 - 1
+    best = max(range(lo, hi + 1), key=eff)
+    return best
+
+
+def optimal_host(
+    params: CRParameters,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+) -> ModelResult:
+    """*Local + I/O-Host* evaluated at its empirically optimal ratio."""
+    r = optimal_ratio(params, compression, rerun_accounting)
+    return multilevel_host(params, r, compression, rerun_accounting)
+
+
+def optimal_local_interval(
+    params: CRParameters,
+    evaluate: Callable[[CRParameters], ModelResult] | None = None,
+) -> float:
+    """Optimize the local checkpoint interval ``tau``.
+
+    By default the Daly higher-order optimum for the local commit time is
+    refined by a golden-section search over the supplied ``evaluate``
+    callable (which receives parameters with ``local_interval`` set and
+    returns a :class:`ModelResult`).  Without ``evaluate`` the Daly
+    estimate itself is returned — for multilevel configurations the two
+    agree closely because local commits dominate the interval choice.
+    """
+    seed = float(daly.daly_interval(params.local_commit_time, params.mtti))
+    if evaluate is None:
+        return seed
+
+    def eff(tau: float) -> float:
+        return evaluate(params.with_(local_interval=tau)).efficiency
+
+    return golden_section_max(eff, seed / 8.0, seed * 8.0)
+
+
+def golden_section_max(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-3,
+    max_iter: int = 200,
+) -> float:
+    """Golden-section search for the maximum of a unimodal function.
+
+    Returns the abscissa of the maximum of ``f`` on ``[lo, hi]`` to a
+    relative tolerance ``tol``.
+    """
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    invphi = (5.0**0.5 - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(max_iter):
+        if (b - a) <= tol * max(abs(a), abs(b), 1e-300):
+            break
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = f(d)
+    return (a + b) / 2.0

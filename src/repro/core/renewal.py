@@ -1,0 +1,314 @@
+"""A renewal / absorbing-Markov-chain analytic model of multilevel C/R.
+
+The paper's performance model (:mod:`repro.core.model`) is an
+expected-value accounting with a linear fixed point.  This module provides
+an *independent second analytic method* in the lineage of Moody et al.'s
+SC'10 Markov model (the multilevel-checkpointing paper this work builds
+on): execution through one super-period is an absorbing Markov chain whose
+states are "about to execute local cycle k" (plus, for host
+configurations, the blocking I/O write), with exponential failures
+deciding the transitions:
+
+* an attempt at a phase of nominal length ``s`` succeeds with probability
+  ``q = exp(-s/M)``;
+* a failed attempt lasts ``E[t | t < s] = 1/lambda - s*q/(1-q)`` and then
+  pays a recovery: with probability ``p_local`` restore from the cycle's
+  own local checkpoint (retry the same state), otherwise restore from the
+  I/O-level snapshot (return to state 0, the super-period start);
+* restores themselves can fail, which is folded in exactly for the
+  memoryless distribution: a restore of length ``R`` completes after
+  expected time ``M*(exp(R/M)-1)`` with a fresh recovery decision on each
+  interior failure — the standard geometric-retry closed form.
+
+Expected *time and per-category rewards* from each state solve the linear
+system ``E = r + P E`` (``(I-P)E = r``); efficiency is
+``n*tau / E[state 0]``.  Because failures-during-rerun, during-restore and
+during-checkpoint are all handled through the chain rather than a single
+fixed point, this model is exact for the stated semantics — the
+cross-method experiment (``ablation-methods``) shows it sitting between
+the expected-value model and the discrete-event simulator.
+
+Semantics matched to the simulator: an I/O-level recovery loses the NVM
+contents, so the rollback target is the newest *I/O* snapshot (state 0 of
+the chain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .breakdown import OverheadBreakdown
+from .configs import NO_COMPRESSION, CompressionSpec, CRParameters
+from .model import ModelResult, ndp_io_interval
+
+__all__ = ["renewal_multilevel_host", "renewal_multilevel_ndp", "PhaseChain"]
+
+_CATS = OverheadBreakdown.component_names()
+
+
+@dataclass(frozen=True)
+class _Phase:
+    """One chain state: a phase attempt with its category splits.
+
+    ``rewards`` maps category -> seconds accrued on a *successful* attempt
+    (must sum to the phase length); failed attempts pro-rate the same
+    split over the expected failure time.
+    """
+
+    length: float
+    rewards: dict[str, float]
+
+
+class PhaseChain:
+    """Absorbing-chain solver over a cyclic sequence of phases.
+
+    States 0..K-1 are the phases of one super-period in order; completing
+    the last phase absorbs.  On failure, the chain restarts the *current*
+    phase after a local restore (probability ``p_local``) or returns to
+    state 0 after an I/O restore.
+
+    The local-recovery retry semantics deserve a note: restoring from the
+    most recent local checkpoint puts the application at the *start of the
+    current phase's work*, which is exactly "retry the current state" for
+    compute phases.  For checkpoint-write phases the snapshot precedes the
+    write, so the retry repeats the write — also correct.
+    """
+
+    def __init__(
+        self,
+        phases: list[_Phase],
+        mtti: float,
+        p_local: float,
+        restore_local: float,
+        restore_io: float,
+    ):
+        if not phases:
+            raise ValueError("need at least one phase")
+        if mtti <= 0:
+            raise ValueError("mtti must be positive")
+        if not 0.0 <= p_local <= 1.0:
+            raise ValueError("p_local must be in [0, 1]")
+        self.phases = phases
+        self.mtti = mtti
+        self.p_local = p_local
+        self.restore_local = restore_local
+        self.restore_io = restore_io
+
+    # -- closed forms -----------------------------------------------------------
+
+    def _fail_prob(self, s: float) -> float:
+        """P(failure within s) = 1 - exp(-s/M), computed cancellation-free."""
+        return -math.expm1(-s / self.mtti)
+
+    def _fail_time(self, s: float) -> float:
+        """E[failure time | failure strikes within s] for Exp(1/M)."""
+        if s <= 0:
+            return 0.0
+        x = s / self.mtti
+        if x < 1e-6:
+            # Series expansion: M - s(1-f)/f cancels catastrophically for
+            # tiny x; E[t | t < s] = s/2 - s*x/12 + O(x^2).
+            return s / 2.0 - s * x / 12.0
+        f = self._fail_prob(s)
+        return self.mtti - s * (1.0 - f) / f
+
+    def _restore_completed(self, r: float) -> tuple[float, float]:
+        """(expected time to finish a restore, expected extra recoveries).
+
+        A restore of nominal length ``r`` under memoryless failures
+        completes after expected wall time ``M*(e^{r/M}-1)``; the expected
+        number of interior failures (each triggering a fresh recovery
+        decision *recursively*) is ``e^{r/M}-1``.  We fold the recursion
+        by treating each interior failure as restarting the same restore,
+        which the closed form already captures; the recovery *decision*
+        redraw is handled by the caller mixing local/I/O restores with
+        fixed probabilities (valid because the draw is i.i.d.).
+        """
+        x = math.expm1(r / self.mtti)
+        return self.mtti * x, x
+
+    # -- solve --------------------------------------------------------------------
+
+    def solve(self) -> tuple[float, dict[str, float]]:
+        """Expected wall time from state 0 to absorption, with category split.
+
+        Returns ``(total_seconds, seconds_per_category)``.
+        """
+        k = len(self.phases)
+        lam = 1.0 / self.mtti
+        # Expected restore costs per recovery (with interior-failure
+        # inflation); category attribution.
+        er_local, _ = self._restore_completed(self.restore_local)
+        er_io, _ = self._restore_completed(self.restore_io)
+
+        p = self.p_local
+        # Per-state quantities (f computed via expm1 to avoid cancellation).
+        f = np.array([self._fail_prob(ph.length) for ph in self.phases])
+        q = 1.0 - f
+        fail_t = np.array([self._fail_time(ph.length) for ph in self.phases])
+
+        # Transition matrix among transient states: from state i,
+        #   success (q_i)          -> i+1 (or absorb)
+        #   fail * p_local         -> i  (retry after local restore)
+        #   fail * (1 - p_local)   -> 0  (after I/O restore)
+        P = np.zeros((k, k))
+        for i in range(k):
+            if i + 1 < k:
+                P[i, i + 1] = q[i]
+            P[i, i] += f[i] * p
+            P[i, 0] += f[i] * (1.0 - p)
+
+        # Expected one-step time from state i.
+        r_time = q * np.array([ph.length for ph in self.phases])
+        r_time += f * (fail_t + p * er_local + (1.0 - p) * er_io)
+
+        E = np.linalg.solve(np.eye(k) - P, r_time)
+        total = float(E[0])
+
+        # Category rewards: visits N = (I - P)^-T e_0 gives expected visit
+        # counts from state 0; category seconds = sum_i visits_i * reward_i.
+        visits = np.linalg.solve((np.eye(k) - P).T, np.eye(k)[0])
+        cats = {c: 0.0 for c in _CATS}
+        for i, ph in enumerate(self.phases):
+            v = float(visits[i])
+            fail_share = (1.0 - q[i]) * v
+            # Successful completion: one per visit chain — a state is
+            # completed exactly q_i fraction of its visits.
+            done_share = q[i] * v
+            for c, seconds in ph.rewards.items():
+                frac = seconds / ph.length if ph.length > 0 else 0.0
+                cats[c] += done_share * seconds
+                # A failed attempt accrues the same mix, pro-rated, but
+                # the work portion is *lost* — charge it to rerun.  The
+                # rerun level is the recovery that will follow.
+                lost = fail_share * fail_t[i] * frac
+                if c == "compute":
+                    cats["rerun_local"] += lost * p
+                    cats["rerun_io"] += lost * (1.0 - p)
+                else:
+                    # Re-done overhead also counts as rerun of that kind.
+                    cats["rerun_local"] += lost * p
+                    cats["rerun_io"] += lost * (1.0 - p)
+            cats["restore_local"] += fail_share * p * er_local
+            cats["restore_io"] += fail_share * (1.0 - p) * er_io
+        # Work re-executed after recoveries (progress rolled back and
+        # redone) shows up as extra visits: the chain re-runs whole phases,
+        # whose successful completions we charged to their own categories.
+        # Convert the *excess* compute completions (beyond one per phase)
+        # into rerun: exactly (done_share - 1) completions per state are
+        # re-executions.
+        for i, ph in enumerate(self.phases):
+            excess = max(q[i] * float(visits[i]) - 1.0, 0.0)
+            for c, seconds in ph.rewards.items():
+                if excess <= 0:
+                    continue
+                moved = excess * seconds
+                cats[c] -= moved
+                cats["rerun_local"] += moved * p
+                cats["rerun_io"] += moved * (1.0 - p)
+        del lam
+        return total, cats
+
+
+def _cycle_phases(params: CRParameters) -> list[_Phase]:
+    tau = params.tau
+    dl = params.local_commit_time
+    return [
+        _Phase(tau, {"compute": tau}),
+        _Phase(dl, {"checkpoint_local": dl}),
+    ]
+
+
+def _pack(
+    name: str,
+    params: CRParameters,
+    compression: CompressionSpec,
+    ratio: int,
+    io_interval: float,
+    total: float,
+    cats: dict[str, float],
+    work: float,
+) -> ModelResult:
+    eff = work / total
+    frac = {c: max(v, 0.0) / total for c, v in cats.items()}
+    # Normalize tiny numerical drift so the breakdown sums to 1.
+    frac["compute"] = eff
+    scale = (1.0 - eff) / max(sum(v for c, v in frac.items() if c != "compute"), 1e-300)
+    for c in frac:
+        if c != "compute":
+            frac[c] *= scale
+    return ModelResult(
+        config=name,
+        efficiency=eff,
+        slowdown=total / work,
+        breakdown=OverheadBreakdown(**frac),
+        tau=params.tau,
+        ratio=ratio,
+        io_interval=io_interval,
+        params=params,
+        compression=compression,
+    )
+
+
+def renewal_multilevel_host(
+    params: CRParameters,
+    ratio: int,
+    compression: CompressionSpec = NO_COMPRESSION,
+) -> ModelResult:
+    """*Local + I/O-Host* via the absorbing-chain renewal model."""
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    phases: list[_Phase] = []
+    for _ in range(ratio):
+        phases.extend(_cycle_phases(params))
+    dio = params.io_commit_time(compression)
+    phases.append(_Phase(dio, {"checkpoint_io": dio}))
+    chain = PhaseChain(
+        phases,
+        mtti=params.mtti,
+        p_local=params.p_local_recovery,
+        restore_local=params.local_restore_time + params.restart_overhead,
+        restore_io=params.io_restore_time(compression) + params.restart_overhead,
+    )
+    total, cats = chain.solve()
+    work = ratio * params.tau
+    name = "Renewal: Local + I/O-Host"
+    if compression.factor > 0:
+        name += f" + compression({compression.factor:.0%})"
+    return _pack(
+        name, params, compression, ratio, ratio * params.cycle_time + dio, total, cats, work
+    )
+
+
+def renewal_multilevel_ndp(
+    params: CRParameters,
+    compression: CompressionSpec = NO_COMPRESSION,
+    pause_during_local: bool = True,
+) -> ModelResult:
+    """*Local + I/O-NDP* via the absorbing-chain renewal model.
+
+    The NDP drain is off the critical path, so the chain contains only
+    local cycles; the super-period spans the drain-determined
+    ``n = ceil(T_drain / cycle)`` cycles between I/O snapshots
+    (state 0 of the chain = newest I/O snapshot).
+    """
+    n, io_interval, _ = ndp_io_interval(params, compression, pause_during_local)
+    phases: list[_Phase] = []
+    for _ in range(n):
+        phases.extend(_cycle_phases(params))
+    chain = PhaseChain(
+        phases,
+        mtti=params.mtti,
+        p_local=params.p_local_recovery,
+        restore_local=params.local_restore_time + params.restart_overhead,
+        restore_io=params.io_restore_time(compression) + params.restart_overhead,
+    )
+    total, cats = chain.solve()
+    work = n * params.tau
+    name = "Renewal: Local + I/O-NDP"
+    if compression.factor > 0:
+        name += f" + compression({compression.factor:.0%})"
+    return _pack(name, params, compression, n, io_interval, total, cats, work)

@@ -1,0 +1,160 @@
+"""Vectorized parameter sweeps over the multilevel C/R model.
+
+The model functions in :mod:`repro.core.model` evaluate one scenario at a
+time, which is what the figure harness needs.  Design-space exploration
+(thousands of (MTTI, checkpoint size, bandwidth, factor) combinations)
+wants array evaluation: this module re-expresses the NDP and host
+multilevel efficiency as pure numpy over broadcastable inputs — identical
+math, no Python-level loops — and is property-tested element-for-element
+against the scalar model.
+
+Used by the ``figure89-heatmap`` extension experiment, which maps the NDP
+advantage over the full (checkpoint size x MTTI) plane rather than the two
+1-D slices the paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .configs import NO_COMPRESSION, CompressionSpec
+from .daly import daly_interval
+
+__all__ = ["SweepGrid", "ndp_efficiency_grid", "host_efficiency_grid"]
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Broadcastable scenario arrays for vectorized evaluation.
+
+    Every field accepts a scalar or a numpy array; arrays broadcast
+    against each other under normal numpy rules.  Semantics match
+    :class:`~repro.core.configs.CRParameters` (``local_interval=None``
+    behaviour — Daly-optimal per element — is the only supported mode, as
+    sweeps vary the inputs the fixed interval was derived from).
+    """
+
+    mtti: np.ndarray | float
+    checkpoint_size: np.ndarray | float
+    local_bandwidth: np.ndarray | float
+    io_bandwidth: np.ndarray | float
+    p_local: np.ndarray | float
+
+    def derived(self) -> tuple[np.ndarray, ...]:
+        """(mtti, delta_l, tau, cycle, p) as broadcast arrays."""
+        mtti = np.asarray(self.mtti, dtype=float)
+        size = np.asarray(self.checkpoint_size, dtype=float)
+        bw_l = np.asarray(self.local_bandwidth, dtype=float)
+        delta_l = size / bw_l
+        tau = np.asarray(daly_interval(delta_l, mtti), dtype=float)
+        cycle = tau + delta_l
+        p = np.asarray(self.p_local, dtype=float)
+        return mtti, delta_l, tau, cycle, p
+
+
+def _io_times(
+    grid: SweepGrid, compression: CompressionSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """(commit, restore) times for the I/O leg, broadcast."""
+    size = np.asarray(grid.checkpoint_size, dtype=float)
+    bw_io = np.asarray(grid.io_bandwidth, dtype=float)
+    csize = compression.compressed_size(1.0) * size
+    commit = np.maximum(csize / bw_io, size / compression.compress_rate)
+    restore = np.maximum(csize / bw_io, size / compression.decompress_rate)
+    return commit, restore
+
+
+def ndp_efficiency_grid(
+    grid: SweepGrid,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+    pause_during_local: bool = True,
+) -> np.ndarray:
+    """*Local + I/O-NDP* efficiency over the grid (paper accounting).
+
+    Vectorization of :func:`repro.core.model.multilevel_ndp`: identical
+    formulas, with ``ceil`` handling the drain-cadence quantization per
+    element.
+    """
+    mtti, delta_l, tau, cycle, p = grid.derived()
+    t_commit, t_restore = _io_times(grid, compression)
+
+    t_drain = t_commit * (cycle / tau) if pause_during_local else t_commit
+    n = np.maximum(1, np.ceil(t_drain / cycle - 1e-12))
+    io_interval = n * cycle
+
+    rerun_local = cycle / 2.0
+    rerun_io = io_interval / 2.0
+    if rerun_accounting == "staleness":
+        rerun_io = rerun_io + t_commit + delta_l
+    elif rerun_accounting != "paper":
+        raise ValueError(f"unknown rerun_accounting: {rerun_accounting!r}")
+
+    restore = p * delta_l + (1.0 - p) * t_restore
+    cost = restore + p * rerun_local + (1.0 - p) * rerun_io
+    f = cost / mtti
+    k = 1.0 + delta_l / tau
+    eff = np.where(f < 1.0, (1.0 - f) / k, 0.0)
+    return np.maximum(eff, 0.0)
+
+
+def host_efficiency_grid(
+    grid: SweepGrid,
+    ratio: np.ndarray | int,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+) -> np.ndarray:
+    """*Local + I/O-Host* efficiency over the grid at the given ratio(s).
+
+    ``ratio`` broadcasts too, so a third axis can sweep it; combine with
+    :func:`optimal_host_grid` for per-element optima.
+    """
+    mtti, delta_l, tau, cycle, p = grid.derived()
+    t_commit, t_restore = _io_times(grid, compression)
+    n = np.asarray(ratio, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("ratio must be >= 1")
+    period = n * cycle + t_commit
+
+    rerun_local = (n * cycle * (cycle / 2.0) + t_commit * (t_commit / 2.0)) / period
+    rerun_io = period / 2.0
+    if rerun_accounting == "staleness":
+        rerun_io = rerun_io + t_commit + delta_l
+    elif rerun_accounting != "paper":
+        raise ValueError(f"unknown rerun_accounting: {rerun_accounting!r}")
+
+    restore = p * delta_l + (1.0 - p) * t_restore
+    cost = restore + p * rerun_local + (1.0 - p) * rerun_io
+    f = cost / mtti
+    k = 1.0 + delta_l / tau + t_commit / (n * tau)
+    eff = np.where(f < 1.0, (1.0 - f) / k, 0.0)
+    return np.maximum(eff, 0.0)
+
+
+def optimal_host_grid(
+    grid: SweepGrid,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+    max_ratio: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element optimal host ratio and efficiency.
+
+    Evaluates every integer ratio up to ``max_ratio`` along a new leading
+    axis and reduces with ``argmax`` — brute force, but fully vectorized,
+    so a 100x100 grid over 512 ratios is a single ~5M-element numpy pass.
+    """
+    ratios = np.arange(1, max_ratio + 1, dtype=float)
+    # Shape: (R, *grid) via broadcasting ratios on a new leading axis.
+    shaped = ratios.reshape((-1,) + (1,) * np.ndim(
+        np.broadcast_arrays(
+            np.asarray(grid.mtti, dtype=float),
+            np.asarray(grid.checkpoint_size, dtype=float),
+            np.asarray(grid.p_local, dtype=float),
+        )[0]
+    ))
+    effs = host_efficiency_grid(grid, shaped, compression, rerun_accounting)
+    best_idx = np.argmax(effs, axis=0)
+    best_eff = np.max(effs, axis=0)
+    return best_idx + 1, best_eff

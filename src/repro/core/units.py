@@ -1,0 +1,259 @@
+"""Unit conventions and conversion helpers.
+
+Every quantity in this library uses a single base unit so that model code
+never needs to guess magnitudes:
+
+* **time** — seconds (``float``)
+* **data** — bytes (``float``; checkpoint sizes routinely exceed 2**53
+  nowhere near, so float is exact for all practical sizes)
+* **bandwidth / rate** — bytes per second
+* **frequency** — hertz (1/seconds)
+
+The paper (and storage vendors) use *decimal* multiples: 1 GB = 1e9 bytes,
+1 GB/s = 1e9 B/s.  Binary (GiB) helpers are provided for callers that need
+them, but every constant derived from the paper uses the decimal versions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "YEAR",
+    "kb",
+    "mb",
+    "gb",
+    "tb",
+    "pb",
+    "gib",
+    "minutes",
+    "hours",
+    "days",
+    "years",
+    "to_minutes",
+    "to_gb",
+    "to_mb",
+    "mb_per_s",
+    "gb_per_s",
+    "tb_per_s",
+    "parse_bytes",
+    "parse_time",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+]
+
+# Decimal data units (paper convention).
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+
+# Binary data units.
+KIB = 2.0**10
+MIB = 2.0**20
+GIB = 2.0**30
+TIB = 2.0**40
+
+# Time units.
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+# Julian year, the convention used for MTTF figures such as "5 year MTTF".
+YEAR = 365.25 * DAY
+
+
+def kb(x: float) -> float:
+    """Kilobytes to bytes."""
+    return x * KB
+
+
+def mb(x: float) -> float:
+    """Megabytes to bytes."""
+    return x * MB
+
+
+def gb(x: float) -> float:
+    """Gigabytes to bytes."""
+    return x * GB
+
+
+def tb(x: float) -> float:
+    """Terabytes to bytes."""
+    return x * TB
+
+
+def pb(x: float) -> float:
+    """Petabytes to bytes."""
+    return x * PB
+
+
+def gib(x: float) -> float:
+    """Gibibytes to bytes."""
+    return x * GIB
+
+
+def minutes(x: float) -> float:
+    """Minutes to seconds."""
+    return x * MINUTE
+
+
+def hours(x: float) -> float:
+    """Hours to seconds."""
+    return x * HOUR
+
+
+def days(x: float) -> float:
+    """Days to seconds."""
+    return x * DAY
+
+
+def years(x: float) -> float:
+    """Julian years to seconds."""
+    return x * YEAR
+
+
+def to_minutes(seconds: float) -> float:
+    """Seconds to minutes."""
+    return seconds / MINUTE
+
+
+def to_gb(nbytes: float) -> float:
+    """Bytes to (decimal) gigabytes."""
+    return nbytes / GB
+
+
+def to_mb(nbytes: float) -> float:
+    """Bytes to (decimal) megabytes."""
+    return nbytes / MB
+
+
+def mb_per_s(x: float) -> float:
+    """MB/s to bytes/s."""
+    return x * MB
+
+
+def gb_per_s(x: float) -> float:
+    """GB/s to bytes/s."""
+    return x * GB
+
+
+def tb_per_s(x: float) -> float:
+    """TB/s to bytes/s."""
+    return x * TB
+
+
+_BYTE_SUFFIXES = {
+    "b": 1.0,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "pb": PB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+}
+
+_TIME_SUFFIXES = {
+    "s": SECOND,
+    "sec": SECOND,
+    "min": MINUTE,
+    "m": MINUTE,
+    "h": HOUR,
+    "hr": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "y": YEAR,
+    "yr": YEAR,
+}
+
+
+def parse_bytes(text: str) -> float:
+    """Parse a human byte quantity: ``"112GB"``, ``"30.5 MB"``, ``"4096"``.
+
+    Bare numbers are bytes; suffixes are case-insensitive, decimal (GB) or
+    binary (GiB).  Rates parse too: ``parse_bytes("100MB")`` for the
+    numerator of "100 MB/s".
+    """
+    return _parse_suffixed(text, _BYTE_SUFFIXES, "byte quantity")
+
+
+def parse_time(text: str) -> float:
+    """Parse a human duration: ``"30min"``, ``"9 s"``, ``"2.5h"``, ``"5y"``.
+
+    Bare numbers are seconds.
+    """
+    return _parse_suffixed(text, _TIME_SUFFIXES, "duration")
+
+
+def _parse_suffixed(text: str, table: dict[str, float], what: str) -> float:
+    s = text.strip().lower().replace(" ", "")
+    i = len(s)
+    while i > 0 and not (s[i - 1].isdigit() or s[i - 1] == "."):
+        i -= 1
+    number, suffix = s[:i], s[i:]
+    if not number:
+        raise ValueError(f"cannot parse {what}: {text!r}")
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"cannot parse {what}: {text!r}") from None
+    if not suffix:
+        return value
+    try:
+        return value * table[suffix]
+    except KeyError:
+        raise ValueError(
+            f"unknown unit {suffix!r} in {text!r}; one of {sorted(table)}"
+        ) from None
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable decimal rendering of a byte count.
+
+    >>> fmt_bytes(112e9)
+    '112.00 GB'
+    """
+    for unit, name in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(nbytes) >= unit:
+            return f"{nbytes / unit:.2f} {name}"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable rendering of a duration in seconds.
+
+    >>> fmt_time(1120)
+    '18.67 min'
+    """
+    if abs(seconds) >= DAY:
+        return f"{seconds / DAY:.2f} d"
+    if abs(seconds) >= HOUR:
+        return f"{seconds / HOUR:.2f} h"
+    if abs(seconds) >= MINUTE:
+        return f"{seconds / MINUTE:.2f} min"
+    return f"{seconds:.2f} s"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable rendering of a bandwidth.
+
+    >>> fmt_rate(100e6)
+    '100.00 MB/s'
+    """
+    return fmt_bytes(bytes_per_s) + "/s"

@@ -1,0 +1,56 @@
+"""Experiment modules: one per paper table/figure, plus validation/ablations.
+
+Each module exposes ``run(...) -> ExperimentResult``; :data:`REGISTRY`
+maps experiment ids (as used by the CLI and DESIGN.md's index) to those
+callables.
+"""
+
+from typing import Callable
+
+from . import ablations, cluster, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from . import economics, failure_dist, heatmap, interval, io_budget, methods, partner
+from . import scorecard, table1, table2, table3, table4, validation
+from .common import ExperimentResult, TextTable
+
+__all__ = ["REGISTRY", "ExperimentResult", "TextTable", "run_experiment"]
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "scorecard": scorecard.run,
+    "figure1": fig1.run,
+    "figure2": fig2.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "figure3": fig3.run,
+    "figure4": fig4.run,
+    "figure5": fig5.run,
+    "figure6": fig6.run,
+    "figure7": fig7.run,
+    "figure8": fig8.run,
+    "figure9": fig9.run,
+    "figure89-heatmap": heatmap.run,
+    "validation": validation.run,
+    "ablation-methods": methods.run,
+    "ablation-cluster": cluster.run,
+    "ablation-failure-dist": failure_dist.run,
+    "ablation-partner": partner.run,
+    "ablation-interval": interval.run,
+    "ablation-io-budget": io_budget.run,
+    "ablation-economics": economics.run,
+    "ablation-rerun": ablations.rerun_accounting,
+    "ablation-daly": ablations.daly_order,
+    "ablation-delta": ablations.delta_compression,
+    "ablation-ndp-pause": ablations.ndp_pause,
+}
+
+
+def run_experiment(name: str, **kwargs: object) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    try:
+        fn = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; one of {sorted(REGISTRY)}"
+        ) from None
+    return fn(**kwargs)  # type: ignore[arg-type]

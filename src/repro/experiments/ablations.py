@@ -1,0 +1,191 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+* :func:`rerun_accounting` — paper-mode vs staleness-aware Rerun-I/O
+  accounting across the main configurations: quantifies how much of the
+  reported efficiency depends on that modeling choice.
+* :func:`daly_order` — first-order (Young) vs higher-order (Daly) optimal
+  interval: effect on single-level efficiency across the M/delta range.
+* :func:`delta_compression` — the paper's future-work idea: XOR-delta +
+  dedup between consecutive checkpoints of the proxy apps, and the model
+  efficiency NDP would reach at the resulting effective factors.
+* :func:`ndp_pause` — effect of the Section 4.2.1 rule that the NDP drain
+  pauses during host NVM writes.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..compression.delta import BlockDeduper, xor_delta
+from ..core.configs import NDP_GZIP1, NO_COMPRESSION, paper_parameters
+from ..core.daly import optimal_efficiency
+from ..core.model import multilevel_ndp
+from ..core.optimizer import optimal_host
+from ..workloads.generator import rank_apps
+from .common import ExperimentResult, TextTable, fig6_compression
+
+__all__ = ["rerun_accounting", "daly_order", "delta_compression", "ndp_pause"]
+
+
+def rerun_accounting() -> ExperimentResult:
+    """Paper vs staleness Rerun-I/O accounting on the Figure 7 matrix."""
+    params = paper_parameters().with_(p_local_recovery=0.96)
+    cases = {
+        "Host + comp": lambda acc: optimal_host(
+            params, fig6_compression(0.728, "host"), rerun_accounting=acc
+        ),
+        "NDP no comp": lambda acc: multilevel_ndp(
+            params, NO_COMPRESSION, rerun_accounting=acc
+        ),
+        "NDP + comp": lambda acc: multilevel_ndp(
+            params, NDP_GZIP1, rerun_accounting=acc
+        ),
+    }
+    table = TextTable(["config", "paper eff", "staleness eff", "delta"])
+    rows = []
+    for label, fn in cases.items():
+        e_paper = fn("paper").efficiency
+        e_stale = fn("staleness").efficiency
+        table.add_row(
+            [label, f"{e_paper:7.3f}", f"{e_stale:7.3f}", f"{e_paper - e_stale:+7.3f}"]
+        )
+        rows.append({"config": label, "paper": e_paper, "staleness": e_stale})
+    note = (
+        "\nThe staleness accounting additionally charges the commit/drain lag of"
+        "\nI/O snapshots; it lowers efficiency most where I/O recoveries are"
+        "\nexpensive, but does not change any ranking."
+    )
+    return ExperimentResult(
+        experiment="ablation-rerun",
+        title="Ablation: Rerun-I/O accounting (paper vs staleness-aware)",
+        rows=rows,
+        text=table.render() + note,
+    )
+
+
+def daly_order() -> ExperimentResult:
+    """Young vs Daly optimal-interval estimate across M/delta."""
+    table = TextTable(["M/delta", "eff @ Young tau", "eff @ Daly tau", "gain"])
+    rows = []
+    for ratio in (2.0, 5.0, 10.0, 50.0, 200.0, 1000.0):
+        e_young = float(optimal_efficiency(1.0, ratio, order="young"))
+        e_daly = float(optimal_efficiency(1.0, ratio, order="daly"))
+        table.add_row(
+            [f"{ratio:7.0f}", f"{e_young:8.4f}", f"{e_daly:8.4f}", f"{e_daly - e_young:+8.4f}"]
+        )
+        rows.append({"m_over_delta": ratio, "young": e_young, "daly": e_daly})
+    note = (
+        "\nThe higher-order estimate only matters in the interrupt-dominated"
+        "\nregime (small M/delta) — exactly where the I/O-Only baseline sits."
+    )
+    return ExperimentResult(
+        experiment="ablation-daly",
+        title="Ablation: first-order vs higher-order optimal interval",
+        rows=rows,
+        text=table.render() + note,
+    )
+
+
+def delta_compression(
+    apps: tuple[str, ...] = ("HPCCG", "miniSMAC2D", "CoMD"),
+    steps_between: int = 2,
+) -> ExperimentResult:
+    """Future work: consecutive-checkpoint delta/dedup on the NDP.
+
+    For each proxy app, takes two *full-precision* checkpoints
+    ``steps_between`` steps apart (delta encoding operates on raw state;
+    the calibration quantization would hide its effect by making unchanged
+    arrays trivially compressible) and measures (a) gzip(1) on the raw
+    second checkpoint, (b) gzip(1) on its XOR delta against the first, and
+    (c) 4 KiB block dedup.  Then reports the NDP-model efficiency at the
+    achieved effective factors.
+
+    Delta encoding shines where part of the state is static between
+    checkpoints (solver operands, mesh/coefficient data); MD state, whose
+    every mantissa bit churns each step, shows little gain — exactly the
+    application-dependence the paper's conclusion anticipates.
+    """
+    params = paper_parameters()
+    table = TextTable(
+        ["app", "gzip(1) raw", "gzip(1) of XOR-delta", "4K dedup", "NDP eff raw", "NDP eff delta"]
+    )
+    rows = []
+    for name in apps:
+        app = rank_apps(name, ranks=1, seed=3, warmup_steps=4, calibrated=False)[0]
+        first = app.checkpoint_bytes()
+        app.run(steps_between)
+        second = app.checkpoint_bytes()
+        raw_factor = 1.0 - len(zlib.compress(second, 1)) / len(second)
+        delta = xor_delta(first, second)
+        delta_factor = 1.0 - len(zlib.compress(delta, 1)) / len(delta)
+        deduper = BlockDeduper(4096)
+        deduper.push(first)
+        dedup_factor = deduper.push(second).dedup_factor
+        eff_raw = multilevel_ndp(params, NDP_GZIP1.with_factor(max(raw_factor, 0.0))).efficiency
+        eff_delta = multilevel_ndp(
+            params, NDP_GZIP1.with_factor(max(delta_factor, 0.0))
+        ).efficiency
+        table.add_row(
+            [
+                name,
+                f"{raw_factor:6.1%}",
+                f"{delta_factor:6.1%}",
+                f"{dedup_factor:6.1%}",
+                f"{eff_raw:6.1%}",
+                f"{eff_delta:6.1%}",
+            ]
+        )
+        rows.append(
+            {
+                "app": name,
+                "raw_factor": raw_factor,
+                "delta_factor": delta_factor,
+                "dedup_factor": dedup_factor,
+            }
+        )
+    note = (
+        "\nXOR-delta against the previous checkpoint raises the effective factor"
+        "\nwherever state evolves slowly — the headroom the paper's conclusion"
+        "\npoints at for future NDP optimizations."
+    )
+    return ExperimentResult(
+        experiment="ablation-delta",
+        title="Ablation/extension: consecutive-checkpoint delta & dedup on NDP",
+        rows=rows,
+        text=table.render() + note,
+    )
+
+
+def ndp_pause() -> ExperimentResult:
+    """Effect of pausing the NDP drain during host NVM writes."""
+    params = paper_parameters()
+    table = TextTable(["compression", "eff (pause)", "eff (no pause)", "I/O interval pause/no-pause"])
+    rows = []
+    for comp, label in ((NO_COMPRESSION, "none"), (NDP_GZIP1, "gzip(1)")):
+        with_pause = multilevel_ndp(params, comp, pause_during_local=True)
+        without = multilevel_ndp(params, comp, pause_during_local=False)
+        table.add_row(
+            [
+                label,
+                f"{with_pause.efficiency:7.3f}",
+                f"{without.efficiency:7.3f}",
+                f"{with_pause.io_interval:6.0f}s / {without.io_interval:6.0f}s",
+            ]
+        )
+        rows.append(
+            {
+                "compression": label,
+                "pause": with_pause.efficiency,
+                "no_pause": without.efficiency,
+            }
+        )
+    note = (
+        "\nThe pause costs the drain ~5% of wall time (delta_L / cycle), visible"
+        "\nonly through a slightly longer I/O checkpoint interval."
+    )
+    return ExperimentResult(
+        experiment="ablation-ndp-pause",
+        title="Ablation: NDP drain pause during host NVM writes",
+        rows=rows,
+        text=table.render() + note,
+    )

@@ -1,0 +1,37 @@
+"""Figure 1: progress rate of a C/R system as a function of M/delta."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.daly import efficiency_vs_m_over_delta
+from .common import ExperimentResult, TextTable
+
+__all__ = ["run"]
+
+#: The paper's qualitative anchors: ~90% progress needs M/delta ~ 200.
+PAPER_REFERENCE = {"m_over_delta_for_90pct": 200.0}
+
+
+def run(points: int = 25, lo: float = 1.0, hi: float = 1e4) -> ExperimentResult:
+    """Sweep M/delta logarithmically and report Daly-optimal efficiency.
+
+    Reproduces the shape of Figure 1: efficiency rises steeply with
+    M/delta and saturates toward 1; ~200 is needed for 90%.
+    """
+    ratios = np.logspace(np.log10(lo), np.log10(hi), points)
+    effs = efficiency_vs_m_over_delta(ratios)
+    table = TextTable(["M/delta", "progress rate"])
+    rows = []
+    for r, e in zip(ratios, effs):
+        table.add_row([f"{r:10.1f}", f"{e:8.4f}"])
+        rows.append({"m_over_delta": float(r), "efficiency": float(e)})
+    # Where does the curve cross 90%?
+    crossing = float(np.interp(0.9, effs, ratios))
+    return ExperimentResult(
+        experiment="figure1",
+        title="Figure 1: progress rate vs M/delta (Daly-optimal interval)",
+        rows=rows,
+        text=table.render() + f"\n90% progress rate requires M/delta ~ {crossing:.0f}",
+        headline={"m_over_delta_for_90pct": crossing},
+    )

@@ -1,0 +1,82 @@
+"""Figure 2: the compute-node hardware organization, annotated.
+
+Figure 2 is an architecture diagram, not data — but its annotations *are*
+data: bandwidths, core counts, and capacities all come from the projection
+and the NDP sizing analysis.  This experiment renders the organization as
+ASCII with every annotation derived live, so a parameter change (different
+codec, different NVM) redraws the right numbers.
+"""
+
+from __future__ import annotations
+
+from ..compression.study import PAPER_UTILITY_AVERAGES
+from ..core.configs import paper_parameters
+from ..core.model import ndp_io_interval
+from ..core.ndp_sizing import size_ndp
+from ..core.projection import EXASCALE
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(utility: str = "gzip(1)") -> ExperimentResult:
+    """Render the NDP compute-node organization for a chosen codec."""
+    params = paper_parameters()
+    factor, speed = PAPER_UTILITY_AVERAGES[utility]
+    sizing = size_ndp(utility, factor, speed, params)
+    spec = sizing.as_spec(decompress_rate=16e9)
+    n, interval, _ = ndp_io_interval(params, spec)
+
+    ndp_line1 = f"{sizing.cores} x {utility} core(s)".ljust(25)
+    ndp_line2 = f"{spec.compress_rate / 1e6:.1f} MB/s compress".ljust(25)
+    dram = f"DRAM {EXASCALE.node_memory_bytes / 1e9:.0f} GB".ljust(16)
+    ckpt = f"ckpt {params.checkpoint_size / 1e9:.0f} GB".ljust(16)
+    nvm_bw = f"{params.local_bandwidth / 1e9:.1f} GB/s".ljust(11)
+    dl = f"delta_L = {params.local_commit_time:.2f} s".ljust(25)
+    nic = f"NIC {EXASCALE.interconnect_bw / 1e9:.0f} GB/s".ljust(14)
+    diagram = f"""
++----------------------------- compute node ------------------------------+
+|                                                                         |
+|  +--------------------+        point-to-point links                     |
+|  |  HOST CPU          |====================================+            |
+|  |  64 cores          |                                    |            |
+|  |  10 Tflop/s        |    +---------------------------+   |            |
+|  +---------+----------+    |  NVM-attached NDP         |   |            |
+|            |               |  {ndp_line1}|   |            |
+|  +---------+----------+    |  {ndp_line2}|   |            |
+|  |  {dram}  |    +-------------+-------------+   |            |
+|  |  {ckpt}  |                  |                 |            |
+|  +---------+----------+    +-------------+-------------+   |            |
+|            | {nvm_bw} |  local NVM (circular buf) |   |            |
+|            +===============+  {dl}|   |            |
+|                            +---------------------------+   |            |
+|                                                            |            |
+|  +------------------+                                      |            |
+|  |  {nic}  +======================================+            |
+|  +--------+---------+                                                   |
++-----------|--------------------------------------------------------------+
+            | {params.io_bandwidth / 1e6:.0f} MB/s per-node share of {EXASCALE.io_bandwidth / 1e12:.0f} TB/s global I/O
+            v
+   [ I/O nodes / parallel file system ]
+
+operation (Section 4.2): host writes every checkpoint to NVM ({params.local_commit_time:.1f} s,
+blocking); the NDP locks the newest, compresses at {spec.compress_rate / 1e6:.0f} MB/s
+(factor {factor:.0%}) overlapped with the NIC stream, completing one I/O-level
+checkpoint every {interval:.0f} s (= every {n} local checkpoints) without
+interrupting the host.
+"""
+    return ExperimentResult(
+        experiment="figure2",
+        title=f"Figure 2: compute-node organization with NDP ({utility})",
+        rows=[
+            {
+                "utility": utility,
+                "ndp_cores": sizing.cores,
+                "compress_rate": spec.compress_rate,
+                "io_interval": interval,
+                "drain_ratio": n,
+            }
+        ],
+        text=diagram.strip("\n"),
+        headline={"ndp_cores": float(sizing.cores), "io_interval": interval},
+    )

@@ -1,0 +1,63 @@
+"""Figure 5: optimal locally-saved : I/O-saved ratios per configuration.
+
+For *Local + I/O-Host* the optimal ratio is found empirically per
+(probability of local recovery, compression factor); for *Local +
+I/O-NDP* the ratio is fixed by drain bandwidth and depends only on the
+compression factor (Section 6.2's observation).
+"""
+
+from __future__ import annotations
+
+from ..compression.study import paper_factor
+from ..core.configs import NO_COMPRESSION, paper_parameters
+from ..core.model import ndp_io_interval
+from ..core.optimizer import optimal_ratio
+from .common import FIG6_APPS, ExperimentResult, TextTable, fig6_compression
+
+__all__ = ["run", "DEFAULT_P_LOCALS"]
+
+DEFAULT_P_LOCALS = (0.20, 0.40, 0.60, 0.80, 0.96)
+
+
+def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
+    """Optimal ratios across recovery probabilities and compression factors."""
+    params = paper_parameters()
+    factors = {"none (0%)": 0.0}
+    factors.update(
+        {f"{app} ({paper_factor(app):.0%})": paper_factor(app) for app in FIG6_APPS}
+    )
+    factors["average (73%)"] = 0.728
+
+    table = TextTable(
+        ["compression factor"]
+        + [f"Host p_local={p:.0%}" for p in p_locals]
+        + ["NDP (any p_local)"]
+    )
+    rows = []
+    for label, cf in factors.items():
+        host_ratios = []
+        for p in p_locals:
+            pp = params.with_(p_local_recovery=p)
+            comp = fig6_compression(cf, "host") if cf > 0 else NO_COMPRESSION
+            host_ratios.append(optimal_ratio(pp, comp))
+        ndp_comp = fig6_compression(cf, "ndp") if cf > 0 else NO_COMPRESSION
+        ndp_ratio, _, _ = ndp_io_interval(params, ndp_comp)
+        table.add_row([label] + host_ratios + [ndp_ratio])
+        rows.append(
+            {
+                "factor": cf,
+                "host_ratios": dict(zip(p_locals, host_ratios)),
+                "ndp_ratio": ndp_ratio,
+            }
+        )
+    note = (
+        "\nHigher compression factor => cheaper I/O checkpoints => lower optimal"
+        "\nratio; higher p_local => rarer I/O recoveries => higher ratio.  The NDP"
+        "\nratio is bandwidth-determined and independent of p_local (one column)."
+    )
+    return ExperimentResult(
+        experiment="figure5",
+        title="Figure 5: optimal locally-saved:I/O-saved checkpoint ratios",
+        rows=rows,
+        text=table.render() + note,
+    )

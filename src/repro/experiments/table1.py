@@ -1,0 +1,53 @@
+"""Table 1: the exascale system projection scaled from Titan."""
+
+from __future__ import annotations
+
+from ..core.projection import EXASCALE, TITAN, checkpoint_requirements, projection_table
+from .common import ExperimentResult, TextTable
+
+__all__ = ["run"]
+
+#: The paper's Table 1 values for verification (projected column).
+PAPER_REFERENCE = {
+    "node_count": 100_000,
+    "system_peak_pflops": 1000.0,
+    "node_peak_tflops": 10.0,
+    "system_memory_pb": 14.0,
+    "node_memory_gb": 140.0,
+    "interconnect_gbps": 50.0,
+    "io_bandwidth_tbps": 10.0,
+    "mtti_minutes": 30.0,
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 1 plus the Section 3.3 derived requirements."""
+    table = TextTable(["Parameter", "Titan Cray XK7", "Exascale Projection", "Factor"])
+    rows = projection_table(TITAN, EXASCALE)
+    for r in rows:
+        factor = r["factor"]
+        label = f"{factor:.2f}x" if factor >= 1 else f"(1/{1 / factor:.2f})x"
+        table.add_row(
+            [r["parameter"], f"{r['base']:,.2f} {r['unit']}", f"{r['projected']:,.2f} {r['unit']}", label]
+        )
+    req = checkpoint_requirements(EXASCALE)
+    extras = (
+        f"\nSection 3.3 requirements at 90% progress (M = 30 min, 112 GB/node):\n"
+        f"  checkpoint commit time : {req.commit_time:8.1f} s  (~M/{EXASCALE.system_mtti / req.commit_time:.0f})\n"
+        f"  checkpoint period      : {req.checkpoint_period:8.1f} s  (~M/{EXASCALE.system_mtti / req.checkpoint_period:.1f})\n"
+        f"  per-node bandwidth     : {req.node_bandwidth / 1e9:8.2f} GB/s\n"
+        f"  system bandwidth       : {req.system_bandwidth / 1e15:8.3f} PB/s "
+        f"(vs {EXASCALE.io_bandwidth / 1e12:.0f} TB/s of global I/O)"
+    )
+    return ExperimentResult(
+        experiment="table1",
+        title="Table 1: exascale projection scaled from the Titan Cray XK7",
+        rows=rows,
+        text=table.render() + extras,
+        headline={
+            "node_count": EXASCALE.node_count,
+            "mtti_minutes": EXASCALE.system_mtti / 60.0,
+            "node_memory_gb": EXASCALE.node_memory_bytes / 1e9,
+            "commit_time_s": req.commit_time,
+        },
+    )

@@ -1,0 +1,60 @@
+"""Table 3: NDP provisioning — required compression speed, cores, interval."""
+
+from __future__ import annotations
+
+from ..core.configs import paper_parameters
+from ..core.ndp_sizing import select_utility, sizing_table
+from ..compression.study import StudyResult, sizing_inputs
+from .common import ExperimentResult, TextTable
+
+__all__ = ["run"]
+
+#: Table 3 as published: utility -> (required MB/s, cores, interval s).
+PAPER_REFERENCE = {
+    "gzip(1)": (367.0, 4, 305.0),
+    "gzip(6)": (395.0, 8, 283.0),
+    "bzip2(1)": (407.0, 34, 275.0),
+    "bzip2(9)": (421.0, 41, 266.0),
+    "xz(1)": (515.0, 21, 217.0),
+    "xz(6)": (596.0, 125, 188.0),
+    "lz4(1)": (283.0, 1, 395.0),
+}
+
+
+def run(source: str = "paper", study: StudyResult | None = None) -> ExperimentResult:
+    """Regenerate Table 3 from Table 2 averages.
+
+    ``source="paper"`` uses the transcribed averages (exact regeneration);
+    ``source="measured"`` consumes a live :class:`StudyResult`.
+    """
+    params = paper_parameters()
+    inputs = sizing_inputs(source, study)
+    sizings = sizing_table(inputs, params)
+    table = TextTable(
+        ["Utility(level)", "Required speed", "NDP cores", "Ckpt interval"]
+    )
+    rows = []
+    for s in sizings:
+        table.add_row(
+            [s.utility, f"{s.required_speed / 1e6:7.0f} MB/s", s.cores, f"{s.checkpoint_interval:6.0f} s"]
+        )
+        rows.append(
+            {
+                "utility": s.utility,
+                "required_speed": s.required_speed,
+                "cores": s.cores,
+                "interval": s.checkpoint_interval,
+            }
+        )
+    chosen = select_utility(sizings, max_cores=4)
+    note = (
+        f"\nSelection (Section 5.3, <=4 NDP cores): {chosen.utility} "
+        f"-> {chosen.cores} cores, {chosen.checkpoint_interval:.0f} s I/O checkpoint interval"
+    )
+    return ExperimentResult(
+        experiment="table3",
+        title=f"Table 3 ({source}): NDP compression provisioning",
+        rows=rows,
+        text=table.render() + note,
+        headline={"chosen_cores": chosen.cores, "chosen_interval": chosen.checkpoint_interval},
+    )

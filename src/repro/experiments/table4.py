@@ -1,0 +1,61 @@
+"""Table 4: the C/R parameters used by the evaluation — derived, not typed.
+
+Table 4 lists the model inputs; almost every row is *derived* from Table 1
+plus the compression study, so this experiment re-derives each one and
+shows its provenance (the one free choice — the 150 s local interval — is
+checked against Daly's estimate it was rounded from).
+"""
+
+from __future__ import annotations
+
+from ..core import daly
+from ..core.configs import NDP_GZIP1, paper_parameters
+from ..core.projection import EXASCALE
+from ..compression.study import PAPER_UTILITY_AVERAGES
+from .common import ExperimentResult, TextTable
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 4 with provenance per row."""
+    p = paper_parameters()
+    gzip1_speed = PAPER_UTILITY_AVERAGES["gzip(1)"][1]
+    daly_tau = float(daly.daly_interval(p.local_commit_time, p.mtti))
+
+    rows = [
+        ("System MTTI", "30 minutes", f"{p.mtti / 60:.0f} minutes",
+         "Table 1 (5-year socket MTTF over 100k nodes, rounded up)"),
+        ("Checkpoint size", "112 GB/node", f"{p.checkpoint_size / 1e9:.0f} GB/node",
+         "80% of the 140 GB node memory"),
+        ("Compute local NVM BW", "15.0 GB/s", f"{p.local_bandwidth / 1e9:.1f} GB/s",
+         "PCIe-3-feasible; above the 12.4 GB/s the 90% target needs"),
+        ("Checkpoint interval (local)", "150 s", f"{p.local_interval:.0f} s",
+         f"Daly optimum {daly_tau:.0f} s for delta_L={p.local_commit_time:.1f} s, rounded"),
+        ("Probability of recovery from local", "20% - 96%", "20% - 96%",
+         "swept; Moody et al. observed 85%, improvable to 96%"),
+        ("Compression factor", "mini-app specific", "Table 2 gzip(1) column",
+         "73% seven-app average"),
+        ("Compression rate (4-core NDP)", "440.4 MB/s",
+         f"{4 * gzip1_speed / 1e6:.1f} MB/s", "4 x 110.1 MB/s gzip(1) threads"),
+        ("Decompression rate (64-core host)", "16.0 GB/s",
+         f"{NDP_GZIP1.decompress_rate / 1e9:.1f} GB/s",
+         "64 x 350 MB/s observed, conservatively derated from 22.4"),
+        ("Per-node I/O share", "100 MB/s",
+         f"{EXASCALE.io_bandwidth_per_node / 1e6:.0f} MB/s",
+         "10 TB/s system I/O over 100k nodes (implied)"),
+    ]
+    table = TextTable(["parameter", "paper", "derived here", "provenance"])
+    out_rows = []
+    for name, paper_val, derived, why in rows:
+        table.add_row([name, paper_val, derived, why])
+        out_rows.append(
+            {"parameter": name, "paper": paper_val, "derived": derived, "provenance": why}
+        )
+    return ExperimentResult(
+        experiment="table4",
+        title="Table 4: evaluation parameters, re-derived with provenance",
+        rows=out_rows,
+        text=table.render(),
+        headline={"daly_tau": daly_tau, "ndp_rate_mbps": 4 * gzip1_speed / 1e6},
+    )

@@ -1,0 +1,27 @@
+"""SPMD parallel substrate: communicator, distributed solver, C/R driver.
+
+The paper's workloads are MPI applications; this subpackage provides the
+in-process equivalent — a rank communicator with halo exchanges and
+collectives, the HPCCG proxy parallelized over it, and a coordinated-
+checkpointing driver with fault injection.
+"""
+
+from .comm import Communicator
+from .distributed_aero import DistributedAero
+from .distributed_cg import DistributedStencilCG
+from .distributed_md import DistributedLJMD
+from .distributed_smac import DistributedSMAC2D
+from .runtime import CheckpointableSolver, CoordinatedRun, RunOutcome
+from .slab import SlabDecomposition
+
+__all__ = [
+    "Communicator",
+    "SlabDecomposition",
+    "DistributedStencilCG",
+    "DistributedLJMD",
+    "DistributedSMAC2D",
+    "DistributedAero",
+    "CoordinatedRun",
+    "RunOutcome",
+    "CheckpointableSolver",
+]

@@ -1,0 +1,130 @@
+"""An in-process SPMD communicator over numpy buffers.
+
+The paper's applications are MPI programs (16 ranks per mini-app under
+OpenMPI/BLCR).  This module provides the minimal message-passing substrate
+the distributed proxy solvers need, as *synchronous data-parallel*
+operations: every call takes the per-rank inputs for all ranks and returns
+the per-rank outputs, executing the communication pattern exactly (who
+sends what to whom) without OS processes.  That keeps the numerics and the
+decomposition honest — halo exchanges, periodic neighbor wrap, reduction
+trees — while staying deterministic and testable on one machine.
+
+Collective semantics mirror MPI:
+
+* :meth:`Communicator.allreduce_sum` — one global sum, same value on every
+  rank, computed in a fixed rank order (so results are reproducible but,
+  like real MPI, not bit-identical to a single-rank summation order).
+* :meth:`Communicator.exchange_halos` — nearest-neighbor sendrecv along a
+  1-D periodic rank topology.
+* :meth:`Communicator.alltoall_concat` / :meth:`Communicator.gather` —
+  used by checkpoint coordination and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """A fixed-size rank group with MPI-flavoured collectives."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        #: message counters, for tests and traffic accounting
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- point-to-point pattern ---------------------------------------------------
+
+    def exchange_halos(
+        self, slabs: Sequence[np.ndarray]
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Periodic nearest-neighbour halo exchange along axis 0.
+
+        Rank ``r`` sends its first plane 'down' to ``r-1`` and its last
+        plane 'up' to ``r+1`` (wrapping).  Returns, per rank, the halo
+        received from below (``lower[r]``: neighbour ``r-1``'s last plane)
+        and from above (``upper[r]``: neighbour ``r+1``'s first plane).
+        """
+        if len(slabs) != self.size:
+            raise ValueError(f"expected {self.size} slabs, got {len(slabs)}")
+        lower: list[np.ndarray] = []
+        upper: list[np.ndarray] = []
+        for r in range(self.size):
+            below = slabs[(r - 1) % self.size]
+            above = slabs[(r + 1) % self.size]
+            lower.append(below[-1].copy())
+            upper.append(above[0].copy())
+            self.messages_sent += 2
+            self.bytes_sent += below[-1].nbytes + above[0].nbytes
+        return lower, upper
+
+    # -- collectives ------------------------------------------------------------------
+
+    def allreduce_sum(self, values: Sequence[float]) -> float:
+        """Global sum in fixed rank order; every rank gets the same value."""
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} values, got {len(values)}")
+        total = 0.0
+        for v in values:
+            total += float(v)
+        self.messages_sent += 2 * (self.size - 1)  # reduce + broadcast tree edges
+        return total
+
+    def allreduce_max(self, values: Sequence[float]) -> float:
+        """Global max; every rank gets the same value."""
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} values, got {len(values)}")
+        self.messages_sent += 2 * (self.size - 1)
+        return max(float(v) for v in values)
+
+    def allgather_concat(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank arrays along axis 0; every rank gets the
+        full result (``MPI_Allgatherv`` over the leading axis)."""
+        if len(arrays) != self.size:
+            raise ValueError(f"expected {self.size} arrays, got {len(arrays)}")
+        full = np.concatenate([np.asarray(a) for a in arrays], axis=0)
+        self.messages_sent += 2 * (self.size - 1)
+        self.bytes_sent += full.nbytes * max(self.size - 1, 0)
+        return full
+
+    def gather(self, values: Sequence[object], root: int = 0) -> list[object]:
+        """Gather per-rank values at ``root`` (returned as a list)."""
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} values, got {len(values)}")
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+        self.messages_sent += self.size - 1
+        return list(values)
+
+    def barrier(self) -> None:
+        """Synchronization point (bookkeeping only in-process)."""
+        self.messages_sent += self.size - 1
+
+    def alltoall_concat(self, per_rank: Sequence[Sequence[np.ndarray]]) -> list[np.ndarray]:
+        """Each rank contributes a list of arrays destined per rank;
+        returns, per destination rank, the concatenation over sources.
+
+        Used by tests; mirrors ``MPI_Alltoallv`` + concatenation.
+        """
+        if len(per_rank) != self.size:
+            raise ValueError(f"expected {self.size} contribution lists")
+        out: list[np.ndarray] = []
+        for dst in range(self.size):
+            parts = []
+            for src in range(self.size):
+                contributions = per_rank[src]
+                if len(contributions) != self.size:
+                    raise ValueError("each rank must contribute one array per rank")
+                parts.append(np.asarray(contributions[dst]))
+                if src != dst:
+                    self.messages_sent += 1
+                    self.bytes_sent += parts[-1].nbytes
+            out.append(np.concatenate([p.ravel() for p in parts]))
+        return out

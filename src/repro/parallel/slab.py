@@ -1,0 +1,61 @@
+"""Shared helpers for 1-D slab decompositions along axis 0.
+
+The distributed CFD-style solvers (SMAC, miniAero) decompose 2-D fields
+into contiguous row bands and replace every axis-0 ``np.roll`` with a halo
+exchange.  :class:`SlabDecomposition` packages that pattern once: split,
+assemble, and the distributed unit roll — built on
+:meth:`Communicator.exchange_halos` and bitwise-faithful to the global
+``np.roll`` (each output element is a copy, no arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .comm import Communicator
+
+__all__ = ["SlabDecomposition"]
+
+
+class SlabDecomposition:
+    """Row-band decomposition of 2-D (or N-D, axis-0) fields."""
+
+    def __init__(self, extent: int, comm: Communicator):
+        if extent % comm.size != 0:
+            raise ValueError(f"ranks ({comm.size}) must divide extent ({extent})")
+        self.extent = extent
+        self.comm = comm
+        self.rows = extent // comm.size
+
+    def split(self, full: np.ndarray) -> list[np.ndarray]:
+        """Slice a global field into per-rank row bands (copies)."""
+        if full.shape[0] != self.extent:
+            raise ValueError(
+                f"field extent {full.shape[0]} != decomposition extent {self.extent}"
+            )
+        return [
+            full[r * self.rows : (r + 1) * self.rows].copy()
+            for r in range(self.comm.size)
+        ]
+
+    def assemble(self, slabs: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank bands into the global field."""
+        return np.concatenate(slabs, axis=0)
+
+    def roll0(self, slabs: list[np.ndarray], shift: int) -> list[np.ndarray]:
+        """Distributed ``np.roll(field, shift, axis=0)`` for ``shift`` = +-1.
+
+        ``np.roll(v, 1, 0)[i] == v[i-1]``: each band's first row comes from
+        the previous rank's last row (periodic wrap), the rest shift down.
+        """
+        lower, upper = self.comm.exchange_halos(slabs)
+        out: list[np.ndarray] = []
+        for r in range(self.comm.size):
+            local = slabs[r]
+            if shift == 1:
+                out.append(np.concatenate((lower[r][None, ...], local[:-1]), axis=0))
+            elif shift == -1:
+                out.append(np.concatenate((local[1:], upper[r][None, ...]), axis=0))
+            else:
+                raise ValueError("only unit shifts are supported")
+        return out

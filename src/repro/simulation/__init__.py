@@ -1,0 +1,51 @@
+"""Discrete-event simulation of multilevel C/R with NDP (validation layer).
+
+The simulator implements Section 4.2's operational rules event-by-event and
+is used to (a) validate the analytic model of :mod:`repro.core.model` and
+(b) regenerate the paper's Figure-3 operational timelines from real
+simulated schedules.
+"""
+
+from .bandwidth import SharedBandwidth, Transfer
+from .batch import MCResult, PairedComparison, compare_strategies, mc_run
+from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, simulate_cluster
+from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .rng import StreamFactory, exponential_interarrivals
+from .simulator import STRATEGIES, CRSimulation, SimConfig, default_work, simulate
+from .stats import SimulationResult, TimeAccounting
+from .storage import CheckpointRecord, NVMBuffer
+from .trace import Span, TimelineRecorder, render_ascii
+
+__all__ = [
+    "SharedBandwidth",
+    "Transfer",
+    "MCResult",
+    "PairedComparison",
+    "mc_run",
+    "compare_strategies",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterSimulation",
+    "simulate_cluster",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "StreamFactory",
+    "exponential_interarrivals",
+    "SimConfig",
+    "CRSimulation",
+    "simulate",
+    "default_work",
+    "STRATEGIES",
+    "SimulationResult",
+    "TimeAccounting",
+    "CheckpointRecord",
+    "NVMBuffer",
+    "Span",
+    "TimelineRecorder",
+    "render_ascii",
+]

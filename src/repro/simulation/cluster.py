@@ -1,0 +1,346 @@
+"""Cluster-scale discrete-event simulation of coordinated multilevel C/R.
+
+The per-node simulator (:mod:`repro.simulation.simulator`) assumes each
+node owns a fixed ``1/N`` share of the global I/O bandwidth.  This module
+removes that assumption: ``N`` nodes run a *coordinated* application
+(checkpoints are global barriers; any node's failure interrupts everyone)
+and their NDP drains contend for the **shared** aggregate I/O pipe via
+processor sharing (:class:`~repro.simulation.bandwidth.SharedBandwidth`).
+
+What it adds over the per-node model:
+
+* drain *staggering* — nodes may start their drains offset in time, which
+  changes instantaneous contention (``stagger=True``);
+* recovery contention — an I/O-level restore shares the pipe with any
+  still-running drains unless ``pause_drains_on_recovery`` (§4.2.3);
+* per-node I/O snapshot ages — the failed node recovers from *its own*
+  newest drained snapshot.
+
+Failures: each node fails as a Poisson process with mean ``node_mttf =
+N * params.mtti`` (so the *system* MTTI matches the per-node model's), and
+the failed node is the one that may need I/O-level recovery; the other
+nodes restore from their local NVM in parallel.
+
+The cluster experiment (``ablation-cluster``) uses this to check the
+per-node-share assumption: with homogeneous nodes and fair sharing, system
+efficiency is invariant in ``N`` — which is exactly why the paper (and our
+core model) can work per-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..core.configs import NO_COMPRESSION, CompressionSpec, CRParameters
+from .bandwidth import SharedBandwidth, Transfer
+from .engine import Environment, Event, Interrupt
+from .rng import StreamFactory
+from .stats import TimeAccounting
+
+__all__ = ["ClusterConfig", "ClusterResult", "ClusterSimulation", "simulate_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Scenario knobs for a cluster run.
+
+    ``params.io_bandwidth`` is interpreted as the *per-node share*; the
+    shared pipe's capacity is ``nodes * params.io_bandwidth`` so that the
+    scenario matches the per-node model at every ``N``.
+    """
+
+    params: CRParameters
+    nodes: int = 4
+    compression: CompressionSpec = NO_COMPRESSION
+    work: float = 0.0
+    seed: int = 0
+    stagger: bool = False
+    pause_drains_on_recovery: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster run.
+
+    ``efficiency`` is the coordinated application's progress rate;
+    ``recoveries_io`` counts failures whose failed node restored from the
+    shared I/O tier; ``pipe_utilization`` is moved bytes over
+    capacity x wall time.
+    """
+
+    work: float
+    wall_time: float
+    efficiency: float
+    failures: int
+    recoveries_local: int
+    recoveries_io: int
+    io_snapshots: int
+    pipe_utilization: float
+    breakdown: dict[str, float]
+
+
+class _NodeDrain:
+    """Per-node NDP drain state: snapshots queued and in flight."""
+
+    __slots__ = ("node_id", "pending", "inflight", "last_io_position", "start_offset")
+
+    def __init__(self, node_id: int, start_offset: float):
+        self.node_id = node_id
+        self.pending: Optional[float] = None  # newest undrained snapshot position
+        self.inflight: Optional[Transfer] = None
+        self.last_io_position = 0.0  # newest position safely on I/O
+        self.start_offset = start_offset
+
+
+class ClusterSimulation:
+    """Coordinated N-node multilevel C/R over a shared I/O pipe."""
+
+    def __init__(self, config: ClusterConfig):
+        self.cfg = config
+        self.p = config.params
+        self.env = Environment()
+        self.acct = TimeAccounting()
+        streams = StreamFactory(config.seed)
+        self._rng_fail = streams.get("failures")
+        self._rng_node = streams.get("failed-node")
+        self._rng_recover = streams.get("recovery")
+
+        self.pipe = SharedBandwidth(
+            self.env, capacity=config.nodes * self.p.io_bandwidth
+        )
+        self._drains = [
+            _NodeDrain(i, self._offset(i)) for i in range(config.nodes)
+        ]
+        self._drain_procs: list = []
+        self._drain_wakes: list[Optional[Event]] = [None] * config.nodes
+        self._drains_paused = False
+
+        self.position = 0.0
+        self._rerun_until = 0.0
+        self._rerun_attr = "rerun_local"
+        self._pending_failure: Optional[int] = None  # failed node id
+        self._local_snapshot = 0.0  # position of newest completed local ckpt
+
+        self.failures = 0
+        self.recoveries_local = 0
+        self.recoveries_io = 0
+        self.io_snapshots = 0
+
+        self._delta_l = self.p.local_commit_time
+        self._tau = self.p.tau
+        self._restore_l = self.p.local_restore_time
+        self._csize = config.compression.compressed_size(self.p.checkpoint_size)
+        self._host_proc = None
+
+    def _offset(self, node_id: int) -> float:
+        if not self.cfg.stagger or self.cfg.nodes == 1:
+            return 0.0
+        return (node_id / self.cfg.nodes) * self.p.cycle_time
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> ClusterResult:
+        """Execute to completion."""
+        self._host_proc = self.env.process(self._host(), name="cluster-host")
+        self.env.process(self._failure_injector(), name="failures")
+        for i in range(self.cfg.nodes):
+            proc = self.env.process(self._drain(i), name=f"drain-{i}")
+            self._drain_procs.append(proc)
+        self.env.run(self._host_proc)
+        wall = self.env.now
+        return ClusterResult(
+            work=self.cfg.work,
+            wall_time=wall,
+            efficiency=self.cfg.work / wall,
+            failures=self.failures,
+            recoveries_local=self.recoveries_local,
+            recoveries_io=self.recoveries_io,
+            io_snapshots=self.io_snapshots,
+            pipe_utilization=self.pipe.bytes_moved / (self.pipe.capacity * wall),
+            breakdown=self.acct.breakdown().as_dict(),
+        )
+
+    # -- failure injection ----------------------------------------------------------
+
+    def _failure_injector(self) -> Generator[Event, None, None]:
+        # System failure rate = nodes / node_mttf = 1 / params.mtti.
+        while True:
+            yield self.env.timeout(float(self._rng_fail.exponential(self.p.mtti)))
+            if self._host_proc is None or not self._host_proc.is_alive:
+                return
+            self.failures += 1
+            node = int(self._rng_node.integers(0, self.cfg.nodes))
+            self._host_proc.interrupt(node)
+
+    # -- coordinated application -------------------------------------------------------
+
+    def _host(self) -> Generator[Event, None, None]:
+        while self.position < self.cfg.work:
+            try:
+                if self._pending_failure is not None:
+                    yield from self._recover()
+                    continue
+                yield from self._compute()
+                if self.position >= self.cfg.work:
+                    break
+                yield from self._checkpoint_local()
+            except Interrupt as intr:
+                self._pending_failure = int(intr.cause)
+
+    def _compute(self) -> Generator[Event, None, None]:
+        remaining = min(self._tau, self.cfg.work - self.position)
+        while remaining > 1e-12:
+            in_rerun = self.position < self._rerun_until
+            chunk = (
+                min(remaining, self._rerun_until - self.position)
+                if in_rerun
+                else remaining
+            )
+            category = self._rerun_attr if in_rerun else "compute"
+            start = self.env.now
+            try:
+                yield self.env.timeout(chunk)
+            except Interrupt:
+                elapsed = self.env.now - start
+                self.position += elapsed
+                self.acct.add(category, elapsed)
+                raise
+            self.position += chunk
+            remaining -= chunk
+            self.acct.add(category, chunk)
+
+    def _checkpoint_local(self) -> Generator[Event, None, None]:
+        """Coordinated local commit on every node (barrier semantics)."""
+        start = self.env.now
+        try:
+            yield self.env.timeout(self._delta_l)
+        except Interrupt:
+            self.acct.add("checkpoint_local", self.env.now - start)
+            raise
+        self.acct.add("checkpoint_local", self._delta_l)
+        self._local_snapshot = self.position
+        for drain in self._drains:
+            drain.pending = self.position
+        self._wake_drains()
+
+    # -- recovery ------------------------------------------------------------------------
+
+    def _recover(self) -> Generator[Event, None, None]:
+        node = self._pending_failure
+        assert node is not None
+        self._pending_failure = None
+        fail_position = self.position
+
+        local_ok = (
+            self._local_snapshot > 0.0
+            and float(self._rng_recover.random()) < self.p.p_local_recovery
+        )
+        if local_ok:
+            # All nodes read their local NVM in parallel.
+            start = self.env.now
+            try:
+                yield self.env.timeout(self._restore_l)
+            except Interrupt as intr:
+                self.acct.add("restore_local", self.env.now - start)
+                self._pending_failure = int(intr.cause)
+                return
+            self.acct.add("restore_local", self._restore_l)
+            self.recoveries_local += 1
+            self.position = self._local_snapshot
+            self._rerun_attr = "rerun_local"
+        else:
+            # The failed node's NVM is lost: its drain aborts and everyone
+            # rolls back to the failed node's newest I/O snapshot.
+            drain = self._drains[node]
+            snapshot = drain.last_io_position
+            self._abort_drain(node)
+            self._local_snapshot = 0.0
+            if self.cfg.pause_drains_on_recovery:
+                self._drains_paused = True
+                self._pause_inflight()
+            start = self.env.now
+            xfer = self.pipe.start(self._csize if snapshot > 0 else 0.0)
+            try:
+                yield xfer.done
+            except Interrupt as intr:
+                self.pipe.abort(xfer)
+                self.acct.add("restore_io", self.env.now - start)
+                self._drains_paused = False
+                self._pending_failure = int(intr.cause)
+                return
+            except InterruptedError:
+                # Aborted by a race we do not expect on the restore path.
+                pass
+            finally:
+                if self.cfg.pause_drains_on_recovery:
+                    self._drains_paused = False
+                    self._wake_drains()
+            self.acct.add("restore_io", self.env.now - start)
+            self.recoveries_io += 1
+            self.position = snapshot
+            self._rerun_attr = "rerun_io"
+        self._rerun_until = max(self._rerun_until, fail_position)
+
+    # -- per-node drains ------------------------------------------------------------------
+
+    def _drain(self, node_id: int) -> Generator[Event, None, None]:
+        drain = self._drains[node_id]
+        if drain.start_offset > 0:
+            yield self.env.timeout(drain.start_offset)
+        while True:
+            if self._drains_paused or drain.pending is None:
+                wake = self.env.event()
+                self._drain_wakes[node_id] = wake
+                try:
+                    yield wake
+                except Interrupt:
+                    pass
+                continue
+            snapshot = drain.pending
+            drain.pending = None
+            xfer = self.pipe.start(self._csize)
+            drain.inflight = xfer
+            try:
+                yield xfer.done
+            except (InterruptedError, Interrupt):
+                drain.inflight = None
+                continue  # aborted (NVM loss) or pause
+            drain.inflight = None
+            drain.last_io_position = max(drain.last_io_position, snapshot)
+            self.io_snapshots += 1
+
+    def _wake_drains(self) -> None:
+        for i, wake in enumerate(self._drain_wakes):
+            if wake is not None and not wake.triggered:
+                self._drain_wakes[i] = None
+                wake.succeed()
+
+    def _pause_inflight(self) -> None:
+        """Abort in-flight drains so the restore gets the whole pipe.
+
+        The drained snapshot is not lost — ``pending`` is restored so the
+        drain restarts after the recovery (a restarted transfer re-sends
+        the full checkpoint, a conservative choice)."""
+        for drain in self._drains:
+            if drain.inflight is not None:
+                if drain.pending is None:
+                    drain.pending = self._local_snapshot or None
+                self.pipe.abort(drain.inflight)
+
+    def _abort_drain(self, node_id: int) -> None:
+        drain = self._drains[node_id]
+        if drain.inflight is not None:
+            self.pipe.abort(drain.inflight)
+        drain.pending = None
+
+
+def simulate_cluster(config: ClusterConfig) -> ClusterResult:
+    """Run one :class:`ClusterSimulation` to completion."""
+    return ClusterSimulation(config).run()

@@ -1,0 +1,326 @@
+"""A from-scratch discrete-event simulation engine.
+
+A small, deterministic, generator-based process engine in the style of
+SimPy, built on :mod:`heapq`.  It provides exactly what the C/R simulator
+needs:
+
+* an :class:`Environment` with a virtual clock and an event queue,
+* one-shot :class:`Event` objects with success/failure values,
+* :class:`Timeout` events,
+* :class:`Process` — a generator that ``yield``\\ s events and resumes when
+  they fire, itself usable as an event (join semantics), and
+* **interrupts** — :meth:`Process.interrupt` throws :class:`Interrupt`
+  into a process at its current yield point, which is how failures preempt
+  compute, checkpoint writes, and recovery in the C/R simulation.
+
+Determinism: ties in event time are broken by a monotone sequence number,
+so two runs with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt", "AllOf", "AnyOf"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (the C/R simulator passes the
+    failure record).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* by :meth:`succeed` or :meth:`fail`; all
+    registered callbacks run at the current simulation time (events are
+    processed through the queue, so ordering stays deterministic).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been succeeded/failed."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when failed)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; completes (as an event) when it returns.
+
+    The generator yields :class:`Event` objects; the process resumes with
+    the event's value when it fires, or sees the event's exception raised
+    at the yield point when the event failed.  :meth:`interrupt` throws
+    :class:`Interrupt` at the current yield point immediately (at the
+    current simulation time).
+    """
+
+    __slots__ = ("gen", "_target", "name")
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        No-op if the process already finished.  The interrupt is delivered
+        immediately (synchronously) — the C/R simulator relies on failure
+        delivery not racing with other same-time events.
+        """
+        if self._triggered:
+            return
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(Interrupt(cause), throw=True)
+
+    # -- internal machinery ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                exc = value if isinstance(value, BaseException) else RuntimeError(value)
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event"
+            )
+        if target.processed:
+            # Already fired and processed: resume on the next queue step to
+            # preserve deterministic ordering.
+            bridge = Event(self.env)
+            bridge.callbacks.append(self._resume)
+            bridge._value = target.value
+            bridge._ok = target.ok
+            bridge._triggered = True
+            self.env._schedule(bridge)
+            self._target = bridge
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class AllOf(Event):
+    """Fires when every child event has fired (conjunction)."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed()
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires (disjunction)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        for ev in events:
+            if ev.processed:
+                self._on_child(ev)
+                break
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed(ev.value)
+        else:
+            self.fail(ev.value)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a generator as a process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Process events until ``until``.
+
+        ``until`` may be a time (run the queue up to and including that
+        time, leaving ``now`` there), an :class:`Event` (run until it
+        fires, returning its value, raising if it failed or the queue
+        drains first), or ``None`` (drain the queue).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.triggered or not sentinel.processed:
+                if not self._step():
+                    raise RuntimeError("event queue drained before `until` event fired")
+            if not sentinel.ok:
+                value = sentinel.value
+                raise value if isinstance(value, BaseException) else RuntimeError(value)
+            return sentinel.value
+        horizon = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= horizon:
+            self._step()
+        if until is not None:
+            self._now = max(self._now, horizon)
+        return None
+
+    # -- internal machinery ------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def _step(self) -> bool:
+        if not self._queue:
+            return False
+        t, _, event = heapq.heappop(self._queue)
+        self._now = t
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        return True

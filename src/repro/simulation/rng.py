@@ -1,0 +1,60 @@
+"""Seeded random-number streams for reproducible simulations.
+
+Each stochastic aspect of a simulation (failure interarrivals, recovery-
+level draws, workload content) gets its own independent stream spawned from
+a single root seed via :class:`numpy.random.SeedSequence`, so adding a new
+consumer never perturbs existing draws — runs stay bit-reproducible across
+code evolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamFactory", "exponential_interarrivals"]
+
+
+class StreamFactory:
+    """Named, independent RNG streams derived from one root seed.
+
+    >>> streams = StreamFactory(42)
+    >>> f = streams.get("failures")
+    >>> r = streams.get("recovery")
+    >>> f is streams.get("failures")
+    True
+    """
+
+    def __init__(self, seed: int | None = 0):
+        self._root = np.random.SeedSequence(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created deterministically on first use).
+
+        The stream's seed depends only on the root seed and the name, not
+        on creation order.
+        """
+        if name not in self._streams:
+            # Derive a child seed from the name so ordering is irrelevant.
+            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=tuple(int(b) for b in digest),
+            )
+            self._streams[name] = np.random.default_rng(child)
+        return self._streams[name]
+
+
+def exponential_interarrivals(
+    rng: np.random.Generator, mean: float, count: int
+) -> np.ndarray:
+    """``count`` exponential interarrival gaps with the given ``mean``.
+
+    Used by the failure injector; drawn in one vectorized call per batch
+    for speed.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return rng.exponential(mean, size=count)

@@ -1,0 +1,153 @@
+"""Storage models for the compute-node simulation.
+
+Two pieces:
+
+* :class:`CheckpointRecord` — a checkpoint snapshot's identity: which work
+  position it captures and when each storage level finished committing it.
+* :class:`NVMBuffer` — the node-local NVM organized, per Section 4.2.1, as
+  a FIFO circular buffer of checkpoint slots.  Checkpoints being drained to
+  global I/O by the NDP are *locked* against reuse (Section 4.2.2); a host
+  write that would need a locked slot must wait (in practice the buffer is
+  sized so this never happens, and the simulator records it as a stall if
+  it does).
+
+The buffer tracks *capacity in checkpoints* rather than bytes because every
+checkpoint of a given run has the same size; a byte-sized variant would
+change none of the dynamics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["CheckpointRecord", "NVMBuffer"]
+
+
+@dataclass
+class CheckpointRecord:
+    """One checkpoint snapshot and its per-level commit status.
+
+    Attributes
+    ----------
+    ckpt_id:
+        Monotone checkpoint number.
+    position:
+        Useful-work position (seconds of progress) the snapshot captures.
+    local_done:
+        Simulation time the local NVM commit finished (``None`` while in
+        flight).
+    io_done:
+        Simulation time the global-I/O copy finished (``None`` if not
+        drained / not written).
+    locked:
+        Whether the NDP has locked this checkpoint's NVM capacity while
+        draining it.
+    """
+
+    ckpt_id: int
+    position: float
+    local_done: float | None = None
+    io_done: float | None = None
+    locked: bool = False
+
+    @property
+    def on_io(self) -> bool:
+        """Whether a completed copy exists at the I/O level."""
+        return self.io_done is not None
+
+
+@dataclass
+class NVMBuffer:
+    """FIFO circular buffer of checkpoint slots in node-local NVM.
+
+    ``capacity`` is the number of checkpoints the NVM can hold.  New
+    checkpoints evict the oldest *unlocked* ones; if every slot is locked
+    the write must stall (callers check :meth:`can_accept`).
+    """
+
+    capacity: int
+    _slots: deque[CheckpointRecord] = field(default_factory=deque)
+    stall_evictions_denied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("NVM buffer needs capacity >= 1")
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def records(self) -> tuple[CheckpointRecord, ...]:
+        """Current contents, oldest first."""
+        return tuple(self._slots)
+
+    def can_accept(self) -> bool:
+        """Whether a new checkpoint can be admitted right now.
+
+        True if there is a free slot or the oldest slot is evictable
+        (unlocked).
+        """
+        if len(self._slots) < self.capacity:
+            return True
+        return any(not r.locked for r in self._slots)
+
+    def admit(self, record: CheckpointRecord) -> list[CheckpointRecord]:
+        """Admit a new checkpoint, evicting oldest unlocked slots if full.
+
+        Returns the evicted records (possibly empty).  Raises if the
+        buffer is full of locked checkpoints — callers must consult
+        :meth:`can_accept` first; the simulator treats that as a host
+        stall.
+        """
+        evicted: list[CheckpointRecord] = []
+        while len(self._slots) >= self.capacity:
+            victim = self._oldest_unlocked()
+            if victim is None:
+                self.stall_evictions_denied += 1
+                raise BufferError("all NVM checkpoint slots are locked by the NDP")
+            self._slots.remove(victim)
+            evicted.append(victim)
+        self._slots.append(record)
+        return evicted
+
+    def latest_completed(self, at: float) -> CheckpointRecord | None:
+        """Newest checkpoint whose local commit finished by time ``at``."""
+        for rec in reversed(self._slots):
+            if rec.local_done is not None and rec.local_done <= at:
+                return rec
+        return None
+
+    def newest_undrained(self) -> CheckpointRecord | None:
+        """Newest locally-complete checkpoint not yet on I/O and unlocked.
+
+        Section 4.2.2: the NDP always drains the *most recent* eligible
+        checkpoint — draining stale ones would only increase the rerun
+        distance of I/O-level recoveries.
+        """
+        for rec in reversed(self._slots):
+            if rec.local_done is not None and not rec.on_io and not rec.locked:
+                return rec
+        return None
+
+    def lock(self, record: CheckpointRecord) -> None:
+        """Lock a checkpoint's capacity against reuse while draining."""
+        if record.locked:
+            raise ValueError(f"checkpoint {record.ckpt_id} already locked")
+        record.locked = True
+
+    def unlock(self, record: CheckpointRecord) -> None:
+        """Release the drain lock (the paper's 'delete'/'reuse' arrow)."""
+        if not record.locked:
+            raise ValueError(f"checkpoint {record.ckpt_id} is not locked")
+        record.locked = False
+
+    def clear(self) -> None:
+        """Drop all contents (used when simulating NVM loss)."""
+        self._slots.clear()
+
+    def _oldest_unlocked(self) -> CheckpointRecord | None:
+        for rec in self._slots:
+            if not rec.locked:
+                return rec
+        return None

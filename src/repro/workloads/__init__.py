@@ -1,0 +1,62 @@
+"""Mantevo mini-app proxy workloads and checkpoint-data generation.
+
+Seven runnable numerical kernels (MD, CG, FE, CFD, aero) whose serialized
+state serves as checkpoint data for the compression study and the C/R
+runtime examples, with a precision knob calibrated against the paper's
+per-app gzip(1) compression factors.
+"""
+
+from .base import (
+    MiniApp,
+    deserialize_state,
+    quantize_mantissa,
+    serialize_state,
+    state_nbytes,
+)
+from .calibration import (
+    CALIBRATED_PRECISION,
+    calibrate_precision,
+    calibrated_app,
+    gzip1_factor,
+)
+from .generator import checkpoint_chunks, rank_apps, study_datasets
+from .sequences import SequenceStats, TransitionStats, change_statistics, checkpoint_sequence
+from .miniapps import (
+    APP_REGISTRY,
+    CoMDProxy,
+    HPCCGProxy,
+    MiniAeroProxy,
+    MiniFEProxy,
+    MiniMDProxy,
+    MiniSMAC2DProxy,
+    PHPCCGProxy,
+    make_app,
+)
+
+__all__ = [
+    "MiniApp",
+    "serialize_state",
+    "deserialize_state",
+    "state_nbytes",
+    "quantize_mantissa",
+    "APP_REGISTRY",
+    "make_app",
+    "CoMDProxy",
+    "HPCCGProxy",
+    "PHPCCGProxy",
+    "MiniFEProxy",
+    "MiniMDProxy",
+    "MiniSMAC2DProxy",
+    "MiniAeroProxy",
+    "gzip1_factor",
+    "calibrate_precision",
+    "calibrated_app",
+    "CALIBRATED_PRECISION",
+    "checkpoint_chunks",
+    "rank_apps",
+    "study_datasets",
+    "checkpoint_sequence",
+    "change_statistics",
+    "SequenceStats",
+    "TransitionStats",
+]

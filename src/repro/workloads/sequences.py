@@ -1,0 +1,137 @@
+"""Checkpoint time series: how checkpoint data evolves across a run.
+
+Delta encoding, dedup and incremental checkpointing all depend on the
+*temporal* statistics of checkpoint data — how many bytes change between
+consecutive snapshots, and how compressible the change is.  This module
+builds those datasets from the proxy apps and computes the statistics the
+NDP future-work analyses need:
+
+* :func:`checkpoint_sequence` — N consecutive checkpoints of one app,
+  ``steps_between`` apart;
+* :func:`change_statistics` — per-transition dirty-byte fraction,
+  dirty-4K-block fraction, and XOR-delta gzip factor;
+* :class:`SequenceStats` — the aggregate view (means and worst case).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.delta import xor_delta
+from .miniapps import make_app
+
+__all__ = ["checkpoint_sequence", "TransitionStats", "SequenceStats", "change_statistics"]
+
+
+def checkpoint_sequence(
+    name: str,
+    count: int = 5,
+    steps_between: int = 1,
+    seed: int = 0,
+    warmup_steps: int = 3,
+    calibrated: bool = False,
+    **app_kwargs: object,
+) -> list[bytes]:
+    """``count`` consecutive checkpoints of one proxy app.
+
+    Full precision by default: temporal-change analysis wants the raw
+    state evolution, not the calibration quantization (pass
+    ``calibrated=True`` to study the quantized stream instead).
+    """
+    if count < 2:
+        raise ValueError("a sequence needs at least 2 checkpoints")
+    if steps_between < 1:
+        raise ValueError("steps_between must be >= 1")
+    from .calibration import CALIBRATED_PRECISION
+
+    bits = CALIBRATED_PRECISION.get(name, 52.0) if calibrated else 52.0
+    app = make_app(name, seed=seed, precision_bits=bits, **app_kwargs)
+    app.run(warmup_steps)
+    out = [app.checkpoint_bytes()]
+    for _ in range(count - 1):
+        app.run(steps_between)
+        out.append(app.checkpoint_bytes())
+    return out
+
+
+@dataclass(frozen=True)
+class TransitionStats:
+    """Change statistics for one consecutive-checkpoint transition.
+
+    Attributes
+    ----------
+    dirty_byte_fraction:
+        Fraction of bytes that differ from the previous checkpoint.
+    dirty_block_fraction:
+        Fraction of 4 KiB blocks containing at least one changed byte
+        (what page-granular incremental checkpointing would write).
+    delta_gzip_factor:
+        gzip(1) compression factor of the XOR delta.
+    raw_gzip_factor:
+        gzip(1) factor of the checkpoint itself, for comparison.
+    """
+
+    dirty_byte_fraction: float
+    dirty_block_fraction: float
+    delta_gzip_factor: float
+    raw_gzip_factor: float
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """Aggregate change statistics over a checkpoint sequence."""
+
+    transitions: tuple[TransitionStats, ...]
+
+    @property
+    def mean_dirty_bytes(self) -> float:
+        """Mean dirty-byte fraction across transitions."""
+        return float(np.mean([t.dirty_byte_fraction for t in self.transitions]))
+
+    @property
+    def mean_dirty_blocks(self) -> float:
+        """Mean dirty-4K-block fraction across transitions."""
+        return float(np.mean([t.dirty_block_fraction for t in self.transitions]))
+
+    @property
+    def mean_delta_gain(self) -> float:
+        """Mean (delta factor - raw factor): the headroom delta encoding buys."""
+        return float(
+            np.mean(
+                [t.delta_gzip_factor - t.raw_gzip_factor for t in self.transitions]
+            )
+        )
+
+
+def change_statistics(sequence: list[bytes], block_size: int = 4096) -> SequenceStats:
+    """Per-transition change statistics over a checkpoint sequence."""
+    if len(sequence) < 2:
+        raise ValueError("need at least 2 checkpoints")
+    if block_size < 256:
+        raise ValueError("block_size must be >= 256")
+    transitions = []
+    for prev, curr in zip(sequence, sequence[1:]):
+        n = min(len(prev), len(curr))
+        a = np.frombuffer(prev, dtype=np.uint8, count=n)
+        b = np.frombuffer(curr, dtype=np.uint8, count=n)
+        changed = a != b
+        dirty_bytes = float(changed.mean())
+        n_blocks = (n + block_size - 1) // block_size
+        padded = np.zeros(n_blocks * block_size, dtype=bool)
+        padded[:n] = changed
+        dirty_blocks = float(
+            padded.reshape(n_blocks, block_size).any(axis=1).mean()
+        )
+        delta = xor_delta(prev, curr)
+        transitions.append(
+            TransitionStats(
+                dirty_byte_fraction=dirty_bytes,
+                dirty_block_fraction=dirty_blocks,
+                delta_gzip_factor=1.0 - len(zlib.compress(delta, 1)) / len(delta),
+                raw_gzip_factor=1.0 - len(zlib.compress(curr, 1)) / len(curr),
+            )
+        )
+    return SequenceStats(transitions=tuple(transitions))

@@ -1,0 +1,118 @@
+"""The asynchronous (double-buffered) local checkpoint writer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.ckpt.async_local import AsyncLocalWriter
+from repro.ckpt.backends import IOStore, LocalStore
+from repro.ckpt.format import make_header
+from repro.ckpt.multilevel import MultilevelCheckpointer
+
+
+def files_for(payload, ckpt_id, app="a"):
+    return {0: (make_header(app, 0, ckpt_id, payload, position=float(ckpt_id)), payload)}
+
+
+class TestWriter:
+    def test_commits_in_background(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        w = AsyncLocalWriter("a", local)
+        w.submit(1, files_for(small_blob, 1))
+        assert w.drain(10)
+        assert local.committed("a") == [1]
+        assert w.stats.committed == 1
+
+    def test_ordering_preserved(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=8)
+        w = AsyncLocalWriter("a", local)
+        for cid in (1, 2, 3):
+            w.submit(cid, files_for(small_blob, cid))
+        assert w.drain(10)
+        assert local.committed("a") == [1, 2, 3]
+
+    def test_pre_post_hooks_bracket_commit(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        events = []
+        w = AsyncLocalWriter(
+            "a",
+            local,
+            pre_commit=lambda: events.append("pre"),
+            post_commit=lambda: events.append("post"),
+            on_commit=lambda cid: events.append(("done", cid)),
+        )
+        w.submit(7, files_for(small_blob, 7))
+        assert w.drain(10)
+        assert events == ["pre", "post", ("done", 7)]
+
+    def test_error_recorded_not_raised(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        w = AsyncLocalWriter("a", local)
+        bad = {0: (make_header("a", 0, 1, small_blob), small_blob + b"x")}  # size mismatch
+        w.submit(1, bad)
+        assert w.drain(10)
+        assert w.stats.committed == 0
+        assert w.stats.errors and "ckpt 1" in w.stats.errors[0]
+
+    def test_at_most_one_in_flight(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=8)
+        gate = threading.Event()
+        orig = local.write_checkpoint
+
+        def slow_write(app, cid, files):
+            gate.wait(5)
+            orig(app, cid, files)
+
+        local.write_checkpoint = slow_write  # type: ignore[method-assign]
+        w = AsyncLocalWriter("a", local)
+        w.submit(1, files_for(small_blob, 1))
+        t0 = time.perf_counter()
+        opened = threading.Timer(0.2, gate.set)
+        opened.start()
+        w.submit(2, files_for(small_blob, 2))  # must block until 1 lands
+        assert time.perf_counter() - t0 > 0.15
+        assert w.drain(10)
+        assert local.committed("a") == [1, 2]
+
+
+class TestCheckpointerIntegration:
+    def test_async_mode_hides_local_write(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs")
+        with MultilevelCheckpointer(
+            "x", local, io, mode="ndp", local_async=True
+        ) as cr:
+            cid = cr.checkpoint({0: small_blob}, position=1.0)
+            assert cr.flush_to_io(30)
+            assert local.committed("x") == [cid]
+            assert io.committed("x") == [cid]
+
+    def test_restart_waits_for_inflight_commit(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs")
+        with MultilevelCheckpointer(
+            "x", local, io, mode="ndp", local_async=True
+        ) as cr:
+            cr.checkpoint({0: small_blob}, position=5.0)
+            res = cr.restart()  # must see the just-submitted checkpoint
+            assert res.ckpt_id == 1
+            assert res.positions[0] == 5.0
+
+    def test_async_requires_ndp_mode(self, tmp_path):
+        local = LocalStore(tmp_path / "nvm", capacity=2)
+        io = IOStore(tmp_path / "pfs")
+        with pytest.raises(ValueError, match="ndp"):
+            MultilevelCheckpointer("x", local, io, mode="host", local_async=True)
+
+    def test_sequence_of_async_checkpoints(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=3)
+        io = IOStore(tmp_path / "pfs")
+        with MultilevelCheckpointer(
+            "x", local, io, mode="ndp", local_async=True
+        ) as cr:
+            for step in range(1, 6):
+                cr.checkpoint({0: small_blob}, position=float(step))
+            assert cr.flush_to_io(30)
+            res = cr.restart()
+            assert res.ckpt_id == 5

@@ -1,0 +1,147 @@
+"""Storage backends: commit atomicity, retention, locks, throttling."""
+
+import time
+
+import pytest
+
+from repro.ckpt.backends import IOStore, LocalStore, PartnerStore
+from repro.ckpt.format import make_header
+
+
+def files(payloads: dict[int, bytes], ckpt_id: int, app="app"):
+    return {
+        r: (make_header(app, r, ckpt_id, p, position=float(ckpt_id)), p)
+        for r, p in payloads.items()
+    }
+
+
+@pytest.fixture
+def data(small_blob):
+    return {0: small_blob, 1: small_blob[::-1]}
+
+
+class TestCommitProtocol:
+    def test_write_then_read(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=4)
+        store.write_checkpoint("app", 1, files(data, 1))
+        back = store.read_checkpoint("app", 1)
+        assert back[0][1] == data[0]
+        assert back[1][1] == data[1]
+        assert back[1][0].rank == 1
+
+    def test_staged_invisible_until_commit(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=4)
+        h, p = files(data, 1)[0]
+        store.stage_rank_file("app", 1, 0, h, p)
+        assert store.committed("app") == []
+        with pytest.raises(FileNotFoundError):
+            store.read_checkpoint("app", 1)
+        store.commit_checkpoint("app", 1)
+        assert store.committed("app") == [1]
+
+    def test_latest(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=8)
+        assert store.latest("app") is None
+        for cid in (1, 2, 5):
+            store.write_checkpoint("app", cid, files(data, cid))
+        assert store.latest("app") == 5
+
+    def test_apps_isolated(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=4)
+        store.write_checkpoint("a", 1, files(data, 1, app="a"))
+        assert store.committed("b") == []
+
+    def test_delete(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=4)
+        store.write_checkpoint("app", 1, files(data, 1))
+        store.delete_checkpoint("app", 1)
+        assert store.committed("app") == []
+
+    def test_wipe(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=4)
+        store.write_checkpoint("app", 1, files(data, 1))
+        store.wipe("app")
+        assert store.committed("app") == []
+
+    def test_empty_files_rejected(self, tmp_path):
+        store = LocalStore(tmp_path, capacity=4)
+        with pytest.raises(ValueError):
+            store.write_checkpoint("app", 1, {})
+
+
+class TestLocalRetention:
+    def test_capacity_enforced_fifo(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=2)
+        for cid in (1, 2, 3, 4):
+            store.write_checkpoint("app", cid, files(data, cid))
+        assert store.committed("app") == [3, 4]
+
+    def test_evicted_checkpoint_directory_removed(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=1)
+        store.write_checkpoint("app", 1, files(data, 1))
+        store.write_checkpoint("app", 2, files(data, 2))
+        assert not (tmp_path / "app" / "ckpt_00000001").exists()
+
+    def test_locked_checkpoint_survives(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=2)
+        store.write_checkpoint("app", 1, files(data, 1))
+        store.lock("app", 1)
+        store.write_checkpoint("app", 2, files(data, 2))
+        store.write_checkpoint("app", 3, files(data, 3))
+        assert 1 in store.committed("app")
+        assert 2 not in store.committed("app")
+
+    def test_unlock_triggers_deferred_eviction(self, tmp_path, data):
+        store = LocalStore(tmp_path, capacity=1)
+        store.write_checkpoint("app", 1, files(data, 1))
+        store.lock("app", 1)
+        store.write_checkpoint("app", 2, files(data, 2))
+        assert store.committed("app") == [1, 2]  # over capacity, 1 locked
+        store.unlock("app", 1)
+        assert store.committed("app") == [2]
+
+    def test_lock_uncommitted_rejected(self, tmp_path):
+        store = LocalStore(tmp_path, capacity=2)
+        with pytest.raises(FileNotFoundError):
+            store.lock("app", 99)
+
+    def test_capacity_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            LocalStore(tmp_path, capacity=0)
+
+
+class TestPartnerRetention:
+    def test_partner_keeps_newest(self, tmp_path, data):
+        store = PartnerStore(tmp_path, capacity=2)
+        for cid in (1, 2, 3):
+            store.write_checkpoint("app", cid, files(data, cid))
+        assert store.committed("app") == [2, 3]
+
+
+class TestIOStore:
+    def test_no_retention_limit(self, tmp_path, data):
+        store = IOStore(tmp_path)
+        for cid in range(1, 7):
+            store.write_checkpoint("app", cid, files(data, cid))
+        assert len(store.committed("app")) == 6
+
+    def test_bytes_written_counter(self, tmp_path, data):
+        store = IOStore(tmp_path)
+        store.write_checkpoint("app", 1, files(data, 1))
+        assert store.bytes_written == sum(len(p) for p in data.values())
+
+    def test_throttle_slows_writes(self, tmp_path, data):
+        fast = IOStore(tmp_path / "fast")
+        slow = IOStore(tmp_path / "slow", throttle_bps=200_000)
+        t0 = time.perf_counter()
+        fast.write_checkpoint("app", 1, files(data, 1))
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow.write_checkpoint("app", 1, files(data, 1))
+        t_slow = time.perf_counter() - t0
+        expected = sum(len(p) for p in data.values()) / 200_000
+        assert t_slow > max(t_fast, 0.8 * expected)
+
+    def test_throttle_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            IOStore(tmp_path, throttle_bps=0)

@@ -1,0 +1,130 @@
+"""Delta-drained checkpoints: storage savings and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt.backends import IOStore, LocalStore
+from repro.ckpt.multilevel import MultilevelCheckpointer
+from repro.ckpt.restart import recover
+from repro.compression.codecs import make_codec
+
+GZIP = make_codec("gzip", 1)
+
+
+def evolving_payloads(step: int, rng_seed: int = 0, ranks: int = 2) -> dict[int, bytes]:
+    """State where most bytes persist between steps (delta-friendly)."""
+    rng = np.random.default_rng(rng_seed)
+    base = rng.integers(0, 256, 40_000, dtype=np.uint8)
+    out = {}
+    for r in range(ranks):
+        arr = base.copy()
+        # A small moving window changes per step, the rest is static.
+        lo = (step * 777 + r * 131) % 35_000
+        arr[lo : lo + 2_000] = rng.integers(0, 256, 2_000, dtype=np.uint8)
+        out[r] = arr.tobytes()
+    return out
+
+
+@pytest.fixture
+def cr(tmp_path):
+    local = LocalStore(tmp_path / "nvm", capacity=4)
+    io = IOStore(tmp_path / "pfs")
+    c = MultilevelCheckpointer(
+        "delta", local, io, mode="ndp", codec=GZIP, delta_every=4
+    ).start()
+    yield c
+    c.close(flush=False)
+
+
+class TestDeltaDrain:
+    def _drain_steps(self, cr, steps):
+        payload_history = {}
+        for step in range(1, steps + 1):
+            payloads = evolving_payloads(step)
+            cr.checkpoint(payloads, position=float(step))
+            assert cr.flush_to_io(30)  # force one drain per checkpoint
+            payload_history[step] = payloads
+        return payload_history
+
+    def test_deltas_recorded_and_smaller(self, cr):
+        self._drain_steps(cr, 4)
+        stats = cr.daemon.stats
+        assert stats.checkpoints_drained == 4
+        assert stats.delta_drains == 3  # 1 full + 3 deltas per delta_every=4
+        # Deltas of mostly-static state compress far better than fulls.
+        headers = cr.io.read_checkpoint("delta", 4)
+        assert headers[0][0].delta_base == 1
+        full = sum(len(p) for _, (h, p) in cr.io.read_checkpoint("delta", 1).items())
+        delta = sum(len(p) for _, (h, p) in headers.items())
+        assert delta < full / 2
+
+    def test_full_refresh_cadence(self, cr):
+        self._drain_steps(cr, 6)
+        h5 = cr.io.read_checkpoint("delta", 5)[0][0]
+        assert h5.delta_base is None  # 5th drain starts a new full cycle
+        h6 = cr.io.read_checkpoint("delta", 6)[0][0]
+        assert h6.delta_base == 5
+
+    def test_recovery_reconstructs_delta(self, cr):
+        history = self._drain_steps(cr, 3)
+        cr.local.wipe("delta")  # force I/O recovery of a delta checkpoint
+        res = cr.restart()
+        assert res.level == "io"
+        assert res.ckpt_id == 3
+        assert res.payloads == history[3]
+
+    def test_recovery_of_full_checkpoint_unaffected(self, cr):
+        history = self._drain_steps(cr, 1)
+        cr.local.wipe("delta")
+        res = cr.restart()
+        assert res.payloads == history[1]
+
+    def test_missing_base_falls_back(self, cr):
+        history = self._drain_steps(cr, 3)
+        cr.local.wipe("delta")
+        # Destroy the base (id 1): deltas 2 and 3 become unreadable, but
+        # recovery must not fail — there is nothing else, so it errors...
+        cr.io.delete_checkpoint("delta", 1)
+        from repro.ckpt.restart import NoCheckpointError
+
+        with pytest.raises(NoCheckpointError):
+            recover("delta", [cr.local, cr.io])
+        del history
+
+    def test_unreadable_delta_falls_back_to_its_full_base(self, tmp_path):
+        local = LocalStore(tmp_path / "n2", capacity=8)
+        io = IOStore(tmp_path / "p2")
+        with MultilevelCheckpointer(
+            "d2", local, io, mode="ndp", codec=GZIP, delta_every=4
+        ) as cr:
+            hist = {}
+            for step in range(1, 3):  # drains: 1=full, 2=delta(base=1)
+                payloads = evolving_payloads(step, rng_seed=5)
+                cr.checkpoint(payloads, position=float(step))
+                assert cr.flush_to_io(30)
+                hist[step] = payloads
+            local.wipe("d2")
+            # Corrupt the delta's rank files: recovery must fall back to
+            # the older full checkpoint 1.
+            cdir = io._ckpt_dir("d2", 2)
+            for f in cdir.glob("rank_*.ctx"):
+                blob = bytearray(f.read_bytes())
+                blob[-1] ^= 0xFF
+                f.write_bytes(blob)
+            res = cr.restart()
+        assert res.ckpt_id == 1
+        assert res.payloads == hist[1]
+
+    def test_delta_requires_ndp_mode(self, tmp_path):
+        local = LocalStore(tmp_path / "n3", capacity=2)
+        io = IOStore(tmp_path / "p3")
+        with pytest.raises(ValueError, match="ndp"):
+            MultilevelCheckpointer("x", local, io, mode="host", delta_every=2)
+
+    def test_delta_every_validation(self, tmp_path):
+        from repro.ckpt.ndp_daemon import NDPDrainDaemon
+
+        local = LocalStore(tmp_path / "n4", capacity=2)
+        io = IOStore(tmp_path / "p4")
+        with pytest.raises(ValueError):
+            NDPDrainDaemon("x", local, io, delta_every=-1)

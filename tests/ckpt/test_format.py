@@ -1,0 +1,108 @@
+"""Context-file format: round-trip, atomicity, corruption detection."""
+
+import json
+
+import pytest
+
+from repro.ckpt.format import (
+    CorruptCheckpointError,
+    make_header,
+    read_context_file,
+    write_context_file,
+)
+
+
+@pytest.fixture
+def payload(small_blob):
+    return small_blob
+
+
+@pytest.fixture
+def header(payload):
+    return make_header("app", rank=3, ckpt_id=7, payload=payload, position=42.0)
+
+
+class TestRoundTrip:
+    def test_header_and_payload_preserved(self, tmp_path, payload, header):
+        path = tmp_path / "rank_00003.ctx"
+        write_context_file(path, payload, header)
+        h, p = read_context_file(path)
+        assert p == payload
+        assert h == header
+
+    def test_compressed_metadata_fields(self, tmp_path, payload):
+        h = make_header(
+            "app", 0, 1, payload, uncompressed_size=4 * len(payload), codec="gzip(1)"
+        )
+        path = tmp_path / "x.ctx"
+        write_context_file(path, payload, h)
+        back, _ = read_context_file(path)
+        assert back.codec == "gzip(1)"
+        assert back.uncompressed_size == 4 * len(payload)
+
+    def test_size_mismatch_rejected_at_write(self, tmp_path, payload, header):
+        with pytest.raises(ValueError, match="payload_size"):
+            write_context_file(tmp_path / "x.ctx", payload + b"x", header)
+
+    def test_no_tmp_file_left_behind(self, tmp_path, payload, header):
+        write_context_file(tmp_path / "x.ctx", payload, header)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCorruption:
+    def write(self, tmp_path, payload, header):
+        path = tmp_path / "x.ctx"
+        write_context_file(path, payload, header)
+        return path
+
+    def test_bad_magic(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(blob)
+        with pytest.raises(CorruptCheckpointError, match="not a checkpoint"):
+            read_context_file(path)
+
+    def test_flipped_payload_bit_caught_by_crc(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(blob)
+        with pytest.raises(CorruptCheckpointError, match="CRC"):
+            read_context_file(path)
+
+    def test_verify_false_skips_crc(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(blob)
+        read_context_file(path, verify=False)  # no raise
+
+    def test_truncated_payload(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])
+        with pytest.raises(CorruptCheckpointError, match="truncated"):
+            read_context_file(path)
+
+    def test_truncated_header(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        path.write_bytes(path.read_bytes()[:8])
+        with pytest.raises(CorruptCheckpointError):
+            read_context_file(path)
+
+    def test_malformed_header_json(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = bytearray(path.read_bytes())
+        blob[12] = ord("!")  # corrupt inside the JSON header
+        path.write_bytes(blob)
+        with pytest.raises(CorruptCheckpointError):
+            read_context_file(path)
+
+    def test_header_is_debuggable_json(self, tmp_path, payload, header):
+        path = self.write(tmp_path, payload, header)
+        blob = path.read_bytes()
+        start = blob.index(b"{")
+        end = blob.index(b"}", start) + 1
+        meta = json.loads(blob[start:end])
+        assert meta["rank"] == 3 and meta["ckpt_id"] == 7

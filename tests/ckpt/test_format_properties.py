@@ -1,0 +1,71 @@
+"""Property-based tests of the context-file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt.format import (
+    CorruptCheckpointError,
+    make_header,
+    read_context_file,
+    write_context_file,
+)
+
+
+@given(
+    payload=st.binary(min_size=1, max_size=20_000),
+    rank=st.integers(min_value=0, max_value=99_999),
+    ckpt_id=st.integers(min_value=0, max_value=2**31),
+    position=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    app=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=20,
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_round_trip(tmp_path_factory, payload, rank, ckpt_id, position, app):
+    """Any payload/metadata combination survives write -> read verbatim."""
+    path = tmp_path_factory.mktemp("fmt") / "f.ctx"
+    header = make_header(app, rank, ckpt_id, payload, position=float(position))
+    write_context_file(path, payload, header)
+    back_header, back_payload = read_context_file(path)
+    assert back_payload == payload
+    assert back_header == header
+
+
+@given(
+    payload=st.binary(min_size=16, max_size=4_000),
+    flip_at=st.integers(min_value=0, max_value=3_999),
+    bit=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_any_payload_bitflip_detected(tmp_path_factory, payload, flip_at, bit):
+    """Flipping any single payload bit must fail verification (CRC32 has
+    Hamming distance >= 2 for these sizes) or leave the bytes identical
+    (flip landed outside the file — impossible here, so always detected)."""
+    path = tmp_path_factory.mktemp("fmt") / "f.ctx"
+    header = make_header("a", 0, 1, payload)
+    write_context_file(path, payload, header)
+    blob = bytearray(path.read_bytes())
+    offset = len(blob) - len(payload) + (flip_at % len(payload))
+    blob[offset] ^= 1 << bit
+    path.write_bytes(blob)
+    with pytest.raises(CorruptCheckpointError):
+        read_context_file(path)
+
+
+@given(truncate_to=st.integers(min_value=0, max_value=120))
+@settings(max_examples=80, deadline=None)
+def test_property_truncation_never_parses(tmp_path_factory, truncate_to):
+    """A context file truncated anywhere strictly inside must not parse
+    as valid (atomic-rename writes mean readers only ever see whole files,
+    but defense in depth matters for copied/partial transfers)."""
+    path = tmp_path_factory.mktemp("fmt") / "f.ctx"
+    payload = b"payload-bytes" * 10
+    write_context_file(path, payload, make_header("a", 0, 1, payload))
+    blob = path.read_bytes()
+    cut = min(truncate_to, len(blob) - 1)
+    path.write_bytes(blob[:cut])
+    with pytest.raises(CorruptCheckpointError):
+        read_context_file(path)

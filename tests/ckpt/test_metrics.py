@@ -1,0 +1,60 @@
+"""Runtime metrics collection."""
+
+import pytest
+
+from repro.ckpt.backends import IOStore, LocalStore
+from repro.ckpt.metrics import RuntimeMetrics
+from repro.ckpt.multilevel import MultilevelCheckpointer
+
+
+class TestRuntimeMetrics:
+    def test_timed_accumulates(self):
+        m = RuntimeMetrics()
+        with m.timed("local"):
+            pass
+        with m.timed("io"):
+            pass
+        assert m.blocked_seconds["local"] >= 0.0
+        assert m.total_blocked == sum(m.blocked_seconds.values())
+
+    def test_unknown_activity_rejected(self):
+        m = RuntimeMetrics()
+        with pytest.raises(KeyError):
+            with m.timed("lunch"):
+                pass
+
+    def test_summary_renders(self):
+        m = RuntimeMetrics()
+        m.checkpoints = 3
+        assert "3 checkpoints" in m.summary()
+
+
+class TestCheckpointerIntegration:
+    def test_counters_track_operations(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs")
+        cr = MultilevelCheckpointer("m", local, io, mode="host", io_every=2)
+        cr.checkpoint({0: small_blob})
+        cr.checkpoint({0: small_blob})
+        assert cr.metrics.checkpoints == 2
+        assert cr.metrics.bytes_local == 2 * len(small_blob)
+        assert cr.metrics.bytes_io_host == len(small_blob)  # only ckpt 2
+        assert cr.metrics.blocked_seconds["local"] > 0.0
+        assert cr.metrics.blocked_seconds["io"] > 0.0
+
+    def test_restore_counted(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs")
+        cr = MultilevelCheckpointer("m", local, io, mode="host")
+        cr.checkpoint({0: small_blob})
+        cr.restart()
+        assert cr.metrics.restores == 1
+        assert cr.metrics.blocked_seconds["restore"] > 0.0
+
+    def test_ndp_mode_no_host_io_bytes(self, tmp_path, small_blob):
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs")
+        with MultilevelCheckpointer("m", local, io, mode="ndp") as cr:
+            cr.checkpoint({0: small_blob})
+            cr.flush_to_io(30)
+            assert cr.metrics.bytes_io_host == 0  # drains are background

@@ -1,0 +1,126 @@
+"""The NDP drain daemon: background offload semantics."""
+
+import time
+
+import pytest
+
+from repro.ckpt.backends import IOStore, LocalStore
+from repro.ckpt.format import make_header
+from repro.ckpt.ndp_daemon import NDPDrainDaemon
+from repro.ckpt.stream import decompress_stream
+from repro.compression.codecs import make_codec
+
+GZIP = make_codec("gzip", 1)
+
+
+def put(local, cid, payloads, app="app"):
+    local.write_checkpoint(
+        app,
+        cid,
+        {r: (make_header(app, r, cid, p, position=float(cid)), p) for r, p in payloads.items()},
+    )
+
+
+@pytest.fixture
+def stores(tmp_path):
+    return LocalStore(tmp_path / "nvm", capacity=4), IOStore(tmp_path / "pfs")
+
+
+class TestDraining:
+    def test_drains_committed_checkpoint(self, stores, small_blob):
+        local, io = stores
+        put(local, 1, {0: small_blob})
+        with NDPDrainDaemon("app", local, io, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        assert io.committed("app") == [1]
+        assert io.read_checkpoint("app", 1)[0][1] == small_blob
+
+    def test_compressed_drain_and_codec_header(self, stores, small_blob):
+        local, io = stores
+        put(local, 1, {0: small_blob})
+        with NDPDrainDaemon("app", local, io, codec=GZIP, block_size=4096, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        header, payload = io.read_checkpoint("app", 1)[0]
+        assert header.codec == "gzip(1)"
+        assert header.uncompressed_size == len(small_blob)
+        assert decompress_stream(payload, GZIP) == small_blob
+
+    def test_newest_first_skips_stale(self, stores, small_blob):
+        local, io = stores
+        # Commit three checkpoints before the daemon starts: it must drain
+        # the newest and skip the older two.
+        for cid in (1, 2, 3):
+            put(local, cid, {0: small_blob})
+        with NDPDrainDaemon("app", local, io, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        assert io.committed("app") == [3]
+        assert d.stats.checkpoints_drained == 1
+
+    def test_stats_factor(self, stores):
+        local, io = stores
+        put(local, 1, {0: bytes(100_000)})  # highly compressible
+        with NDPDrainDaemon("app", local, io, codec=GZIP, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        assert d.stats.achieved_factor > 0.9
+        assert d.stats.bytes_in == 100_000
+
+    def test_multiple_ranks_all_drained(self, stores, small_blob):
+        local, io = stores
+        put(local, 1, {0: small_blob, 1: small_blob[::-1], 2: bytes(1000)})
+        with NDPDrainDaemon("app", local, io, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        assert set(io.read_checkpoint("app", 1)) == {0, 1, 2}
+
+    def test_unlocks_after_drain(self, stores, small_blob):
+        local, io = stores
+        put(local, 1, {0: small_blob})
+        with NDPDrainDaemon("app", local, io, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        assert local.locked("app") == []
+
+
+class TestPauseResume:
+    def test_paused_daemon_does_not_drain(self, stores, small_blob):
+        local, io = stores
+        d = NDPDrainDaemon("app", local, io, poll_interval=0.002).start()
+        d.pause()
+        put(local, 1, {0: small_blob})
+        time.sleep(0.1)
+        assert io.committed("app") == []
+        d.resume()
+        assert d.wait_idle(10)
+        assert io.committed("app") == [1]
+        d.stop()
+
+    def test_stop_while_paused(self, stores, small_blob):
+        local, io = stores
+        d = NDPDrainDaemon("app", local, io).start()
+        d.pause()
+        d.stop(timeout=5)  # must not hang
+
+
+class TestLifecycle:
+    def test_start_idempotent(self, stores):
+        local, io = stores
+        d = NDPDrainDaemon("app", local, io).start()
+        thread = d._thread
+        d.start()
+        assert d._thread is thread
+        d.stop()
+
+    def test_restartable_after_stop(self, stores, small_blob):
+        local, io = stores
+        d = NDPDrainDaemon("app", local, io, poll_interval=0.002)
+        d.start()
+        d.stop()
+        put(local, 1, {0: small_blob})
+        d.start()
+        assert d.wait_idle(10)
+        d.stop()
+        assert io.committed("app") == [1]
+
+    def test_wait_idle_times_out(self, stores, small_blob):
+        local, io = stores
+        d = NDPDrainDaemon("app", local, io)  # never started
+        put(local, 1, {0: small_blob})
+        assert d.wait_idle(timeout=0.1) is False

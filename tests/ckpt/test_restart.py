@@ -1,0 +1,129 @@
+"""Recovery protocol: level priority, corruption fallback, decompression."""
+
+import pytest
+
+from repro.ckpt.backends import IOStore, LocalStore, PartnerStore
+from repro.ckpt.format import make_header
+from repro.ckpt.restart import NoCheckpointError, recover
+from repro.ckpt.stream import compress_stream
+from repro.compression.codecs import make_codec
+
+GZIP = make_codec("gzip", 1)
+
+
+def put(store, cid, payloads, app="app", codec=None):
+    files = {}
+    for r, p in payloads.items():
+        if codec is not None:
+            out = compress_stream(p, codec, block_size=4096)
+            files[r] = (
+                make_header(app, r, cid, out, position=float(cid),
+                            uncompressed_size=len(p), codec=codec.name),
+                out,
+            )
+        else:
+            files[r] = (make_header(app, r, cid, p, position=float(cid)), p)
+    store.write_checkpoint(app, cid, files)
+
+
+@pytest.fixture
+def stores(tmp_path):
+    return (
+        LocalStore(tmp_path / "nvm", capacity=4),
+        PartnerStore(tmp_path / "partner"),
+        IOStore(tmp_path / "pfs"),
+    )
+
+
+class TestPriority:
+    def test_prefers_local_when_it_has_newest(self, stores, small_blob):
+        local, partner, io = stores
+        put(local, 2, {0: small_blob})
+        put(io, 2, {0: small_blob})
+        res = recover("app", [local, partner, io])
+        assert res.level == "local"
+        assert res.ckpt_id == 2
+
+    def test_newest_anywhere_wins_over_level(self, stores, small_blob):
+        # I/O has a newer checkpoint than local: the rollback point is the
+        # newest committed anywhere.
+        local, partner, io = stores
+        put(local, 1, {0: b"old" + small_blob})
+        put(io, 3, {0: small_blob})
+        res = recover("app", [local, partner, io])
+        assert res.ckpt_id == 3
+        assert res.level == "io"
+
+    def test_partner_between_local_and_io(self, stores, small_blob):
+        local, partner, io = stores
+        put(partner, 5, {0: small_blob})
+        put(io, 5, {0: small_blob})
+        res = recover("app", [local, partner, io])
+        assert res.level == "partner"
+
+    def test_no_checkpoints_raises(self, stores):
+        with pytest.raises(NoCheckpointError):
+            recover("app", list(stores))
+
+    def test_empty_store_list_rejected(self):
+        with pytest.raises(ValueError):
+            recover("app", [])
+
+
+class TestPayloads:
+    def test_positions_and_payloads_per_rank(self, stores, small_blob):
+        local, partner, io = stores
+        put(local, 4, {0: small_blob, 1: small_blob[::-1]})
+        res = recover("app", [local, partner, io])
+        assert res.payloads[1] == small_blob[::-1]
+        assert res.positions == {0: 4.0, 1: 4.0}
+
+    def test_compressed_io_checkpoint_decompressed(self, stores, small_blob):
+        local, partner, io = stores
+        put(io, 1, {0: small_blob}, codec=GZIP)
+        res = recover("app", [local, partner, io])
+        assert res.payloads[0] == small_blob
+        assert res.level == "io"
+
+
+class TestCorruptionFallback:
+    def corrupt(self, store, app, cid):
+        cdir = store._ckpt_dir(app, cid)
+        for f in cdir.glob("rank_*.ctx"):
+            blob = bytearray(f.read_bytes())
+            blob[-1] ^= 0xFF
+            f.write_bytes(blob)
+
+    def test_falls_to_other_store_same_id(self, stores, small_blob):
+        local, partner, io = stores
+        put(local, 2, {0: small_blob})
+        put(io, 2, {0: small_blob})
+        self.corrupt(local, "app", 2)
+        res = recover("app", [local, partner, io])
+        assert res.level == "io"
+        assert res.ckpt_id == 2
+
+    def test_falls_back_to_older_id(self, stores, small_blob):
+        local, partner, io = stores
+        put(local, 1, {0: small_blob})
+        put(local, 2, {0: small_blob})
+        self.corrupt(local, "app", 2)
+        res = recover("app", [local, partner, io])
+        assert res.ckpt_id == 1
+
+    def test_all_corrupt_raises(self, stores, small_blob):
+        local, partner, io = stores
+        put(local, 1, {0: small_blob})
+        self.corrupt(local, "app", 1)
+        with pytest.raises(NoCheckpointError, match="verification"):
+            recover("app", [local, partner, io])
+
+    def test_missing_directory_tolerated(self, stores, small_blob):
+        import shutil
+
+        local, partner, io = stores
+        put(local, 1, {0: small_blob})
+        put(io, 1, {0: small_blob})
+        shutil.rmtree(local._ckpt_dir("app", 1))  # manifest says committed
+        res = recover("app", [local, partner, io])
+        assert res.level == "io"

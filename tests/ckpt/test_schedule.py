@@ -1,0 +1,96 @@
+"""Adaptive checkpoint scheduling: MTTI estimation + Daly advisor."""
+
+import pytest
+
+from repro.ckpt.schedule import AdaptiveScheduler, DalyIntervalAdvisor, OnlineMTTIEstimator
+from repro.core import daly
+
+
+class TestEstimator:
+    def test_starts_at_prior(self):
+        est = OnlineMTTIEstimator(prior_mtti=1800.0)
+        assert est.mtti == 1800.0
+
+    def test_converges_to_empirical(self):
+        est = OnlineMTTIEstimator(prior_mtti=1800.0, prior_weight=1.0)
+        for _ in range(100):
+            est.observe_time(600.0)
+            est.observe_failure()
+        # Empirical MTTI 600 s; prior washed out by 100 observations.
+        assert est.mtti == pytest.approx(600.0, rel=0.05)
+
+    def test_no_failures_raises_estimate(self):
+        est = OnlineMTTIEstimator(prior_mtti=1800.0)
+        est.observe_time(36_000.0)
+        assert est.mtti > 1800.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineMTTIEstimator(prior_mtti=0.0)
+        est = OnlineMTTIEstimator(prior_mtti=100.0)
+        with pytest.raises(ValueError):
+            est.observe_time(-1.0)
+
+
+class TestAdvisor:
+    def test_matches_daly(self):
+        adv = DalyIntervalAdvisor(commit_time=7.5)
+        assert adv.recommend(1800.0) == pytest.approx(
+            float(daly.daly_interval(7.5, 1800.0))
+        )
+
+    def test_shorter_mtti_shorter_interval(self):
+        adv = DalyIntervalAdvisor(commit_time=7.5)
+        assert adv.recommend(600.0) < adv.recommend(3600.0)
+
+    def test_clamping(self):
+        adv = DalyIntervalAdvisor(commit_time=7.5, min_interval=60.0, max_interval=300.0)
+        assert adv.recommend(1.0) == 60.0
+        assert adv.recommend(1e9) == 300.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DalyIntervalAdvisor(commit_time=0.0)
+        with pytest.raises(ValueError):
+            DalyIntervalAdvisor(commit_time=1.0, min_interval=10.0, max_interval=5.0)
+        adv = DalyIntervalAdvisor(commit_time=1.0)
+        with pytest.raises(ValueError):
+            adv.recommend(0.0)
+
+
+class TestScheduler:
+    def make(self, prior=1800.0):
+        return AdaptiveScheduler(
+            estimator=OnlineMTTIEstimator(prior_mtti=prior),
+            advisor=DalyIntervalAdvisor(commit_time=7.5),
+        )
+
+    def test_checkpoints_at_interval(self):
+        sched = self.make()
+        interval = sched.current_interval
+        sched.tick(interval * 0.9)
+        assert not sched.should_checkpoint()
+        sched.tick(interval * 0.2)
+        assert sched.should_checkpoint()
+        sched.notify_checkpoint()
+        assert not sched.should_checkpoint()
+
+    def test_failures_shorten_interval(self):
+        sched = self.make()
+        before = sched.current_interval
+        for _ in range(20):
+            sched.tick(120.0)
+            sched.notify_failure()
+        assert sched.current_interval < before
+
+    def test_interval_history_recorded(self):
+        sched = self.make()
+        sched.tick(sched.current_interval + 1)
+        sched.notify_checkpoint()
+        assert len(sched.intervals_used) == 1
+
+    def test_failure_resets_accumulator(self):
+        sched = self.make()
+        sched.tick(sched.current_interval + 1)
+        sched.notify_failure()
+        assert not sched.should_checkpoint()

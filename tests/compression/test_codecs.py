@@ -1,0 +1,74 @@
+"""Codec adapters and the registry."""
+
+import pytest
+
+from repro.compression.codecs import (
+    PAPER_UTILITIES,
+    codec_from_name,
+    default_codecs,
+    make_codec,
+)
+
+
+class TestMakeCodec:
+    @pytest.mark.parametrize("utility,level", PAPER_UTILITIES)
+    def test_round_trip(self, utility, level, small_blob):
+        codec = make_codec(utility, level)
+        assert codec.decompress(codec.compress(small_blob)) == small_blob
+
+    def test_name_format(self):
+        assert make_codec("gzip", 6).name == "gzip(6)"
+
+    def test_unknown_utility(self):
+        with pytest.raises(ValueError):
+            make_codec("zstd", 3)
+
+    def test_lz4_level_restricted(self):
+        with pytest.raises(ValueError):
+            make_codec("lz4", 6)
+
+    def test_levels_change_output(self, small_blob):
+        fast = make_codec("gzip", 1).compress(small_blob)
+        best = make_codec("gzip", 9).compress(small_blob)
+        assert len(best) <= len(fast)
+
+
+class TestFactor:
+    def test_factor_definition(self, small_blob):
+        codec = make_codec("gzip", 1)
+        f = codec.factor(small_blob)
+        assert f == 1.0 - len(codec.compress(small_blob)) / len(small_blob)
+
+    def test_factor_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_codec("gzip", 1).factor(b"")
+
+    def test_stronger_codecs_higher_factor(self, small_blob):
+        # xz should not lose to lz4 on mixed data.
+        f_lz4 = make_codec("lz4", 1).factor(small_blob)
+        f_xz = make_codec("xz", 6).factor(small_blob)
+        assert f_xz >= f_lz4
+
+
+class TestRegistry:
+    def test_default_codecs_cover_paper_set(self):
+        names = [c.name for c in default_codecs()]
+        assert names == [
+            "gzip(1)",
+            "gzip(6)",
+            "bzip2(1)",
+            "bzip2(9)",
+            "xz(1)",
+            "xz(6)",
+            "lz4(1)",
+        ]
+
+    @pytest.mark.parametrize("name", ["gzip(1)", "bzip2(9)", "xz(6)", "lz4(1)"])
+    def test_codec_from_name_round_trip(self, name):
+        assert codec_from_name(name).name == name
+
+    def test_codec_from_name_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            codec_from_name("gzip-1")
+        with pytest.raises(ValueError):
+            codec_from_name("gzip(one)")

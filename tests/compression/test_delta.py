@@ -1,0 +1,127 @@
+"""Delta encoding / dedup (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.delta import (
+    BlockDeduper,
+    apply_xor_delta,
+    xor_delta,
+    zero_rle,
+    zero_rle_decode,
+)
+
+
+class TestXorDelta:
+    def test_identical_inputs_give_zero_delta(self):
+        data = b"checkpoint contents" * 10
+        delta = xor_delta(data, data)
+        assert delta == bytes(len(data))
+
+    def test_round_trip(self, rng):
+        prev = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        curr = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        assert apply_xor_delta(prev, xor_delta(prev, curr)) == curr
+
+    def test_growing_checkpoint(self):
+        prev = b"abcd"
+        curr = b"abcdEXTRA"
+        delta = xor_delta(prev, curr)
+        assert delta[:4] == bytes(4)
+        assert delta[4:] == b"EXTRA"
+        assert apply_xor_delta(prev, delta) == curr
+
+    def test_shrinking_checkpoint(self):
+        prev = b"abcdefgh"
+        curr = b"abcd"
+        assert apply_xor_delta(prev, xor_delta(prev, curr)) == curr
+
+    def test_sparse_change_mostly_zero(self, rng):
+        prev = bytearray(rng.integers(0, 256, 4096, dtype=np.uint8).tobytes())
+        curr = bytearray(prev)
+        curr[100] ^= 0xFF
+        delta = xor_delta(bytes(prev), bytes(curr))
+        assert sum(1 for b in delta if b != 0) == 1
+
+
+class TestZeroRLE:
+    def test_round_trip_simple(self):
+        data = b"ab" + bytes(100) + b"cd"
+        assert zero_rle_decode(zero_rle(data)) == data
+
+    def test_compresses_zero_runs(self):
+        data = bytes(10_000)
+        assert len(zero_rle(data)) < 10
+
+    def test_short_zero_runs_stay_literal(self):
+        data = b"a" + bytes(3) + b"b"  # run of 3 < min_run 8
+        enc = zero_rle(data)
+        assert zero_rle_decode(enc) == data
+        assert enc[0] == 0x01  # single literal record
+
+    def test_empty(self):
+        assert zero_rle_decode(zero_rle(b"")) == b""
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(ValueError, match="tag"):
+            zero_rle_decode(b"\x07\x01")
+
+    def test_truncated_literal_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            zero_rle_decode(b"\x01\x0aabc")
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=150, deadline=None)
+    def test_property_round_trip(self, data):
+        assert zero_rle_decode(zero_rle(data)) == data
+
+    @given(st.binary(max_size=512), st.integers(min_value=8, max_value=512))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip_varied_min_run(self, data, min_run):
+        assert zero_rle_decode(zero_rle(data, min_run=min_run)) == data
+
+
+class TestBlockDedup:
+    def test_identical_checkpoints_fully_dedup(self):
+        d = BlockDeduper(64)
+        blob = b"x" * 1000
+        d.push(blob)
+        res = d.push(blob)
+        # All blocks hash identically; with constant content there is one
+        # distinct full block + one partial, both seen before.
+        assert res.dedup_factor == 1.0
+
+    def test_disjoint_checkpoints_no_dedup(self, rng):
+        d = BlockDeduper(64)
+        d.push(rng.integers(0, 256, 1024, dtype=np.uint8).tobytes())
+        res = d.push(rng.integers(0, 256, 1024, dtype=np.uint8).tobytes())
+        assert res.dedup_factor == 0.0
+
+    def test_partial_overlap(self, rng):
+        d = BlockDeduper(128)
+        base = rng.integers(0, 256, 1024, dtype=np.uint8).tobytes()
+        d.push(base)
+        modified = bytearray(base)
+        modified[0] ^= 1  # dirty exactly one block
+        res = d.push(bytes(modified))
+        assert res.total_blocks == 8
+        assert res.unique_blocks == 1
+
+    def test_window_is_previous_only(self):
+        d = BlockDeduper(64)
+        a, b = b"A" * 128, b"B" * 128
+        d.push(a)
+        d.push(b)
+        res = d.push(a)  # a's blocks were forgotten after b
+        assert res.dedup_factor == 0.0
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            BlockDeduper(8)
+
+    def test_empty_checkpoint(self):
+        res = BlockDeduper(64).push(b"")
+        assert res.total_blocks == 0
+        assert res.dedup_factor == 0.0

@@ -1,0 +1,103 @@
+"""Entropy analysis of checkpoint data."""
+
+import numpy as np
+import pytest
+import zlib
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.entropy import (
+    analyze,
+    block_entropy_profile,
+    byte_entropy,
+    entropy_factor_bound,
+)
+
+
+class TestByteEntropy:
+    def test_constant_data_zero_entropy(self):
+        assert byte_entropy(b"\x42" * 1000) == 0.0
+
+    def test_uniform_random_near_eight(self, rng):
+        data = rng.integers(0, 256, 200_000, dtype=np.uint8).tobytes()
+        assert byte_entropy(data) == pytest.approx(8.0, abs=0.01)
+
+    def test_two_symbol_alphabet_one_bit(self, rng):
+        data = rng.integers(0, 2, 100_000, dtype=np.uint8).tobytes()
+        assert byte_entropy(data) == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            byte_entropy(b"")
+
+    @given(st.binary(min_size=1, max_size=4096))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounds(self, data):
+        h = byte_entropy(data)
+        assert 0.0 <= h <= 8.0 + 1e-9
+
+
+class TestFactorBound:
+    def test_random_data_no_headroom(self, rng):
+        data = rng.integers(0, 256, 100_000, dtype=np.uint8).tobytes()
+        assert entropy_factor_bound(data) < 0.01
+
+    def test_gzip_respects_order0_bound_on_iid_data(self, rng):
+        """For i.i.d. data (no structure to exploit) gzip cannot beat the
+        order-0 bound by more than framing noise."""
+        data = rng.integers(0, 4, 100_000, dtype=np.uint8).tobytes()
+        bound = entropy_factor_bound(data)
+        achieved = 1.0 - len(zlib.compress(data, 9)) / len(data)
+        assert achieved <= bound + 0.02
+
+    def test_structured_data_beats_order0_bound(self):
+        """Repetitive data with a flat byte histogram: order-0 sees
+        nothing, gzip sees everything."""
+        data = bytes(range(256)) * 400
+        assert entropy_factor_bound(data) < 0.01
+        achieved = 1.0 - len(zlib.compress(data, 6)) / len(data)
+        assert achieved > 0.9
+
+
+class TestBlockProfile:
+    def test_profile_length(self):
+        profile = block_entropy_profile(bytes(10_000), block_size=1024)
+        assert len(profile) == 10
+        assert np.all(profile == 0.0)
+
+    def test_heterogeneous_buffer(self, rng):
+        data = bytes(8192) + rng.integers(0, 256, 8192, dtype=np.uint8).tobytes()
+        profile = block_entropy_profile(data, block_size=4096)
+        assert profile[0] == 0.0
+        assert profile[-1] > 7.5
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            block_entropy_profile(b"abc" * 100, block_size=16)
+
+
+class TestAnalyze:
+    def test_report_fields(self, rng):
+        data = bytes(4096) + rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        rep = analyze(data)
+        assert rep.nbytes == 8192
+        assert rep.zero_fraction == pytest.approx(0.5, abs=0.01)
+        assert rep.block_entropy_min == 0.0
+        assert rep.block_entropy_max > 7.0
+        assert 0 <= rep.order0_bound <= 1
+
+    def test_calibrated_checkpoint_consistent(self):
+        """A calibrated proxy checkpoint's achieved gzip factor must be
+        explainable: no more than order-0 bound + structural headroom,
+        and the quantized mantissas must show low block entropy."""
+        from repro.workloads import calibrated_app
+
+        app = calibrated_app("HPCCG", seed=0)
+        app.run(3)
+        blob = app.checkpoint_bytes()
+        rep = analyze(blob)
+        achieved = 1.0 - len(zlib.compress(blob, 1)) / len(blob)
+        # Heavily quantized state: the byte histogram alone explains most
+        # of the factor (entropy coder headroom).
+        assert rep.order0_bound > achieved - 0.35
+        assert rep.entropy < 4.0

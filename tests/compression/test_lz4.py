@@ -1,0 +1,141 @@
+"""The from-scratch LZ4 block codec: round-trip, format rules, fuzzing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import lz4
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"hello world",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            b"abcabcabcabcabcabcabcabcabcabc" * 20,
+            bytes(1000),
+            bytes(range(256)) * 8,
+        ],
+        ids=["empty", "one", "two", "short", "run", "periodic", "zeros", "cycle"],
+    )
+    def test_basic_cases(self, data):
+        assert lz4.decompress(lz4.compress(data)) == data
+
+    def test_expected_size_check(self):
+        comp = lz4.compress(b"hello hello hello hello")
+        with pytest.raises(lz4.LZ4DecodeError, match="decoded size"):
+            lz4.decompress(comp, expected_size=5)
+
+    def test_random_binary(self, rng):
+        data = rng.integers(0, 256, 50_000, dtype=np.uint8).tobytes()
+        comp = lz4.compress(data)
+        assert lz4.decompress(comp, len(data)) == data
+        # Incompressible data must not blow up: bounded expansion.
+        assert len(comp) <= len(data) + len(data) // 255 + 16
+
+    def test_low_entropy_compresses(self, rng):
+        data = rng.integers(0, 4, 100_000, dtype=np.uint8).tobytes()
+        comp = lz4.compress(data)
+        assert len(comp) < len(data)
+        assert lz4.decompress(comp, len(data)) == data
+
+    def test_long_match_run(self):
+        # Exercise extended match-length encoding (>= 19 + 255 bytes).
+        data = b"x" * 5000 + b"tail"
+        comp = lz4.compress(data)
+        assert len(comp) < 60
+        assert lz4.decompress(comp) == data
+
+    def test_long_literal_run(self, rng):
+        # Exercise extended literal-length encoding (>= 15 literals).
+        data = rng.integers(0, 256, 400, dtype=np.uint8).tobytes()
+        assert lz4.decompress(lz4.compress(data)) == data
+
+    def test_overlapping_copy_rle(self):
+        # offset < match length forces the byte-by-byte overlap path.
+        data = b"ab" * 2000
+        comp = lz4.compress(data)
+        assert lz4.decompress(comp) == data
+
+
+class TestFormatRules:
+    def test_short_inputs_stored_as_literals(self):
+        # Below mfLimit no matches are allowed: output = token + literals.
+        data = b"abcabcabcabc"  # 12 bytes < 13
+        comp = lz4.compress(data)
+        assert comp[1:] == data  # single literal sequence
+
+    def test_empty_block_token(self):
+        assert lz4.compress(b"") == b"\x00"
+        assert lz4.decompress(b"\x00") == b""
+
+
+class TestMalformedInput:
+    def test_empty_input_rejected(self):
+        with pytest.raises(lz4.LZ4DecodeError):
+            lz4.decompress(b"")
+
+    def test_truncated_literals(self):
+        with pytest.raises(lz4.LZ4DecodeError, match="literals"):
+            lz4.decompress(b"\x50abc")  # claims 5 literals, has 3
+
+    def test_missing_offset(self):
+        # 1 literal + match with only one of the two offset bytes present.
+        with pytest.raises(lz4.LZ4DecodeError, match="offset"):
+            lz4.decompress(b"\x11a\x01")
+
+    def test_end_after_literals_is_final_sequence(self):
+        # Input exhausted right after a sequence's literals: treated as the
+        # final literals-only sequence (lenient, like the reference codec).
+        assert lz4.decompress(b"\x11a") == b"a"
+
+    def test_zero_offset_rejected(self):
+        bad = b"\x11a\x00\x00"
+        with pytest.raises(lz4.LZ4DecodeError, match="zero"):
+            lz4.decompress(bad)
+
+    def test_offset_beyond_output_rejected(self):
+        bad = b"\x11a\x09\x00"
+        with pytest.raises(lz4.LZ4DecodeError, match="exceeds"):
+            lz4.decompress(bad)
+
+    def test_unterminated_length_run(self):
+        bad = b"\xf0" + b"\xff" * 3
+        with pytest.raises(lz4.LZ4DecodeError):
+            lz4.decompress(bad)
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_decompress_never_crashes(self, blob):
+        """Arbitrary bytes either decode or raise LZ4DecodeError — never
+        an unexpected exception type."""
+        try:
+            lz4.decompress(blob)
+        except lz4.LZ4DecodeError:
+            pass
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=150, deadline=None)
+def test_property_round_trip(data):
+    """compress |> decompress is the identity for arbitrary bytes."""
+    assert lz4.decompress(lz4.compress(data), len(data)) == data
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=1, max_value=8000),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_constant_runs(byte, length):
+    """Constant runs round-trip and compress to O(log n) output."""
+    data = bytes([byte]) * length
+    comp = lz4.compress(data)
+    assert lz4.decompress(comp, length) == data
+    if length > 64:
+        assert len(comp) < length // 4

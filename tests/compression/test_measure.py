@@ -1,0 +1,52 @@
+"""Throughput/factor measurement."""
+
+import pytest
+
+from repro.compression.codecs import make_codec
+from repro.compression.measure import measure_codec, scale_threads
+
+
+class TestMeasure:
+    def test_measurement_fields(self, small_blob):
+        m = measure_codec(make_codec("gzip", 1), [small_blob])
+        assert m.codec == "gzip(1)"
+        assert m.input_bytes == len(small_blob)
+        assert 0 < m.output_bytes < m.input_bytes
+        assert m.compress_speed > 0
+        assert m.decompress_speed > 0
+
+    def test_factor_consistent_with_sizes(self, small_blob):
+        m = measure_codec(make_codec("gzip", 1), [small_blob])
+        assert m.factor == pytest.approx(1 - m.output_bytes / m.input_bytes)
+
+    def test_chunked_measurement_sums(self, small_blob):
+        m = measure_codec(make_codec("gzip", 1), [small_blob, small_blob])
+        assert m.input_bytes == 2 * len(small_blob)
+
+    def test_empty_chunks_skipped(self, small_blob):
+        m = measure_codec(make_codec("gzip", 1), [b"", small_blob])
+        assert m.input_bytes == len(small_blob)
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measure_codec(make_codec("gzip", 1), [b""])
+
+    def test_verification_catches_broken_codec(self, small_blob):
+        broken = make_codec("gzip", 1)
+        object.__setattr__(broken, "_decompress", lambda d: b"wrong")
+        with pytest.raises(AssertionError):
+            measure_codec(broken, [small_blob], verify=True)
+
+
+class TestThreadScaling:
+    def test_linear_by_default(self):
+        assert scale_threads(110.1e6, 4) == pytest.approx(440.4e6)
+
+    def test_derating(self):
+        assert scale_threads(100e6, 4, efficiency=0.5) == pytest.approx(200e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_threads(1e6, 0)
+        with pytest.raises(ValueError):
+            scale_threads(1e6, 2, efficiency=1.5)

@@ -1,0 +1,97 @@
+"""The Section 5 compression study structures and paper transcription."""
+
+import pytest
+
+from repro.compression.codecs import make_codec
+from repro.compression.study import (
+    PAPER_TABLE2,
+    PAPER_UTILITY_AVERAGES,
+    average_by_utility,
+    paper_factor,
+    paper_speed,
+    run_study,
+    sizing_inputs,
+)
+
+
+class TestPaperTranscription:
+    def test_seven_apps(self):
+        assert [r.app for r in PAPER_TABLE2] == [
+            "CoMD",
+            "HPCCG",
+            "miniFE",
+            "miniMD",
+            "miniSMAC2D",
+            "miniAero",
+            "pHPCCG",
+        ]
+
+    def test_per_app_lookup(self):
+        assert paper_factor("CoMD", "gzip(1)") == pytest.approx(0.842)
+        assert paper_speed("CoMD", "gzip(1)") == pytest.approx(153.7e6)
+        assert paper_factor("miniSMAC2D", "lz4(1)") == pytest.approx(0.241)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            paper_factor("LAMMPS")
+
+    def test_averages_match_per_app_data(self):
+        # The published Average row should be the mean of the app rows
+        # (to the paper's printed precision).
+        for codec, (avg_f, avg_s) in PAPER_UTILITY_AVERAGES.items():
+            f = sum(r.measurements[codec][0] for r in PAPER_TABLE2) / len(PAPER_TABLE2)
+            s = sum(r.measurements[codec][1] for r in PAPER_TABLE2) / len(PAPER_TABLE2)
+            assert f == pytest.approx(avg_f, abs=0.005)
+            assert s == pytest.approx(avg_s, rel=0.01)
+
+    def test_checkpoint_sizes(self):
+        total = sum(r.checkpoint_bytes for r in PAPER_TABLE2)
+        # Paper average row: 31.76 GB over 7 apps.
+        assert total / 7 == pytest.approx(31.76e9, rel=0.01)
+
+
+class TestLiveStudy:
+    @pytest.fixture(scope="class")
+    def tiny_study(self, request):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        datasets = {
+            "smooth": [np.linspace(0, 1, 20000).tobytes()],
+            "noisy": [rng.integers(0, 256, 80000, dtype=np.uint8).tobytes()],
+        }
+        codecs = [make_codec("gzip", 1), make_codec("lz4", 1)]
+        return run_study(datasets, codecs)
+
+    def test_study_shape(self, tiny_study):
+        assert tiny_study.apps() == ["smooth", "noisy"]
+        assert set(tiny_study.results["smooth"]) == {"gzip(1)", "lz4(1)"}
+
+    def test_smooth_beats_noisy(self, tiny_study):
+        assert tiny_study.factor("smooth", "gzip(1)") > tiny_study.factor(
+            "noisy", "gzip(1)"
+        )
+
+    def test_average_by_utility(self, tiny_study):
+        avgs = average_by_utility(tiny_study)
+        f, s = avgs["gzip(1)"]
+        expected = (
+            tiny_study.factor("smooth", "gzip(1)")
+            + tiny_study.factor("noisy", "gzip(1)")
+        ) / 2
+        assert f == pytest.approx(expected)
+        assert s > 0
+
+
+class TestSizingInputs:
+    def test_paper_source(self):
+        inputs = sizing_inputs("paper")
+        assert inputs["gzip(1)"][0] == pytest.approx(0.728)
+
+    def test_measured_requires_study(self):
+        with pytest.raises(ValueError):
+            sizing_inputs("measured")
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            sizing_inputs("guess")

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import paper_parameters
+from repro.core.configs import CRParameters
+
+
+@pytest.fixture
+def params() -> CRParameters:
+    """The paper's Table 4 parameter bundle."""
+    return paper_parameters()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_blob(rng: np.random.Generator) -> bytes:
+    """~64 kB of mixed-compressibility bytes."""
+    smooth = np.cumsum(rng.standard_normal(4096)).astype(np.float64).tobytes()
+    noisy = rng.integers(0, 256, 16384, dtype=np.uint8).tobytes()
+    return smooth + bytes(8192) + noisy + smooth

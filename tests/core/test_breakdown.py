@@ -1,0 +1,74 @@
+"""OverheadBreakdown invariants and views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.breakdown import OverheadBreakdown
+
+
+def make(compute=0.8, cl=0.05, cio=0.05, rl=0.01, rio=0.02, rul=0.03, ruio=0.04):
+    return OverheadBreakdown(
+        compute=compute,
+        checkpoint_local=cl,
+        checkpoint_io=cio,
+        restore_local=rl,
+        restore_io=rio,
+        rerun_local=rul,
+        rerun_io=ruio,
+    )
+
+
+class TestInvariants:
+    def test_total_sums_to_one(self):
+        assert make().total == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadBreakdown(compute=1.2)
+        with pytest.raises(ValueError):
+            OverheadBreakdown(compute=0.5, rerun_io=-0.1)
+
+    def test_efficiency_alias(self):
+        assert make().efficiency == make().compute
+
+    def test_aggregates(self):
+        b = make()
+        assert b.checkpoint == pytest.approx(0.10)
+        assert b.restore == pytest.approx(0.03)
+        assert b.rerun == pytest.approx(0.07)
+        assert b.overhead == pytest.approx(0.2)
+
+
+class TestViews:
+    def test_normalized_to_compute(self):
+        norm = make().normalized_to_compute()
+        assert norm["compute"] == pytest.approx(1.0)
+        assert norm["checkpoint_local"] == pytest.approx(0.05 / 0.8)
+
+    def test_normalized_rejects_zero_compute(self):
+        b = OverheadBreakdown(compute=0.0, rerun_io=1.0)
+        with pytest.raises(ValueError):
+            b.normalized_to_compute()
+
+    def test_as_dict_covers_components(self):
+        d = make().as_dict()
+        assert set(d) == set(OverheadBreakdown.component_names())
+
+    def test_scaled_to_wall_time(self):
+        secs = make().scaled_to(1000.0)
+        assert secs["compute"] == pytest.approx(800.0)
+        assert sum(secs.values()) == pytest.approx(1000.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=7, max_size=7).filter(
+        lambda xs: sum(xs) > 0
+    )
+)
+def test_property_fraction_normalization(xs):
+    # Any non-negative weights normalized by their sum form a valid breakdown.
+    total = sum(xs)
+    b = OverheadBreakdown(*[x / total for x in xs])
+    assert b.total == pytest.approx(1.0)
+    assert 0.0 <= b.overhead <= 1.0 + 1e-9

@@ -1,0 +1,108 @@
+"""CRParameters / CompressionSpec derived quantities and validation."""
+
+import math
+
+import pytest
+
+from repro.core.configs import (
+    HOST_GZIP1,
+    NDP_GZIP1,
+    NO_COMPRESSION,
+    CompressionSpec,
+    CRParameters,
+    paper_parameters,
+)
+
+
+class TestCompressionSpec:
+    def test_ratio_from_factor(self):
+        spec = CompressionSpec(0.728, 1e8, 1e9)
+        assert spec.ratio == pytest.approx(1 / 0.272)
+
+    def test_compressed_size(self):
+        spec = CompressionSpec(0.75, 1e8, 1e9)
+        assert spec.compressed_size(112e9) == pytest.approx(28e9)
+
+    def test_with_factor_preserves_rates(self):
+        new = HOST_GZIP1.with_factor(0.5)
+        assert new.factor == 0.5
+        assert new.compress_rate == HOST_GZIP1.compress_rate
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(1.0, 1e8, 1e9)
+        with pytest.raises(ValueError):
+            CompressionSpec(-0.1, 1e8, 1e9)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(0.5, 0.0, 1e9)
+
+    def test_no_compression_sentinel(self):
+        assert NO_COMPRESSION.factor == 0.0
+        assert math.isinf(NO_COMPRESSION.compress_rate)
+
+    def test_paper_engine_rates(self):
+        assert HOST_GZIP1.compress_rate == pytest.approx(640e6)  # 64 x 10 MB/s
+        assert NDP_GZIP1.compress_rate == pytest.approx(440.4e6)  # 4 x 110.1 MB/s
+        assert NDP_GZIP1.decompress_rate == pytest.approx(16e9)
+
+
+class TestCRParameters:
+    def test_paper_defaults(self, params):
+        assert params.mtti == 1800.0
+        assert params.checkpoint_size == 112e9
+        assert params.local_interval == 150.0
+        assert params.p_local_recovery == 0.85
+
+    def test_local_commit_time(self, params):
+        assert params.local_commit_time == pytest.approx(112 / 15, rel=1e-6)
+
+    def test_io_commit_time_uncompressed_is_18_67_min(self, params):
+        assert params.io_commit_time() == pytest.approx(1120.0)
+
+    def test_io_commit_time_with_compression_is_io_bound(self, params):
+        # gzip(1): 640 MB/s compression vs 100 MB/s I/O on 30.46 GB.
+        t = params.io_commit_time(HOST_GZIP1)
+        assert t == pytest.approx(112e9 * 0.272 / 100e6)
+        assert t > 112e9 / HOST_GZIP1.compress_rate  # write is the bottleneck
+
+    def test_io_commit_time_compression_bound(self, params):
+        slow = CompressionSpec(0.9, compress_rate=50e6, decompress_rate=1e9)
+        t = params.io_commit_time(slow)
+        assert t == pytest.approx(112e9 / 50e6)  # producer-bound
+
+    def test_io_restore_time_decompression_overlapped(self, params):
+        t = params.io_restore_time(NDP_GZIP1)
+        # Stream-bound: 30.46 GB at 100 MB/s, not 112 GB / 16 GB/s.
+        assert t == pytest.approx(112e9 * 0.272 / 100e6)
+
+    def test_tau_explicit_vs_daly(self, params):
+        assert params.tau == 150.0
+        auto = params.with_(local_interval=None)
+        assert 100.0 < auto.tau < 250.0
+        assert auto.tau != 150.0
+
+    def test_cycle_time(self, params):
+        assert params.cycle_time == pytest.approx(150.0 + 112 / 15)
+
+    def test_with_functional_update(self, params):
+        p2 = params.with_(mtti=3600.0)
+        assert p2.mtti == 3600.0
+        assert params.mtti == 1800.0  # original untouched
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mtti", -1.0),
+            ("checkpoint_size", 0.0),
+            ("local_bandwidth", 0.0),
+            ("io_bandwidth", -5.0),
+            ("local_interval", 0.0),
+            ("p_local_recovery", 1.5),
+            ("restart_overhead", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            paper_parameters().with_(**{field: value})

@@ -1,0 +1,136 @@
+"""Daly's analytic model: intervals, wall time, efficiency, inversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import daly
+
+
+class TestIntervals:
+    def test_young_matches_closed_form(self):
+        assert daly.young_interval(9.0, 1800.0) == pytest.approx(np.sqrt(2 * 9 * 1800))
+
+    def test_daly_close_to_young_when_delta_small(self):
+        y = daly.young_interval(1.0, 1e6)
+        d = daly.daly_interval(1.0, 1e6)
+        assert abs(d - y) / y < 0.01
+
+    def test_daly_caps_at_mtti_when_delta_large(self):
+        # delta >= 2M: checkpointing dominated by interrupts.
+        assert daly.daly_interval(5000.0, 1800.0) == 1800.0
+
+    def test_daly_vectorized(self):
+        deltas = np.array([1.0, 10.0, 100.0])
+        out = daly.daly_interval(deltas, 1800.0)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)  # longer commits -> longer intervals
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(daly.daly_interval(9.0, 1800.0), float)
+        assert isinstance(daly.young_interval(9.0, 1800.0), float)
+
+
+class TestWallTime:
+    def test_no_failures_limit(self):
+        # M -> infinity: wall time -> work * (1 + delta/tau).
+        t = daly.expected_wall_time(1000.0, 100.0, 10.0, 1e12)
+        assert t == pytest.approx(1000.0 * 1.1, rel=1e-4)
+
+    def test_linear_in_work(self):
+        t1 = daly.expected_wall_time(100.0, 50.0, 5.0, 1800.0)
+        t2 = daly.expected_wall_time(200.0, 50.0, 5.0, 1800.0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_restart_defaults_to_delta(self):
+        explicit = daly.expected_wall_time(100.0, 50.0, 5.0, 1800.0, restart=5.0)
+        implicit = daly.expected_wall_time(100.0, 50.0, 5.0, 1800.0)
+        assert explicit == implicit
+
+    def test_failures_increase_wall_time(self):
+        healthy = daly.expected_wall_time(100.0, 50.0, 5.0, 1e9)
+        failing = daly.expected_wall_time(100.0, 50.0, 5.0, 600.0)
+        assert failing > healthy
+
+
+class TestEfficiency:
+    def test_efficiency_in_unit_interval(self):
+        e = daly.efficiency(150.0, 7.5, 1800.0)
+        assert 0 < e < 1
+
+    def test_optimal_beats_suboptimal(self):
+        opt = daly.optimal_efficiency(7.5, 1800.0)
+        assert opt >= daly.efficiency(30.0, 7.5, 1800.0)
+        assert opt >= daly.efficiency(1500.0, 7.5, 1800.0)
+
+    def test_order_argument(self):
+        e_daly = daly.optimal_efficiency(100.0, 1800.0, order="daly")
+        e_young = daly.optimal_efficiency(100.0, 1800.0, order="young")
+        # The higher-order interval can only help (or tie).
+        assert e_daly >= e_young - 1e-9
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            daly.optimal_efficiency(1.0, 10.0, order="cubic")
+
+    @given(st.floats(min_value=1.5, max_value=1e5))
+    @settings(max_examples=50, deadline=None)
+    def test_efficiency_depends_only_on_ratio(self, ratio):
+        # Scale invariance: (delta, M) and (10*delta, 10*M) agree.
+        e1 = daly.optimal_efficiency(1.0, ratio)
+        e2 = daly.optimal_efficiency(10.0, 10.0 * ratio)
+        assert float(e1) == pytest.approx(float(e2), rel=1e-9)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1.01, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_efficiency_monotone_in_m_over_delta(self, ratio, step):
+        lo = daly.efficiency_vs_m_over_delta(ratio)
+        hi = daly.efficiency_vs_m_over_delta(ratio * step)
+        assert float(hi) >= float(lo) - 1e-12
+
+
+class TestFigure1Curve:
+    def test_vectorized_curve_monotone(self):
+        ratios = np.logspace(0, 4, 40)
+        effs = daly.efficiency_vs_m_over_delta(ratios)
+        assert np.all(np.diff(effs) > 0)
+        assert effs[0] < 0.1 and effs[-1] > 0.98
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            daly.efficiency_vs_m_over_delta(np.array([1.0, -2.0]))
+
+    def test_paper_anchor_90pct_at_200(self):
+        # Section 3.3: commit time ~ M/200 for 90% progress.
+        e = daly.efficiency_vs_m_over_delta(200.0)
+        assert float(e) == pytest.approx(0.9, abs=0.01)
+
+
+class TestInversion:
+    def test_required_delta_round_trips(self):
+        m = 1800.0
+        delta = daly.required_delta_for_efficiency(0.9, m)
+        assert float(daly.optimal_efficiency(delta, m)) == pytest.approx(0.9, abs=1e-4)
+
+    def test_paper_section33_values(self):
+        # M = 30 min, target 90%: delta ~ 9 s, period ~ M/10.
+        m = 1800.0
+        delta = daly.required_delta_for_efficiency(0.9, m)
+        assert 7.0 < delta < 11.0
+        frac = daly.optimal_interval_fraction(0.9, m)
+        assert frac == pytest.approx(0.1, abs=0.02)
+
+    def test_higher_target_needs_smaller_delta(self):
+        d90 = daly.required_delta_for_efficiency(0.90, 1800.0)
+        d99 = daly.required_delta_for_efficiency(0.99, 1800.0)
+        assert d99 < d90
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            daly.required_delta_for_efficiency(1.5, 1800.0)
+        with pytest.raises(ValueError):
+            daly.required_delta_for_efficiency(0.0, 1800.0)

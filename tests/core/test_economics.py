@@ -1,0 +1,89 @@
+"""The cost model: structure must hold across unit-price assumptions."""
+
+import pytest
+
+from repro.core.configs import paper_parameters
+from repro.core.economics import (
+    ConfigurationCost,
+    CostModel,
+    _baseline_comparison,
+    cheapest_for_target,
+    price_configuration,
+)
+from repro.core.model import multilevel_ndp
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(nvm_per_gbps=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(nodes=0)
+
+    def test_configuration_cost_arithmetic(self):
+        c = ConfigurationCost("x", efficiency=0.8, nvm_cost=10.0, ndp_cost=5.0, pfs_cost=85.0)
+        assert c.total == 100.0
+        assert c.cost_per_efficiency == pytest.approx(100.0 / 80.0)
+
+    def test_zero_efficiency_infinite_cost(self):
+        c = ConfigurationCost("x", efficiency=0.0, nvm_cost=1, ndp_cost=0, pfs_cost=0)
+        assert c.cost_per_efficiency == float("inf")
+
+
+class TestPricing:
+    def test_components_scale_with_prices(self, params):
+        res = multilevel_ndp(params)
+        cheap = price_configuration("a", params, res, CostModel(), ndp_cores=4)
+        pricey = price_configuration(
+            "a", params, res, CostModel(nvm_per_gbps=300.0), ndp_cores=4
+        )
+        assert pricey.nvm_cost == pytest.approx(2 * cheap.nvm_cost)
+        assert pricey.pfs_cost == cheap.pfs_cost
+
+    def test_ndp_cores_priced_per_node(self, params):
+        res = multilevel_ndp(params)
+        prices = CostModel(ndp_core=50.0, nodes=1000)
+        c = price_configuration("a", params, res, prices, ndp_cores=4)
+        assert c.ndp_cost == 50.0 * 4 * 1000
+
+
+class TestSubstitutionClaim:
+    @pytest.mark.parametrize("pfs_price", [10_000.0, 100_000.0, 1_000_000.0])
+    @pytest.mark.parametrize("core_price", [10.0, 50.0, 150.0])
+    def test_ndp_build_cheaper_and_not_worse(self, pfs_price, core_price):
+        """The Fig. 8/9 substitution (2 GB/s NVM + NDP vs 15 GB/s NVM +
+        host compression) is cheaper at plausible component prices, with
+        equal-or-better efficiency.  (NDP cores are wimpy embedded cores;
+        well below the cost of 13 GB/s of NVM bandwidth.)"""
+        prices = CostModel(pfs_per_gbps=pfs_price, ndp_core=core_price)
+        host, ndp = _baseline_comparison(paper_parameters(), prices)
+        assert ndp.total < host.total
+        assert ndp.efficiency > host.efficiency - 0.02
+        assert ndp.cost_per_efficiency < host.cost_per_efficiency
+
+    def test_cost_per_efficiency_robust_to_extreme_core_price(self):
+        """Even when NDP cores are absurdly expensive ($500 each — more
+        than the NVM bandwidth they replace), NDP still delivers more
+        efficiency per dollar."""
+        prices = CostModel(ndp_core=500.0)
+        host, ndp = _baseline_comparison(paper_parameters(), prices)
+        assert ndp.cost_per_efficiency < host.cost_per_efficiency
+
+
+class TestCheapestForTarget:
+    def test_ndp_reaches_targets_host_cannot(self, params):
+        prices = CostModel()
+        host, ndp = cheapest_for_target(0.88, prices, params)
+        assert ndp is not None
+        # host+compression caps below 0.88 on this grid (blocking
+        # compression rate); see ablation-io-budget.
+        assert host is None or ndp.total <= host.total
+
+    def test_ndp_cheaper_at_reachable_target(self, params):
+        host, ndp = cheapest_for_target(0.70, CostModel(), params)
+        assert host is not None and ndp is not None
+        assert ndp.total < host.total
+
+    def test_unreachable_target_returns_none(self, params):
+        host, ndp = cheapest_for_target(0.999, CostModel(), params)
+        assert host is None and ndp is None

@@ -1,0 +1,141 @@
+"""Metamorphic properties of the performance model.
+
+Rather than asserting point values, these tests assert *relations* that
+must hold between model evaluations under input transformations — the
+strongest kind of regression net for analytic code.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import NDP_GZIP1, CompressionSpec, paper_parameters
+from repro.core.model import io_only, multilevel_host, multilevel_ndp
+
+scenario = st.fixed_dictionaries(
+    {
+        "mtti": st.floats(min_value=600.0, max_value=36_000.0),
+        "size": st.floats(min_value=5e9, max_value=300e9),
+        "p": st.floats(min_value=0.05, max_value=0.99),
+    }
+)
+
+
+def params_of(s):
+    return paper_parameters().with_(
+        mtti=s["mtti"],
+        checkpoint_size=s["size"],
+        p_local_recovery=s["p"],
+        local_interval=None,
+    )
+
+
+class TestMonotonicity:
+    @given(s=scenario, factor=st.floats(min_value=1.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_longer_mtti_never_hurts(self, s, factor):
+        a = multilevel_ndp(params_of(s), NDP_GZIP1).efficiency
+        b = multilevel_ndp(
+            params_of(s).with_(mtti=s["mtti"] * factor), NDP_GZIP1
+        ).efficiency
+        assert b >= a - 1e-9
+
+    @given(s=scenario, factor=st.floats(min_value=1.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_checkpoints_never_help(self, s, factor):
+        a = multilevel_ndp(params_of(s), NDP_GZIP1).efficiency
+        b = multilevel_ndp(
+            params_of(s).with_(checkpoint_size=s["size"] * factor), NDP_GZIP1
+        ).efficiency
+        assert b <= a + 1e-9
+
+    @given(s=scenario, factor=st.floats(min_value=1.1, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_more_io_bandwidth_never_hurts_ndp(self, s, factor):
+        base = params_of(s)
+        a = multilevel_ndp(base, NDP_GZIP1).efficiency
+        b = multilevel_ndp(
+            base.with_(io_bandwidth=base.io_bandwidth * factor), NDP_GZIP1
+        ).efficiency
+        assert b >= a - 1e-9
+
+    @given(s=scenario)
+    @settings(max_examples=60, deadline=None)
+    def test_higher_compression_factor_never_hurts_ndp(self, s):
+        base = params_of(s)
+        lo = multilevel_ndp(base, NDP_GZIP1.with_factor(0.3)).efficiency
+        hi = multilevel_ndp(base, NDP_GZIP1.with_factor(0.8)).efficiency
+        assert hi >= lo - 1e-9
+
+
+class TestScaleInvariance:
+    @given(s=scenario, k=st.floats(min_value=0.25, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_joint_time_scaling(self, s, k):
+        """Scaling every time quantity (MTTI, commit times via size) by k
+        leaves efficiency unchanged — the model has no absolute clock."""
+        base = params_of(s)
+        scaled = base.with_(
+            mtti=base.mtti * k,
+            checkpoint_size=base.checkpoint_size * k,  # scales both commits
+        )
+        comp = CompressionSpec(
+            factor=NDP_GZIP1.factor,
+            compress_rate=NDP_GZIP1.compress_rate,
+            decompress_rate=NDP_GZIP1.decompress_rate,
+        )
+        a = multilevel_ndp(base, comp)
+        # For exact invariance the compression rates must scale too (they
+        # are bandwidths, i.e. inverse times at fixed size).
+        comp_scaled = CompressionSpec(
+            factor=comp.factor,
+            compress_rate=comp.compress_rate,
+            decompress_rate=comp.decompress_rate,
+        )
+        b = multilevel_ndp(scaled, comp_scaled)
+        # sizes scale the compression time linearly; so do the commit
+        # times and MTTI: the ratio structure is preserved exactly.
+        assert b.efficiency == pytest.approx(a.efficiency, rel=1e-9)
+
+
+class TestDominance:
+    @given(s=scenario, ratio=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_ndp_never_loses_to_host_at_matched_compression(self, s, ratio):
+        """Removing blocking I/O work cannot make things worse: for every
+        scenario and every host ratio, NDP at the same compression is at
+        least as efficient (up to the model's cycle quantization)."""
+        p = params_of(s)
+        host = multilevel_host(p, ratio, NDP_GZIP1).efficiency
+        ndp = multilevel_ndp(p, NDP_GZIP1).efficiency
+        assert ndp >= host - 0.01
+
+    @given(s=scenario)
+    @settings(max_examples=60, deadline=None)
+    def test_multilevel_beats_io_only_when_local_recovers(self, s):
+        """The local tier pays off exactly when it serves recoveries.
+
+        This is the paper's own Figure 6 structure: at low p_local,
+        host-multilevel *loses* to I/O-Only (the local writes are pure
+        overhead and the rare I/O snapshots stretch rerun), while at high
+        p_local it wins decisively.  Assert the winning half of the
+        relation, scoped away from MTTI-criticality where the two
+        configurations' mathematical treatments differ
+        (docs/MODELING.md §3).
+        """
+        from hypothesis import assume
+
+        from repro.core.optimizer import optimal_host
+
+        p = params_of({**s, "p": max(s["p"], 0.8)})
+        host = optimal_host(p, NDP_GZIP1).efficiency
+        assume(host > 0.3)  # comfortably sub-critical
+        assert host >= io_only(p, NDP_GZIP1).efficiency - 0.02
+
+    def test_low_p_local_reverses_the_comparison(self):
+        """The complementary half, pinned at the paper's own data point:
+        Figure 6 shows Local(20%)+I/O-Host far below I/O-Only."""
+        from repro.core.optimizer import optimal_host
+
+        p = paper_parameters().with_(p_local_recovery=0.2)
+        assert optimal_host(p).efficiency < io_only(p).efficiency

@@ -1,0 +1,90 @@
+"""NDP provisioning analysis — exact Table 3 regeneration."""
+
+import pytest
+
+from repro.compression.study import PAPER_UTILITY_AVERAGES
+from repro.core.configs import paper_parameters
+from repro.core.ndp_sizing import select_utility, size_ndp, sizing_table
+
+#: Table 3 as printed: (required MB/s, cores, interval s).
+PAPER_TABLE3 = {
+    "gzip(1)": (367, 4, 305),
+    "gzip(6)": (395, 8, 283),
+    "bzip2(1)": (407, 34, 275),
+    "bzip2(9)": (421, 41, 266),
+    "xz(1)": (515, 21, 217),
+    "xz(6)": (596, 125, 188),
+    "lz4(1)": (283, 1, 395),
+}
+
+
+@pytest.fixture
+def sizings(params):
+    return {s.utility: s for s in sizing_table(dict(PAPER_UTILITY_AVERAGES), params)}
+
+
+class TestTable3:
+    @pytest.mark.parametrize("utility", sorted(PAPER_TABLE3))
+    def test_required_speed(self, sizings, utility):
+        speed_mbps, _, _ = PAPER_TABLE3[utility]
+        assert sizings[utility].required_speed / 1e6 == pytest.approx(
+            speed_mbps, rel=0.02
+        )
+
+    @pytest.mark.parametrize("utility", sorted(PAPER_TABLE3))
+    def test_core_count(self, sizings, utility):
+        _, cores, _ = PAPER_TABLE3[utility]
+        assert sizings[utility].cores == cores
+
+    @pytest.mark.parametrize("utility", sorted(PAPER_TABLE3))
+    def test_checkpoint_interval(self, sizings, utility):
+        _, _, interval = PAPER_TABLE3[utility]
+        assert sizings[utility].checkpoint_interval == pytest.approx(
+            interval, rel=0.02
+        )
+
+
+class TestSizingMechanics:
+    def test_higher_factor_needs_higher_speed(self, params):
+        a = size_ndp("a", 0.5, 100e6, params)
+        b = size_ndp("b", 0.8, 100e6, params)
+        assert b.required_speed > a.required_speed
+
+    def test_interval_shrinks_with_factor(self, params):
+        a = size_ndp("a", 0.5, 100e6, params)
+        b = size_ndp("b", 0.8, 100e6, params)
+        assert b.checkpoint_interval < a.checkpoint_interval
+
+    def test_at_least_one_core(self, params):
+        s = size_ndp("fast", 0.1, 1e12, params)
+        assert s.cores == 1
+
+    def test_invalid_inputs(self, params):
+        with pytest.raises(ValueError):
+            size_ndp("x", 1.0, 1e8, params)
+        with pytest.raises(ValueError):
+            size_ndp("x", 0.5, 0.0, params)
+
+    def test_as_spec_provisions_cores_times_thread(self, params):
+        s = size_ndp("gzip(1)", 0.728, 110.1e6, params)
+        spec = s.as_spec(decompress_rate=16e9)
+        assert spec.compress_rate == pytest.approx(s.cores * 110.1e6)
+        assert spec.factor == 0.728
+
+
+class TestSelection:
+    def test_paper_choice_gzip1_at_4_cores(self, sizings):
+        chosen = select_utility(list(sizings.values()), max_cores=4)
+        assert chosen.utility == "gzip(1)"
+
+    def test_relaxed_budget_prefers_gzip6(self, sizings):
+        chosen = select_utility(list(sizings.values()), max_cores=8)
+        assert chosen.utility == "gzip(6)"
+
+    def test_single_core_budget_forces_lz4(self, sizings):
+        chosen = select_utility(list(sizings.values()), max_cores=1)
+        assert chosen.utility == "lz4(1)"
+
+    def test_unsatisfiable_budget(self, sizings):
+        with pytest.raises(ValueError):
+            select_utility(list(sizings.values()), max_cores=0)

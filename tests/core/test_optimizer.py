@@ -1,0 +1,77 @@
+"""Ratio / interval optimizers over the performance model."""
+
+import pytest
+
+from repro.core.configs import HOST_GZIP1, paper_parameters
+from repro.core.model import multilevel_host
+from repro.core.optimizer import (
+    golden_section_max,
+    optimal_host,
+    optimal_local_interval,
+    optimal_ratio,
+    sweep_ratio,
+)
+
+
+class TestSweep:
+    def test_sweep_returns_one_point_per_ratio(self, params):
+        pts = sweep_ratio(params, [1, 8, 64])
+        assert [p.ratio for p in pts] == [1, 8, 64]
+        assert all(0 <= p.efficiency <= 1 for p in pts)
+
+    def test_sweep_matches_direct_evaluation(self, params):
+        pt = sweep_ratio(params, [16])[0]
+        direct = multilevel_host(params, 16)
+        assert pt.efficiency == direct.efficiency
+
+
+class TestOptimalRatio:
+    def test_is_global_optimum_vs_linear_scan(self, params):
+        best = optimal_ratio(params)
+        scan = max(
+            range(1, 200), key=lambda r: multilevel_host(params, r).efficiency
+        )
+        assert multilevel_host(params, best).efficiency == pytest.approx(
+            multilevel_host(params, scan).efficiency, rel=1e-9
+        )
+
+    def test_compression_lowers_optimal_ratio(self, params):
+        plain = optimal_ratio(params)
+        comp = optimal_ratio(params, HOST_GZIP1)
+        assert comp < plain
+
+    def test_higher_p_local_raises_optimal_ratio(self, params):
+        lo = optimal_ratio(params.with_(p_local_recovery=0.2))
+        hi = optimal_ratio(params.with_(p_local_recovery=0.96))
+        assert hi > lo
+
+    def test_optimal_host_uses_best_ratio(self, params):
+        res = optimal_host(params)
+        assert res.ratio == optimal_ratio(params)
+
+
+class TestGoldenSection:
+    def test_finds_parabola_maximum(self):
+        x = golden_section_max(lambda t: -(t - 3.7) ** 2, 0.0, 10.0)
+        assert x == pytest.approx(3.7, abs=1e-2)
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            golden_section_max(lambda t: t, 5.0, 1.0)
+
+
+class TestLocalInterval:
+    def test_default_is_daly_seed(self, params):
+        tau = optimal_local_interval(params)
+        assert 100.0 < tau < 250.0
+
+    def test_refined_interval_does_not_hurt(self, params):
+        def evaluate(p):
+            return multilevel_host(p, 20)
+
+        tau = optimal_local_interval(params, evaluate)
+        refined = multilevel_host(params.with_(local_interval=tau), 20).efficiency
+        seeded = multilevel_host(
+            params.with_(local_interval=optimal_local_interval(params)), 20
+        ).efficiency
+        assert refined >= seeded - 1e-6

@@ -1,0 +1,109 @@
+"""Exascale projection (Table 1) and derived requirements (Section 3.3)."""
+
+import pytest
+
+from repro.core import projection
+from repro.core.units import GB, PB, minutes, years
+
+
+class TestTitanBase:
+    def test_titan_parameters(self):
+        t = projection.TITAN
+        assert t.node_count == 18_688
+        assert t.node_memory_bytes == pytest.approx(38 * GB)
+        assert t.system_peak_flops == pytest.approx(26.9e15, rel=0.01)
+        assert t.system_mtti == minutes(160)
+
+    def test_titan_system_memory(self):
+        assert projection.TITAN.system_memory_bytes == pytest.approx(0.71 * PB, rel=0.01)
+
+
+class TestExascaleProjection:
+    def test_table1_projected_column(self):
+        e = projection.EXASCALE
+        assert e.node_count == 100_000
+        assert e.node_peak_flops == pytest.approx(10e12)
+        assert e.system_peak_flops == pytest.approx(1e18)
+        assert e.node_memory_bytes == pytest.approx(140 * GB)
+        assert e.system_memory_bytes == pytest.approx(14 * PB)
+        assert e.io_bandwidth == pytest.approx(10e12)
+        assert e.system_mtti == minutes(30)
+
+    def test_per_node_io_share_is_100mbps(self):
+        assert projection.EXASCALE.io_bandwidth_per_node == pytest.approx(100e6)
+
+    def test_checkpoint_size_80pct(self):
+        assert projection.EXASCALE.checkpoint_size(0.8) == pytest.approx(112 * GB)
+
+    def test_checkpoint_size_validates_fraction(self):
+        with pytest.raises(ValueError):
+            projection.EXASCALE.checkpoint_size(0.0)
+        with pytest.raises(ValueError):
+            projection.EXASCALE.checkpoint_size(1.5)
+
+    def test_custom_projection(self):
+        m = projection.project_exascale(target_flops=2e18, mtti_round_to=None)
+        assert m.node_count == 200_000
+        # More nodes => lower MTTI (without the optimistic rounding).
+        raw_1e18 = projection.project_exascale(mtti_round_to=None)
+        assert m.system_mtti == pytest.approx(raw_1e18.system_mtti / 2)
+
+
+class TestMTTI:
+    def test_raw_socket_mttf_projection(self):
+        # 5-year socket MTTF over 100k nodes ~ 26.28 minutes.
+        mtti = projection.mtti_from_socket_mttf(100_000, round_to=None)
+        assert mtti == pytest.approx(26.28 * 60, rel=0.01)
+
+    def test_optimistic_rounding_only_rounds_up(self):
+        up = projection.mtti_from_socket_mttf(100_000, round_to=minutes(30))
+        assert up == minutes(30)
+        # A round_to below the raw value leaves the raw value intact.
+        same = projection.mtti_from_socket_mttf(100_000, round_to=minutes(10))
+        assert same == pytest.approx(26.28 * 60, rel=0.01)
+
+    def test_mtti_scales_inversely_with_nodes(self):
+        m1 = projection.mtti_from_socket_mttf(10_000, round_to=None)
+        m2 = projection.mtti_from_socket_mttf(20_000, round_to=None)
+        assert m1 == pytest.approx(2 * m2)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            projection.mtti_from_socket_mttf(0)
+
+
+class TestRequirements:
+    def test_section_3_3_numbers(self):
+        req = projection.checkpoint_requirements()
+        # Commit ~9 s, period ~3 min, ~12.4 GB/s/node, ~1.24 PB/s system.
+        assert 7.0 < req.commit_time < 11.0
+        assert 150.0 < req.checkpoint_period < 210.0
+        assert req.node_bandwidth == pytest.approx(12.44e9, rel=0.2)
+        assert req.system_bandwidth == pytest.approx(1.244e15, rel=0.2)
+
+    def test_requirement_outpaces_global_io(self):
+        req = projection.checkpoint_requirements()
+        assert req.system_bandwidth > 50 * projection.EXASCALE.io_bandwidth
+
+
+class TestProjectionTable:
+    def test_rows_cover_table1(self):
+        rows = projection.projection_table()
+        names = [r["parameter"] for r in rows]
+        assert names == [
+            "Node Count",
+            "System Peak",
+            "Node Peak",
+            "System Memory",
+            "Node Memory",
+            "Interconnect BW",
+            "I/O Bandwidth",
+            "System MTTI",
+        ]
+
+    def test_factors_match_paper(self):
+        rows = {r["parameter"]: r["factor"] for r in projection.projection_table()}
+        assert rows["Node Count"] == pytest.approx(5.35, abs=0.01)
+        assert rows["I/O Bandwidth"] == pytest.approx(10.0)
+        assert rows["Node Memory"] == pytest.approx(3.68, abs=0.01)
+        assert rows["System MTTI"] == pytest.approx(1 / 5.33, abs=0.01)

@@ -1,0 +1,125 @@
+"""The absorbing-chain renewal model."""
+
+import pytest
+
+from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
+from repro.core.model import multilevel_host, multilevel_ndp
+from repro.core.renewal import (
+    PhaseChain,
+    renewal_multilevel_host,
+    renewal_multilevel_ndp,
+)
+from repro.core.renewal import _Phase  # noqa: PLC2701 - tested directly
+
+
+class TestPhaseChain:
+    def test_no_failures_limit(self):
+        """With MTTI -> infinity the chain returns the nominal time."""
+        phases = [_Phase(10.0, {"compute": 10.0}), _Phase(2.0, {"checkpoint_local": 2.0})]
+        chain = PhaseChain(phases, mtti=1e15, p_local=1.0, restore_local=1.0, restore_io=5.0)
+        total, cats = chain.solve()
+        assert total == pytest.approx(12.0, rel=1e-9)
+        assert cats["compute"] == pytest.approx(10.0, rel=1e-6)
+        assert cats["checkpoint_local"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_failures_inflate_time(self):
+        phases = [_Phase(100.0, {"compute": 100.0})]
+        healthy = PhaseChain(phases, 1e12, 1.0, 1.0, 1.0).solve()[0]
+        failing = PhaseChain(phases, 200.0, 1.0, 1.0, 1.0).solve()[0]
+        assert failing > healthy
+
+    def test_single_phase_geometric_closed_form(self):
+        """One phase, local-only recovery with zero restore: the chain
+        must reproduce the memoryless closed form
+        E[T] = M*(e^{s/M} - 1)."""
+        import math
+
+        s, m = 120.0, 300.0
+        chain = PhaseChain([_Phase(s, {"compute": s})], m, 1.0, 0.0, 0.0)
+        total, _ = chain.solve()
+        assert total == pytest.approx(m * math.expm1(s / m), rel=1e-9)
+
+    def test_io_recovery_restarts_period(self):
+        """p_local=0 with free restores: every failure rewinds to state 0,
+        so a 2-phase period costs more than 2 independent 1-phase runs."""
+        m = 150.0
+        one = PhaseChain([_Phase(100.0, {"compute": 100.0})], m, 0.0, 0.0, 0.0).solve()[0]
+        two = PhaseChain(
+            [_Phase(100.0, {"compute": 100.0}), _Phase(100.0, {"compute": 100.0})],
+            m,
+            0.0,
+            0.0,
+            0.0,
+        ).solve()[0]
+        assert two > 2 * one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseChain([], 100.0, 0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PhaseChain([_Phase(1.0, {"compute": 1.0})], -1.0, 0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PhaseChain([_Phase(1.0, {"compute": 1.0})], 1.0, 1.5, 1.0, 1.0)
+
+
+class TestAgainstExpectedValueModel:
+    """The two analytic methods must agree in benign regimes and bracket
+    consistently in failure-heavy ones."""
+
+    def test_agree_when_failures_rare(self, params):
+        p = params.with_(mtti=1e6)
+        ev = multilevel_ndp(p, NDP_GZIP1, rerun_accounting="staleness")
+        rc = renewal_multilevel_ndp(p, NDP_GZIP1)
+        assert rc.efficiency == pytest.approx(ev.efficiency, abs=0.005)
+
+    def test_paper_operating_point_close(self, params):
+        ev = multilevel_ndp(params, NDP_GZIP1, rerun_accounting="staleness")
+        rc = renewal_multilevel_ndp(params, NDP_GZIP1)
+        assert rc.efficiency == pytest.approx(ev.efficiency, abs=0.05)
+
+    def test_renewal_upper_bounds_expected_value(self, params):
+        # Renewal's I/O rollback target ignores drain lag => optimistic.
+        for p_local in (0.5, 0.85, 0.96):
+            p = params.with_(p_local_recovery=p_local)
+            ev = multilevel_ndp(p, rerun_accounting="staleness").efficiency
+            rc = renewal_multilevel_ndp(p).efficiency
+            assert rc >= ev - 1e-9
+
+    def test_host_variant_close(self, params):
+        ev = multilevel_host(params, 15, NDP_GZIP1, rerun_accounting="staleness")
+        rc = renewal_multilevel_host(params, 15, NDP_GZIP1)
+        assert rc.efficiency == pytest.approx(ev.efficiency, abs=0.06)
+
+
+class TestModelResults:
+    def test_breakdown_sums_to_one(self, params):
+        for res in (
+            renewal_multilevel_ndp(params, NDP_GZIP1),
+            renewal_multilevel_host(params, 10, NO_COMPRESSION),
+        ):
+            assert res.breakdown.total == pytest.approx(1.0, abs=1e-6)
+
+    def test_ndp_has_no_checkpoint_io(self, params):
+        res = renewal_multilevel_ndp(params, NDP_GZIP1)
+        assert res.breakdown.checkpoint_io == 0.0
+
+    def test_host_pays_checkpoint_io(self, params):
+        res = renewal_multilevel_host(params, 10, NDP_GZIP1)
+        assert res.breakdown.checkpoint_io > 0.02
+
+    def test_compression_helps(self, params):
+        plain = renewal_multilevel_ndp(params).efficiency
+        comp = renewal_multilevel_ndp(params, NDP_GZIP1).efficiency
+        assert comp > plain
+
+    def test_ratio_validation(self, params):
+        with pytest.raises(ValueError):
+            renewal_multilevel_host(params, 0)
+
+    def test_io_interval_matches_drain_cadence(self, params):
+        from repro.core.model import ndp_io_interval
+
+        res = renewal_multilevel_ndp(params, NDP_GZIP1)
+        n, interval, _ = ndp_io_interval(params, NDP_GZIP1)
+        assert res.ratio == n
+        assert res.io_interval == pytest.approx(interval)

@@ -1,0 +1,128 @@
+"""Vectorized sweeps must match the scalar model element-for-element."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import NDP_GZIP1, NO_COMPRESSION, CRParameters
+from repro.core.model import multilevel_host, multilevel_ndp
+from repro.core.optimizer import optimal_ratio
+from repro.core.sweeps import (
+    SweepGrid,
+    host_efficiency_grid,
+    ndp_efficiency_grid,
+    optimal_host_grid,
+)
+
+
+def scalar_params(mtti, size, bw_l, bw_io, p):
+    return CRParameters(
+        mtti=mtti,
+        checkpoint_size=size,
+        local_bandwidth=bw_l,
+        io_bandwidth=bw_io,
+        local_interval=None,  # sweeps use Daly-optimal per element
+        p_local_recovery=p,
+    )
+
+
+def grid_of(mtti, size, bw_l=15e9, bw_io=100e6, p=0.85):
+    return SweepGrid(
+        mtti=mtti,
+        checkpoint_size=size,
+        local_bandwidth=bw_l,
+        io_bandwidth=bw_io,
+        p_local=p,
+    )
+
+
+class TestAgainstScalarModel:
+    @pytest.mark.parametrize("accounting", ["paper", "staleness"])
+    @pytest.mark.parametrize("comp", [NO_COMPRESSION, NDP_GZIP1], ids=["raw", "gzip"])
+    def test_ndp_matches_scalar(self, accounting, comp):
+        mttis = np.array([900.0, 1800.0, 5400.0])
+        sizes = np.array([14e9, 112e9])
+        grid = grid_of(mttis[:, None], sizes[None, :])
+        effs = ndp_efficiency_grid(grid, comp, accounting)
+        assert effs.shape == (3, 2)
+        for i, m in enumerate(mttis):
+            for j, s in enumerate(sizes):
+                scalar = multilevel_ndp(
+                    scalar_params(m, s, 15e9, 100e6, 0.85), comp, accounting
+                )
+                assert effs[i, j] == pytest.approx(scalar.efficiency, rel=1e-9)
+
+    @pytest.mark.parametrize("ratio", [1, 8, 40])
+    def test_host_matches_scalar(self, ratio):
+        mttis = np.array([1800.0, 3600.0])
+        grid = grid_of(mttis, 112e9)
+        effs = host_efficiency_grid(grid, ratio, NDP_GZIP1)
+        for i, m in enumerate(mttis):
+            scalar = multilevel_host(
+                scalar_params(m, 112e9, 15e9, 100e6, 0.85), ratio, NDP_GZIP1
+            )
+            assert effs[i] == pytest.approx(scalar.efficiency, rel=1e-9)
+
+    def test_infeasible_maps_to_zero(self):
+        grid = grid_of(30.0, 112e9)  # 30 s MTTI: hopeless
+        assert ndp_efficiency_grid(grid) == 0.0
+
+    @given(
+        mtti=st.floats(min_value=300.0, max_value=36000.0),
+        size=st.floats(min_value=1e9, max_value=500e9),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_pointwise_equivalence(self, mtti, size, p):
+        grid = grid_of(mtti, size, p=p)
+        vec = float(ndp_efficiency_grid(grid, NDP_GZIP1))
+        scalar = multilevel_ndp(
+            scalar_params(mtti, size, 15e9, 100e6, p), NDP_GZIP1
+        ).efficiency
+        assert vec == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+
+class TestOptimalHostGrid:
+    def test_matches_scalar_optimizer(self):
+        mttis = np.array([1800.0, 5400.0])
+        grid = grid_of(mttis, 112e9)
+        ratios, effs = optimal_host_grid(grid, NDP_GZIP1)
+        for i, m in enumerate(mttis):
+            params = scalar_params(m, 112e9, 15e9, 100e6, 0.85)
+            r = optimal_ratio(params, NDP_GZIP1)
+            assert ratios[i] == r
+            assert effs[i] == pytest.approx(
+                multilevel_host(params, r, NDP_GZIP1).efficiency, rel=1e-9
+            )
+
+    def test_grid_shapes(self):
+        grid = grid_of(
+            np.linspace(900, 9000, 5)[:, None], np.linspace(14e9, 112e9, 4)[None, :]
+        )
+        ratios, effs = optimal_host_grid(grid, NDP_GZIP1, max_ratio=128)
+        assert ratios.shape == (5, 4)
+        assert effs.shape == (5, 4)
+        assert np.all(ratios >= 1)
+        assert np.all((effs >= 0) & (effs <= 1))
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            host_efficiency_grid(grid_of(1800.0, 112e9), 0)
+
+
+class TestMonotonicityProperties:
+    def test_efficiency_rises_with_mtti(self):
+        grid = grid_of(np.linspace(600, 9000, 30), 112e9)
+        effs = ndp_efficiency_grid(grid, NDP_GZIP1)
+        assert np.all(np.diff(effs) >= -1e-12)
+
+    def test_efficiency_falls_with_size(self):
+        grid = grid_of(1800.0, np.linspace(10e9, 200e9, 30))
+        effs = ndp_efficiency_grid(grid, NDP_GZIP1)
+        assert np.all(np.diff(effs) <= 1e-12)
+
+    def test_efficiency_rises_with_p_local(self):
+        grid = grid_of(1800.0, 112e9, p=np.linspace(0.05, 0.99, 20))
+        effs = ndp_efficiency_grid(grid, NDP_GZIP1)
+        assert np.all(np.diff(effs) >= -1e-12)

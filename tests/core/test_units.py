@@ -1,0 +1,54 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_decimal_data_units():
+    assert units.gb(1) == 1e9
+    assert units.mb(112_000) == units.gb(112)
+    assert units.tb(10) == 1e13
+    assert units.pb(14) == 14e15
+    assert units.kb(1) == 1e3
+
+
+def test_binary_units_differ_from_decimal():
+    assert units.gib(1) == 2**30
+    assert units.gib(1) > units.gb(1)
+
+
+def test_time_units():
+    assert units.minutes(30) == 1800
+    assert units.hours(2) == 7200
+    assert units.days(1) == 86400
+    assert units.years(1) == pytest.approx(365.25 * 86400)
+
+
+def test_inverse_conversions():
+    assert units.to_minutes(units.minutes(42)) == pytest.approx(42)
+    assert units.to_gb(units.gb(112)) == pytest.approx(112)
+    assert units.to_mb(units.mb(100)) == pytest.approx(100)
+
+
+def test_bandwidth_helpers():
+    assert units.mb_per_s(100) == 1e8
+    assert units.gb_per_s(15) == 1.5e10
+    assert units.tb_per_s(10) == 1e13
+
+
+def test_fmt_bytes_selects_scale():
+    assert units.fmt_bytes(112e9) == "112.00 GB"
+    assert units.fmt_bytes(14e15) == "14.00 PB"
+    assert units.fmt_bytes(512) == "512 B"
+
+
+def test_fmt_time_selects_scale():
+    assert units.fmt_time(1120).endswith("min")
+    assert units.fmt_time(9) == "9.00 s"
+    assert units.fmt_time(7200).endswith("h")
+    assert units.fmt_time(200000).endswith("d")
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(100e6) == "100.00 MB/s"

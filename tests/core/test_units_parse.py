@@ -1,0 +1,63 @@
+"""Human-quantity parsing helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import (
+    GIB,
+    fmt_bytes,
+    parse_bytes,
+    parse_time,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("112GB", 112e9),
+            ("30.5 MB", 30.5e6),
+            ("4096", 4096.0),
+            ("1KiB", 1024.0),
+            ("2gib", 2 * GIB),
+            ("14 PB", 14e15),
+            ("0.5tb", 5e11),
+            ("100b", 100.0),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert parse_bytes(text) == pytest.approx(expected)
+
+    def test_bad_inputs(self):
+        for bad in ("", "GB", "12 parsecs", "1.2.3GB"):
+            with pytest.raises(ValueError):
+                parse_bytes(bad)
+
+    @given(st.floats(min_value=0.001, max_value=999.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fmt_parse_round_trip(self, gb):
+        nbytes = gb * 1e9
+        assert parse_bytes(fmt_bytes(nbytes)) == pytest.approx(nbytes, rel=0.01)
+
+
+class TestParseTime:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30min", 1800.0),
+            ("9 s", 9.0),
+            ("2.5h", 9000.0),
+            ("1d", 86400.0),
+            ("5y", 5 * 365.25 * 86400),
+            ("42", 42.0),
+            ("15m", 900.0),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert parse_time(text) == pytest.approx(expected)
+
+    def test_bad_inputs(self):
+        for bad in ("", "min", "3 fortnights"):
+            with pytest.raises(ValueError):
+                parse_time(bad)

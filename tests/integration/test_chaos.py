@@ -1,0 +1,124 @@
+"""Stateful chaos testing of the C/R runtime.
+
+A hypothesis state machine drives the multilevel checkpointer through a
+random interleaving of checkpoints, crashes (NVM wipes), file corruption,
+drain flushes and restarts, maintaining a model of what data every
+committed checkpoint held.  Invariants:
+
+* a restart never returns wrong data — whatever checkpoint id it picks,
+  the payloads match what was committed under that id;
+* after a flush, destroying local storage still leaves the application
+  recoverable from I/O;
+* corruption is never silently returned (the reader either falls back to
+  an older intact checkpoint or raises NoCheckpointError).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.ckpt import IOStore, LocalStore, MultilevelCheckpointer, NoCheckpointError
+from repro.compression.codecs import make_codec
+
+GZIP = make_codec("gzip", 1)
+
+
+class CheckpointChaos(RuleBasedStateMachine):
+    """Random operation interleavings against a live checkpointer."""
+
+    @initialize()
+    def setup(self):
+        import tempfile
+        from pathlib import Path
+
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.local = LocalStore(root / "nvm", capacity=3)
+        self.io = IOStore(root / "pfs")
+        self.cr = MultilevelCheckpointer(
+            "chaos", self.local, self.io, mode="ndp", codec=GZIP
+        ).start()
+        self.committed: dict[int, dict[int, bytes]] = {}
+        self.corrupted: dict[str, set[int]] = {"local": set(), "io": set()}
+        self.rng = np.random.default_rng(0)
+        self.position = 0
+
+    def teardown(self):
+        self.cr.close(flush=False)
+        self._tmp.cleanup()
+
+    # -- operations ----------------------------------------------------------------
+
+    @rule(ranks=st.integers(min_value=1, max_value=3))
+    def checkpoint(self, ranks):
+        self.position += 1
+        payloads = {
+            r: self.rng.integers(0, 4, 20_000, dtype=np.uint8).tobytes()
+            for r in range(ranks)
+        }
+        cid = self.cr.checkpoint(payloads, position=float(self.position))
+        self.committed[cid] = payloads
+
+    @precondition(lambda self: self.committed)
+    @rule()
+    def flush(self):
+        assert self.cr.flush_to_io(30)
+
+    @precondition(lambda self: self.committed)
+    @rule()
+    def wipe_local(self):
+        self.cr.flush_to_io(30)  # quiesce the drain before destroying NVM
+        self.local.wipe("chaos")
+        self.corrupted["local"].clear()  # nothing left to be corrupt
+
+    @precondition(lambda self: self.committed)
+    @rule(which=st.sampled_from(["local", "io"]))
+    def corrupt_newest(self, which):
+        store = self.local if which == "local" else self.io
+        ids = store.committed("chaos")
+        if not ids:
+            return
+        target = ids[-1]
+        cdir = store._ckpt_dir("chaos", target)
+        for f in cdir.glob("rank_*.ctx"):
+            blob = bytearray(f.read_bytes())
+            blob[-1] ^= 0xFF
+            f.write_bytes(blob)
+        self.corrupted[which].add(target)
+
+    @precondition(lambda self: self.committed)
+    @rule()
+    def restart(self):
+        try:
+            result = self.cr.restart()
+        except NoCheckpointError:
+            assert not self._recoverable_ids(), "recovery gave up too early"
+            return
+        # Never returns corrupted/mismatched data.
+        expected = self.committed[result.ckpt_id]
+        assert set(result.payloads) == set(expected)
+        for r, blob in result.payloads.items():
+            assert blob == expected[r], f"ckpt {result.ckpt_id} rank {r} data mismatch"
+
+    # -- invariants -------------------------------------------------------------------
+
+    @invariant()
+    def local_capacity_respected(self):
+        committed = self.local.committed("chaos")
+        locked = self.local.locked("chaos")
+        assert len(committed) <= self.local.capacity + len(locked) + 1
+
+    def _recoverable_ids(self):
+        """Ids with at least one intact copy on some store."""
+        ok_local = set(self.local.committed("chaos")) - self.corrupted["local"]
+        ok_io = set(self.io.committed("chaos")) - self.corrupted["io"]
+        return (ok_local | ok_io) & set(self.committed)
+
+
+CheckpointChaos.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
+)
+TestCheckpointChaos = CheckpointChaos.TestCase

@@ -1,0 +1,71 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out
+        assert "table2  (slow)" in out
+
+
+class TestExperiment:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Exascale Projection" in out
+        assert "100,000" in out
+
+    def test_overrides_forwarded(self, capsys):
+        assert main(["experiment", "figure9", "-o", "mttis_min=(30, 60)"]) == 0
+        out = capsys.readouterr().out
+        assert "60 min" in out
+        assert "90 min" not in out
+
+    def test_string_override(self, capsys):
+        assert main(["experiment", "table2", "-o", "source=paper"]) == 0
+        assert "Table 2 (paper" in capsys.readouterr().out
+
+    def test_bad_override_format(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table1", "-o", "nonsense"])
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure42"])
+
+
+class TestAll:
+    def test_all_skip_slow(self, capsys):
+        assert main(["all", "--skip-slow"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping table2" in out
+        assert "Figure 6" in out
+
+
+class TestJsonExport:
+    def test_writes_structured_result(self, tmp_path, capsys):
+        out = tmp_path / "fig9.json"
+        assert main(["experiment", "figure9", "--json", str(out)]) == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["experiment"] == "figure9"
+        assert len(data["rows"]) == 5
+        assert "gain_at_min_mtti" in data["headline"]
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out), "--skip-slow"]) == 0
+        body = out.read_text()
+        assert body.startswith("# repro")
+        assert "## Figure 6" in body
+        assert "## Table 1" in body
+        # Slow experiments excluded.
+        assert "Table 2 (measured)" not in body

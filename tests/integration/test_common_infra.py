@@ -1,0 +1,100 @@
+"""Experiment infrastructure: TextTable, ExperimentResult, sensitivity set."""
+
+import pytest
+
+from repro.core.configs import paper_parameters
+from repro.experiments.common import (
+    SENSITIVITY_CONFIGS,
+    ExperimentResult,
+    TextTable,
+    fig6_compression,
+    sensitivity_result,
+)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["name", "value"])
+        t.add_row(["a", 1])
+        t.add_row(["longer-name", 22.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+        # Columns align: every '|' in the same position.
+        pipes = {line.index("|") for line in (lines[0], lines[2], lines[3])}
+        assert len(pipes) == 1
+
+    def test_wrong_cell_count_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_table_renders_headers(self):
+        t = TextTable(["only", "headers"])
+        out = t.render()
+        assert "only" in out and "headers" in out
+
+
+class TestExperimentResult:
+    def test_str_renders_title_and_text(self):
+        r = ExperimentResult(experiment="x", title="My Title", text="body")
+        s = str(r)
+        assert "My Title" in s and "body" in s
+
+
+class TestSensitivityConfigs:
+    def test_five_paper_configurations(self):
+        assert list(SENSITIVITY_CONFIGS) == [
+            "L-15GBps + I/O-HC",
+            "L-15GBps + I/O-N",
+            "L-15GBps + I/O-NC",
+            "L-2GBps + I/O-N",
+            "L-2GBps + I/O-NC",
+        ]
+
+    @pytest.mark.parametrize("label", list(SENSITIVITY_CONFIGS))
+    def test_each_evaluates(self, label):
+        res = sensitivity_result(label, paper_parameters())
+        assert 0 < res.efficiency < 1
+        bw, mode, _ = SENSITIVITY_CONFIGS[label]
+        assert res.params.local_bandwidth == bw
+        if mode == "ndp":
+            assert res.breakdown.checkpoint_io == 0.0
+
+    def test_fig6_compression_engines(self):
+        host = fig6_compression(0.5, "host")
+        ndp = fig6_compression(0.5, "ndp")
+        assert host.factor == ndp.factor == 0.5
+        assert host.compress_rate > ndp.compress_rate  # 64 cores vs 4
+
+
+class TestStoreUsage:
+    def test_usage_counts_committed_only(self, tmp_path, small_blob):
+        from repro.ckpt.backends import LocalStore
+        from repro.ckpt.format import make_header
+
+        store = LocalStore(tmp_path, capacity=4)
+        h = make_header("a", 0, 1, small_blob)
+        store.stage_rank_file("a", 1, 0, h, small_blob)
+        assert store.usage("a") == 0  # staged, not committed
+        store.commit_checkpoint("a", 1)
+        assert store.usage("a") > len(small_blob)  # payload + framing
+
+    def test_usage_shrinks_on_eviction(self, tmp_path, small_blob):
+        from repro.ckpt.backends import LocalStore
+        from repro.ckpt.format import make_header
+
+        store = LocalStore(tmp_path, capacity=1)
+        for cid in (1, 2):
+            store.write_checkpoint(
+                "a", cid, {0: (make_header("a", 0, cid, small_blob), small_blob)}
+            )
+        one = store.usage("a")
+        assert one > 0
+        # Capacity 1: usage equals a single checkpoint's footprint.
+        store.write_checkpoint(
+            "a", 3, {0: (make_header("a", 0, 3, small_blob), small_blob)}
+        )
+        assert store.usage("a") == one

@@ -1,0 +1,256 @@
+"""Every experiment runs and reproduces the paper's headline shapes."""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import ablations, fig1, fig6, fig7, fig8, fig9, table1, table3
+
+
+class TestRegistry:
+    def test_all_paper_exhibits_registered(self):
+        for exp in (
+            "figure1",
+            "table1",
+            "table2",
+            "table3",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+        ):
+            assert exp in REGISTRY
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+
+class TestFigure1:
+    def test_headline(self):
+        res = fig1.run(points=15)
+        assert res.headline["m_over_delta_for_90pct"] == pytest.approx(200, rel=0.1)
+        assert len(res.rows) == 15
+        assert "M/delta" in res.text
+
+
+class TestTable1:
+    def test_matches_paper_column(self):
+        res = table1.run()
+        assert res.headline["node_count"] == 100_000
+        assert res.headline["mtti_minutes"] == 30.0
+        assert res.headline["node_memory_gb"] == pytest.approx(140.0)
+        assert 7 < res.headline["commit_time_s"] < 11
+
+
+class TestTable3:
+    def test_paper_mode_exact(self):
+        res = table3.run(source="paper")
+        rows = {r["utility"]: r for r in res.rows}
+        for utility, (speed, cores, interval) in table3.PAPER_REFERENCE.items():
+            assert rows[utility]["cores"] == cores
+            assert rows[utility]["required_speed"] / 1e6 == pytest.approx(
+                speed, rel=0.02
+            )
+            assert rows[utility]["interval"] == pytest.approx(interval, rel=0.02)
+
+    def test_selection_is_gzip1(self):
+        res = table3.run()
+        assert res.headline["chosen_cores"] == 4
+
+
+class TestFigure4:
+    def test_interior_optimum(self):
+        res = run_experiment("figure4")
+        effs = [r["compute"] for r in res.rows]
+        best = max(range(len(effs)), key=effs.__getitem__)
+        assert 0 < best < len(effs) - 1  # not at either end
+
+    def test_monotone_component_trends(self):
+        res = run_experiment("figure4")
+        ck = [r["checkpoint_io"] for r in res.rows]
+        ru = [r["rerun_io"] for r in res.rows if r["compute"] > 0]
+        assert all(a >= b - 1e-9 for a, b in zip(ck, ck[1:]))  # ckpt-I/O falls
+        assert all(a <= b + 1e-9 for a, b in zip(ru, ru[1:]))  # rerun-I/O rises
+
+
+class TestFigure5:
+    def test_structure(self):
+        res = run_experiment("figure5", p_locals=(0.2, 0.8))
+        for row in res.rows:
+            # Host ratio grows with p_local; NDP column is a single value.
+            assert row["host_ratios"][0.8] >= row["host_ratios"][0.2]
+        # Higher factor => lower host ratio at fixed p_local.
+        by_factor = sorted(res.rows, key=lambda r: r["factor"])
+        ratios = [r["host_ratios"][0.8] for r in by_factor]
+        assert ratios[0] >= ratios[-1]
+
+
+class TestFigure6:
+    def test_headline_band(self):
+        res = fig6.run()
+        assert res.headline["avg_host_compression"] == pytest.approx(0.51, abs=0.05)
+        assert res.headline["avg_ndp_compression"] == pytest.approx(0.78, abs=0.04)
+
+    def test_ndp_wins_everywhere(self):
+        res = fig6.run(p_locals=(0.4, 0.8))
+        rows = {r["config"]: r for r in res.rows}
+        for p in ("40%", "80%"):
+            host = rows[f"Local({p}) + I/O-Host + comp"]
+            ndp = rows[f"Local({p}) + I/O-NDP + comp"]
+            for app in ("CoMD", "miniFE", "miniSMAC2D", "average"):
+                assert ndp[app] > host[app]
+
+
+class TestFigure7:
+    def test_rerun_io_bands(self):
+        res = fig7.run()
+        h = res.headline
+        assert h["Local + I/O-N"] == pytest.approx(0.012, abs=0.006)
+        assert h["Local + I/O-NC"] == pytest.approx(0.006, abs=0.004)
+        assert h["Local + I/O-H"] > h["Local + I/O-HC"] > h["Local + I/O-N"]
+
+    def test_ndp_has_no_checkpoint_io(self):
+        res = fig7.run()
+        for row in res.rows:
+            if "I/O-N" in row["config"]:
+                assert row["checkpoint_io"] == 0.0
+
+
+class TestFigure8:
+    def test_anchors_and_trends(self):
+        res = fig8.run()
+        assert res.headline["nc15_at_80pct"] == pytest.approx(0.87, abs=0.03)
+        assert res.headline["hc15_at_80pct"] == pytest.approx(0.65, abs=0.07)
+        # NDP gain grows with checkpoint size.
+        gains = [
+            r["L-15GBps + I/O-NC"] - r["L-15GBps + I/O-HC"] for r in res.rows
+        ]
+        assert gains[-1] > gains[0]
+
+    def test_2gbps_ndp_competitive_with_15gbps_host(self):
+        res = fig8.run()
+        for r in res.rows:
+            assert r["L-2GBps + I/O-NC"] > r["L-15GBps + I/O-HC"] - 0.06
+
+
+class TestFigure9:
+    def test_gain_shrinks_with_mtti(self):
+        res = fig9.run()
+        assert res.headline["gain_at_min_mtti"] > res.headline["gain_at_max_mtti"]
+
+    def test_efficiency_rises_with_mtti(self):
+        res = fig9.run()
+        for label in ("L-15GBps + I/O-NC", "L-15GBps + I/O-HC"):
+            series = [r[label] for r in res.rows]
+            assert series == sorted(series)
+
+
+class TestFigure2:
+    def test_annotations_derive_from_sizing(self):
+        res = run_experiment("figure2")
+        assert res.headline["ndp_cores"] == 4
+        assert "440.4 MB/s" in res.text
+        lz4 = run_experiment("figure2", utility="lz4(1)")
+        assert lz4.headline["ndp_cores"] == 1
+
+
+class TestTable4:
+    def test_all_rows_present(self):
+        res = run_experiment("table4")
+        assert len(res.rows) == 9
+        params = {r["parameter"] for r in res.rows}
+        assert "System MTTI" in params
+        assert res.headline["ndp_rate_mbps"] == pytest.approx(440.4, abs=0.1)
+
+
+class TestScorecard:
+    def test_every_claim_passes(self):
+        res = run_experiment("scorecard")
+        failed = [r["statement"] for r in res.rows if not r["pass"]]
+        assert not failed, failed
+        assert res.headline["passed"] == res.headline["total"] >= 19
+
+
+class TestEconomics:
+    def test_substitution_priced_cheaper(self):
+        res = run_experiment("ablation-economics")
+        assert res.headline["substitution_saving"] > 1.0
+
+
+class TestIOBudget:
+    def test_ndp_needs_least_bandwidth(self):
+        res = run_experiment("ablation-io-budget", targets=(0.75,))
+        (row,) = res.rows
+        assert row["NDP + compression"] < row["NDP"] < row["Host multilevel"]
+
+
+class TestIntervalAblation:
+    def test_model_only_fast_path(self):
+        res = run_experiment(
+            "ablation-interval", with_simulation=False, taus=(60.0, 150.0, 600.0)
+        )
+        assert res.headline["loss_at_150"] < 0.02
+        assert all("sim" not in r for r in res.rows)
+
+
+class TestHeatmapExtension:
+    def test_advantage_positive_everywhere(self):
+        res = run_experiment("figure89-heatmap", resolution=10)
+        assert res.headline["min_advantage"] > -0.02
+        assert res.headline["peak_advantage"] > 0.10
+
+    def test_peak_in_hard_corner(self):
+        # The advantage must grow toward short MTTI and large checkpoints.
+        res = run_experiment("figure89-heatmap", resolution=10)
+        by_key = {(r["mtti_s"], r["size_bytes"]): r["advantage"] for r in res.rows}
+        mttis = sorted({k[0] for k in by_key})
+        sizes = sorted({k[1] for k in by_key})
+        assert by_key[(mttis[0], sizes[-1])] > by_key[(mttis[-1], sizes[0])]
+
+
+class TestFailureDistributionAblation:
+    def test_ndp_advantage_survives_all_shapes(self):
+        res = run_experiment("ablation-failure-dist", mttis=60.0, shapes=(0.6, 1.0))
+        assert res.headline["min_advantage"] > 0.05
+        for row in res.rows:
+            assert row["ndp"] > row["host"]
+
+
+class TestMethodsComparison:
+    def test_bracket_structure(self):
+        res = run_experiment("ablation-methods", mttis=60.0)
+        for row in res.rows:
+            assert row["expected_value"] <= row["renewal"] + 1e-9
+
+
+class TestClusterExperiment:
+    def test_share_invariance(self):
+        res = run_experiment("ablation-cluster", node_counts=(1, 4), mttis=40.0)
+        assert res.headline["efficiency_spread"] < 0.08
+
+
+class TestAblations:
+    def test_rerun_accounting(self):
+        res = ablations.rerun_accounting()
+        for row in res.rows:
+            assert row["staleness"] <= row["paper"] + 1e-9
+
+    def test_daly_order(self):
+        res = ablations.daly_order()
+        for row in res.rows:
+            assert row["daly"] >= row["young"] - 1e-9
+
+    def test_delta_compression_helps_slow_apps(self):
+        res = ablations.delta_compression(apps=("HPCCG",), steps_between=1)
+        (row,) = res.rows
+        # One CG iteration changes little: the XOR delta must compress
+        # better than the raw checkpoint.
+        assert row["delta_factor"] > row["raw_factor"]
+
+    def test_ndp_pause(self):
+        res = ablations.ndp_pause()
+        for row in res.rows:
+            assert row["no_pause"] >= row["pause"] - 1e-9

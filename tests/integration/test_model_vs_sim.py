@@ -1,0 +1,113 @@
+"""Cross-validation: the analytic model vs the discrete-event simulator.
+
+The staleness-mode analytic model and the simulator implement the same
+operational rules through entirely different machinery; statistical
+agreement on efficiency and on the breakdown structure is the fidelity
+evidence for the figures (which the analytic model generates).
+"""
+
+import pytest
+
+from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
+from repro.core.model import multilevel_host, multilevel_ndp, single_level
+from repro.simulation import SimConfig, default_work, simulate
+
+WORK_MTTIS = 150.0
+
+
+def run_sim(params, **kw):
+    defaults = dict(params=params, work=default_work(params, WORK_MTTIS), seed=17)
+    defaults.update(kw)
+    return simulate(SimConfig(**defaults))
+
+
+class TestEfficiencyAgreement:
+    def test_ndp_uncompressed(self, params):
+        sim = run_sim(params, strategy="ndp")
+        mod = multilevel_ndp(params, rerun_accounting="staleness")
+        assert sim.efficiency == pytest.approx(mod.efficiency, abs=0.05)
+
+    def test_ndp_compressed(self, params):
+        sim = run_sim(params, strategy="ndp", compression=NDP_GZIP1)
+        mod = multilevel_ndp(params, NDP_GZIP1, rerun_accounting="staleness")
+        assert sim.efficiency == pytest.approx(mod.efficiency, abs=0.04)
+
+    def test_host_multilevel(self, params):
+        sim = run_sim(params, strategy="host", ratio=15, compression=NDP_GZIP1)
+        mod = multilevel_host(params, 15, NDP_GZIP1, rerun_accounting="staleness")
+        assert sim.efficiency == pytest.approx(mod.efficiency, abs=0.05)
+
+    def test_io_only_at_fixed_tau(self, params):
+        # Same tau in both: the closed form and the simulator agree tightly.
+        sim = run_sim(
+            params,
+            strategy="io-only",
+            compression=NDP_GZIP1,
+            work=default_work(params, 60),
+        )
+        mod = single_level(params, NDP_GZIP1, level="io", tau=params.tau)
+        assert sim.efficiency == pytest.approx(mod.efficiency, abs=0.06)
+
+    def test_local_only_near_design_point(self, params):
+        sim = run_sim(params, strategy="local-only")
+        mod = single_level(params, level="local", tau=params.tau)
+        assert sim.efficiency == pytest.approx(mod.efficiency, abs=0.03)
+
+
+class TestStructuralAgreement:
+    def test_checkpoint_local_fraction(self, params):
+        sim = run_sim(params, strategy="ndp")
+        mod = multilevel_ndp(params, rerun_accounting="staleness")
+        assert sim.breakdown.checkpoint_local == pytest.approx(
+            mod.breakdown.checkpoint_local, abs=0.01
+        )
+
+    def test_ordering_preserved_across_configs(self, params):
+        """The model's config ranking must match the simulator's."""
+        sims = {
+            "host": run_sim(params, strategy="host", ratio=15, compression=NDP_GZIP1),
+            "ndp": run_sim(params, strategy="ndp", compression=NO_COMPRESSION),
+            "ndp+c": run_sim(params, strategy="ndp", compression=NDP_GZIP1),
+        }
+        mods = {
+            "host": multilevel_host(params, 15, NDP_GZIP1, rerun_accounting="staleness"),
+            "ndp": multilevel_ndp(params, rerun_accounting="staleness"),
+            "ndp+c": multilevel_ndp(params, NDP_GZIP1, rerun_accounting="staleness"),
+        }
+        sim_order = sorted(sims, key=lambda k: sims[k].efficiency)
+        mod_order = sorted(mods, key=lambda k: mods[k].efficiency)
+        assert sim_order == mod_order
+
+    def test_io_interval_matches_drain_cadence(self, params):
+        """Simulated drain completions per wall time track the model's
+        I/O checkpoint interval."""
+        sim = run_sim(params, strategy="ndp", compression=NDP_GZIP1)
+        mod = multilevel_ndp(params, NDP_GZIP1)
+        sim_interval = sim.wall_time / sim.io_checkpoints
+        # Failures disrupt some drains; allow a generous band.
+        assert sim_interval == pytest.approx(mod.io_interval, rel=0.35)
+
+
+class TestSensitivityDirections:
+    """The simulator must reproduce the model's sensitivity *directions*."""
+
+    def test_more_failures_lower_efficiency(self, params):
+        fast = run_sim(params.with_(mtti=900.0), strategy="ndp",
+                       work=default_work(params, 80))
+        slow = run_sim(params.with_(mtti=3600.0), strategy="ndp",
+                       work=default_work(params, 80))
+        assert slow.efficiency > fast.efficiency
+
+    def test_smaller_checkpoint_higher_efficiency(self, params):
+        small = run_sim(params.with_(checkpoint_size=14e9), strategy="ndp",
+                        work=default_work(params, 80))
+        large = run_sim(params.with_(checkpoint_size=112e9), strategy="ndp",
+                        work=default_work(params, 80))
+        assert small.efficiency > large.efficiency
+
+    def test_higher_p_local_higher_efficiency(self, params):
+        lo = run_sim(params.with_(p_local_recovery=0.3), strategy="ndp",
+                     work=default_work(params, 80))
+        hi = run_sim(params.with_(p_local_recovery=0.95), strategy="ndp",
+                     work=default_work(params, 80))
+        assert hi.efficiency > lo.efficiency

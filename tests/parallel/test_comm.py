@@ -1,0 +1,70 @@
+"""The in-process SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import Communicator
+
+
+class TestHaloExchange:
+    def test_periodic_neighbours(self):
+        comm = Communicator(3)
+        slabs = [np.full((2, 4), fill_value=r, dtype=float) for r in range(3)]
+        lower, upper = comm.exchange_halos(slabs)
+        # Rank r's lower halo is rank (r-1)'s last plane; upper is (r+1)'s first.
+        assert lower[0][0] == 2.0  # wraps to rank 2
+        assert upper[2][0] == 0.0  # wraps to rank 0
+        assert lower[1][0] == 0.0
+        assert upper[1][0] == 2.0
+
+    def test_halos_are_copies(self):
+        comm = Communicator(2)
+        slabs = [np.zeros((2, 2)), np.ones((2, 2))]
+        lower, _ = comm.exchange_halos(slabs)
+        lower[0][...] = 99.0
+        assert slabs[1][-1, 0] == 1.0  # source untouched
+
+    def test_traffic_accounted(self):
+        comm = Communicator(4)
+        slabs = [np.zeros((3, 8)) for _ in range(4)]
+        comm.exchange_halos(slabs)
+        assert comm.messages_sent == 8
+        assert comm.bytes_sent == 4 * 2 * 8 * 8  # 2 planes of 8 doubles each
+
+    def test_wrong_slab_count(self):
+        with pytest.raises(ValueError):
+            Communicator(3).exchange_halos([np.zeros((1, 1))])
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        comm = Communicator(4)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0, 4.0]) == 10.0
+
+    def test_allreduce_max(self):
+        comm = Communicator(3)
+        assert comm.allreduce_max([-1.0, 5.0, 2.0]) == 5.0
+
+    def test_gather(self):
+        comm = Communicator(3)
+        assert comm.gather(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_gather_validates_root(self):
+        with pytest.raises(ValueError):
+            Communicator(2).gather([1, 2], root=5)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(0)
+        with pytest.raises(ValueError):
+            Communicator(3).allreduce_sum([1.0])
+
+    def test_alltoall_concat(self):
+        comm = Communicator(2)
+        per_rank = [
+            [np.array([0.0]), np.array([1.0])],  # rank 0's contributions
+            [np.array([10.0]), np.array([11.0])],  # rank 1's
+        ]
+        out = comm.alltoall_concat(per_rank)
+        assert np.array_equal(out[0], [0.0, 10.0])
+        assert np.array_equal(out[1], [1.0, 11.0])

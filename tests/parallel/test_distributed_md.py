@@ -1,0 +1,94 @@
+"""The distributed MD solver vs its single-domain reference."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Communicator, DistributedLJMD
+from repro.workloads.miniapps import CoMDProxy
+
+
+class TestDecomposition:
+    def test_ranks_must_divide_atoms(self):
+        with pytest.raises(ValueError):
+            DistributedLJMD(n_atoms=100, ranks=3)
+
+    def test_initialization_matches_single_domain(self):
+        s = CoMDProxy(n_atoms=216, seed=9)
+        d = DistributedLJMD(n_atoms=216, ranks=4, seed=9)
+        assert np.allclose(s.pos, d.assemble(d.pos))
+        assert np.allclose(s.vel, d.assemble(d.vel))
+        assert np.allclose(s.force, d.assemble(d.force))
+
+
+class TestDynamics:
+    def test_trajectory_matches_single_domain(self):
+        s = CoMDProxy(n_atoms=216, seed=9)
+        d = DistributedLJMD(n_atoms=216, ranks=4, seed=9)
+        for _ in range(5):
+            s.step()
+            d.step()
+        assert np.allclose(s.pos, d.assemble(d.pos), rtol=1e-9, atol=1e-10)
+        assert s.kinetic_energy() == pytest.approx(d.kinetic_energy(), rel=1e-9)
+
+    def test_rank_count_invariance(self):
+        a = DistributedLJMD(n_atoms=216, ranks=2, seed=4)
+        b = DistributedLJMD(n_atoms=216, ranks=8, seed=4)
+        a.run(3)
+        b.run(3)
+        assert np.allclose(a.assemble(a.pos), b.assemble(b.pos), rtol=1e-9)
+
+    def test_positions_stay_in_box(self):
+        d = DistributedLJMD(n_atoms=128, ranks=4, seed=1)
+        d.run(8)
+        full = d.assemble(d.pos)
+        assert (full >= 0).all() and (full < d.box).all()
+
+    def test_allgather_traffic_per_step(self):
+        d = DistributedLJMD(n_atoms=128, ranks=4, seed=1)
+        before = d.comm.messages_sent
+        d.step()
+        # One allgather per force evaluation: 2*(size-1) tree messages.
+        assert d.comm.messages_sent - before == 2 * 3
+
+
+class TestAllgather:
+    def test_concatenates_in_rank_order(self):
+        comm = Communicator(3)
+        arrays = [np.full((2, 1), r, dtype=float) for r in range(3)]
+        full = comm.allgather_concat(arrays)
+        assert np.array_equal(full.ravel(), [0, 0, 1, 1, 2, 2])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(2).allgather_concat([np.zeros(1)])
+
+
+class TestCheckpointing:
+    def test_payload_round_trip_resumes_identically(self):
+        d = DistributedLJMD(n_atoms=128, ranks=4, seed=5)
+        d.run(2)
+        payloads = d.checkpoint_payloads()
+        d.run(3)
+        final = d.assemble(d.pos).copy()
+
+        fresh = DistributedLJMD(n_atoms=128, ranks=4, seed=5)
+        fresh.restore_payloads(payloads)
+        fresh.run(3)
+        assert np.array_equal(fresh.assemble(fresh.pos), final)
+
+    def test_works_with_coordinated_run(self, tmp_path):
+        from repro.ckpt import IOStore, LocalStore, MultilevelCheckpointer
+        from repro.parallel import CoordinatedRun
+
+        local = LocalStore(tmp_path / "nvm", capacity=3)
+        io = IOStore(tmp_path / "pfs")
+        with MultilevelCheckpointer("md", local, io, mode="ndp") as cr:
+            ref = DistributedLJMD(n_atoms=128, ranks=4, seed=6)
+            ref.run(6)
+            reference = ref.assemble(ref.pos).copy()
+
+            solver = DistributedLJMD(n_atoms=128, ranks=4, seed=6)
+            run = CoordinatedRun(solver, cr, checkpoint_every=2)
+            outcome = run.run(iterations=6, crash_at=5)
+            assert outcome.recovered_from == 4
+            assert np.array_equal(solver.assemble(solver.pos), reference)

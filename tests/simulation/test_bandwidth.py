@@ -1,0 +1,164 @@
+"""The processor-sharing bandwidth resource."""
+
+import pytest
+
+from repro.simulation.bandwidth import SharedBandwidth
+from repro.simulation.engine import Environment
+
+
+def run_transfers(capacity, schedule):
+    """Run transfers per ``schedule`` = [(start_time, nbytes)]; returns
+    completion times in schedule order."""
+    env = Environment()
+    pipe = SharedBandwidth(env, capacity)
+    done_times = [None] * len(schedule)
+
+    def starter(i, at, nbytes):
+        def proc():
+            if at > 0:
+                yield env.timeout(at)
+            xfer = pipe.start(nbytes)
+            yield xfer.done
+            done_times[i] = env.now
+
+        return proc
+
+    procs = [env.process(starter(i, at, nb)()) for i, (at, nb) in enumerate(schedule)]
+    env.run(env.all_of(procs))
+    return done_times
+
+
+class TestSingleTransfer:
+    def test_full_rate_when_alone(self):
+        (t,) = run_transfers(100.0, [(0.0, 1000.0)])
+        assert t == pytest.approx(10.0)
+
+    def test_zero_bytes_completes_immediately(self):
+        env = Environment()
+        pipe = SharedBandwidth(env, 100.0)
+        xfer = pipe.start(0.0)
+        assert xfer.done.triggered
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SharedBandwidth(env, 0.0)
+        pipe = SharedBandwidth(env, 10.0)
+        with pytest.raises(ValueError):
+            pipe.start(-1.0)
+
+
+class TestFairSharing:
+    def test_two_equal_transfers_halve_rate(self):
+        times = run_transfers(100.0, [(0.0, 1000.0), (0.0, 1000.0)])
+        # Both share 50 B/s -> 20 s each.
+        assert times[0] == pytest.approx(20.0)
+        assert times[1] == pytest.approx(20.0)
+
+    def test_late_joiner_slows_first(self):
+        # A: 1000 B from t=0; B: 1000 B from t=5.
+        # A runs alone 5 s (500 B done), then shares: 500 B at 50 B/s = 10 s
+        # -> A done at 15.  B: 500 left when A finishes, then full rate:
+        # at t=15 B has moved 500; remaining 500 at 100 B/s -> done at 20.
+        times = run_transfers(100.0, [(0.0, 1000.0), (5.0, 1000.0)])
+        assert times[0] == pytest.approx(15.0)
+        assert times[1] == pytest.approx(20.0)
+
+    def test_short_transfer_departs_and_rate_recovers(self):
+        # A: 2000 B, B: 100 B both at t=0.  B finishes at 2 s (50 B/s);
+        # A then has 1900 B at full rate: 2 + 19 = 21 s.
+        times = run_transfers(100.0, [(0.0, 2000.0), (0.0, 100.0)])
+        assert times[1] == pytest.approx(2.0)
+        assert times[0] == pytest.approx(21.0)
+
+    def test_aggregate_throughput_conserved(self):
+        times = run_transfers(100.0, [(0.0, 500.0), (0.0, 500.0), (0.0, 500.0)])
+        # Total 1500 B at 100 B/s aggregate -> last completion at 15 s.
+        assert max(times) == pytest.approx(15.0)
+
+    def test_many_concurrent(self):
+        n = 20
+        times = run_transfers(100.0, [(0.0, 100.0)] * n)
+        assert max(times) == pytest.approx(n * 100.0 / 100.0)
+
+
+class TestAbort:
+    def test_abort_fails_done_event(self):
+        env = Environment()
+        pipe = SharedBandwidth(env, 100.0)
+        outcome = []
+
+        def proc():
+            xfer = pipe.start(1000.0)
+            env.process(aborter(xfer)())
+            try:
+                yield xfer.done
+                outcome.append("done")
+            except InterruptedError:
+                outcome.append(("aborted", env.now))
+
+        def aborter(xfer):
+            def p():
+                yield env.timeout(3.0)
+                pipe.abort(xfer)
+
+            return p
+
+        env.run(env.process(proc()))
+        assert outcome == [("aborted", 3.0)]
+
+    def test_abort_releases_bandwidth(self):
+        env = Environment()
+        pipe = SharedBandwidth(env, 100.0)
+        done_at = []
+
+        def survivor():
+            xfer = pipe.start(1000.0)
+            yield xfer.done
+            done_at.append(env.now)
+
+        def victim():
+            xfer = pipe.start(10_000.0)
+            yield env.timeout(5.0)
+            pipe.abort(xfer)
+
+        p1 = env.process(survivor())
+        env.process(victim())
+        env.run(p1)
+        # Survivor: 5 s at 50 B/s (250 B), then 750 B at 100 B/s = 7.5 s.
+        assert done_at == [pytest.approx(12.5)]
+
+    def test_abort_completed_transfer_is_noop(self):
+        env = Environment()
+        pipe = SharedBandwidth(env, 100.0)
+        xfer = pipe.start(0.0)
+        pipe.abort(xfer)  # must not raise
+
+
+class TestAccounting:
+    def test_bytes_moved_tracks_completions(self):
+        env = Environment()
+        pipe = SharedBandwidth(env, 100.0)
+
+        def proc():
+            yield pipe.start(1000.0).done
+
+        env.run(env.process(proc()))
+        assert pipe.bytes_moved == pytest.approx(1000.0, rel=1e-6)
+
+    def test_no_livelock_on_float_dust(self):
+        """Regression: remainders of order eps*nbytes must complete rather
+        than scheduling sub-ULP horizons forever."""
+        env = Environment()
+        pipe = SharedBandwidth(env, 1e8)
+        results = []
+
+        def proc():
+            # Sizes/rates chosen to produce non-terminating binary
+            # fractions in the settle arithmetic.
+            for nbytes in (3.046e10, 1.1e10, 7.77e9):
+                yield pipe.start(nbytes).done
+                results.append(env.now)
+
+        env.run(env.process(proc()))
+        assert len(results) == 3

@@ -1,0 +1,104 @@
+"""The N-node coordinated cluster simulation."""
+
+import pytest
+
+from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
+from repro.simulation.cluster import ClusterConfig, simulate_cluster
+
+
+def run(params, **kw):
+    defaults = dict(
+        params=params,
+        nodes=4,
+        compression=NDP_GZIP1,
+        work=params.mtti * 60,
+        seed=3,
+    )
+    defaults.update(kw)
+    return simulate_cluster(ClusterConfig(**defaults))
+
+
+class TestBasics:
+    def test_completes_and_accounts(self, params):
+        res = run(params)
+        assert res.efficiency == pytest.approx(res.work / res.wall_time)
+        assert 0 < res.efficiency < 1
+        assert abs(sum(res.breakdown.values()) - 1.0) < 1e-6
+
+    def test_deterministic(self, params):
+        a, b = run(params), run(params)
+        assert a.wall_time == b.wall_time
+        assert a.failures == b.failures
+
+    def test_drains_reach_io(self, params):
+        res = run(params)
+        assert res.io_snapshots > 0
+        # Every node drains each coordinated checkpoint.
+        assert res.io_snapshots >= 4 * 10
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            ClusterConfig(params=params, nodes=0, work=100.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(params=params, nodes=2, work=0.0)
+
+
+class TestShareInvariance:
+    def test_efficiency_independent_of_node_count(self, params):
+        """The per-node-share assumption: fixed per-node I/O share =>
+        efficiency roughly constant in N."""
+        effs = [run(params, nodes=n, seed=9).efficiency for n in (1, 4, 8)]
+        assert max(effs) - min(effs) < 0.06
+
+    def test_matches_per_node_model(self, params):
+        from repro.core.model import multilevel_ndp
+
+        res = run(params, nodes=4, work=params.mtti * 150)
+        model = multilevel_ndp(
+            params, NDP_GZIP1, rerun_accounting="staleness", pause_during_local=False
+        )
+        assert res.efficiency == pytest.approx(model.efficiency, abs=0.07)
+
+
+class TestContention:
+    def test_pipe_near_saturated_without_compression(self, params):
+        # Uncompressed 112 GB drains at 100 MB/s/node shares take ~1120 s
+        # per ~157 s cycle: the pipe is the bottleneck and stays busy.
+        res = run(params, compression=NO_COMPRESSION)
+        assert res.pipe_utilization > 0.9
+
+    def test_compression_relieves_pipe(self, params):
+        comp = run(params, compression=NDP_GZIP1)
+        plain = run(params, compression=NO_COMPRESSION)
+        assert comp.io_snapshots > plain.io_snapshots
+
+    def test_stagger_neutral_for_symmetric_load(self, params):
+        a = run(params, nodes=8, stagger=False, seed=4)
+        b = run(params, nodes=8, stagger=True, seed=4)
+        assert abs(a.efficiency - b.efficiency) < 0.05
+
+    def test_recovery_drain_pause_does_not_hurt(self, params):
+        paused = run(params, nodes=8, pause_drains_on_recovery=True, seed=6)
+        contending = run(params, nodes=8, pause_drains_on_recovery=False, seed=6)
+        # Pausing gives the restore the full pipe; efficiency must not be
+        # materially worse than contending.
+        assert paused.efficiency > contending.efficiency - 0.05
+
+
+class TestFailures:
+    def test_failure_rate_matches_system_mtti(self, params):
+        res = run(params, work=params.mtti * 150)
+        expected = res.wall_time / params.mtti
+        assert res.failures == pytest.approx(expected, rel=0.3)
+
+    def test_recovery_split(self, params):
+        res = run(params, work=params.mtti * 150)
+        frac_io = res.recoveries_io / max(res.recoveries_io + res.recoveries_local, 1)
+        assert 0.05 < frac_io < 0.35  # configured 15% plus cascades
+
+    def test_no_failures_regime(self, params):
+        p = params.with_(mtti=1e12)
+        res = run(p, work=5000.0)
+        assert res.failures == 0
+        assert res.breakdown["rerun_local"] == 0.0
+        assert res.breakdown["rerun_io"] == 0.0

@@ -1,0 +1,267 @@
+"""The discrete-event engine: events, timeouts, processes, interrupts."""
+
+import pytest
+
+from repro.simulation.engine import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+class TestEventsAndTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.process(iter([env.timeout(5.0)]))
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_event_value_passed_to_waiter(self):
+        env = Environment()
+        evt = env.event()
+        got = []
+
+        def proc():
+            got.append((yield evt))
+
+        env.process(proc())
+        evt.succeed("payload")
+        env.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(RuntimeError):
+            evt.succeed()
+
+    def test_failed_event_raises_in_process(self):
+        env = Environment()
+        evt = env.event()
+        seen = []
+
+        def proc():
+            try:
+                yield evt
+            except RuntimeError as exc:
+                seen.append(str(exc))
+
+        env.process(proc())
+        evt.fail(RuntimeError("boom"))
+        env.run()
+        assert seen == ["boom"]
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        marks = []
+
+        def proc():
+            yield env.timeout(1.0)
+            marks.append(env.now)
+            yield env.timeout(2.0)
+            marks.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert marks == [1.0, 3.0]
+
+    def test_process_return_value_via_join(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            return 42
+
+        def parent(results):
+            value = yield env.process(child())
+            results.append(value)
+
+        results = []
+        env.process(parent(results))
+        env.run()
+        assert results == [42]
+
+    def test_yielding_non_event_is_error(self):
+        env = Environment()
+
+        def bad():
+            yield 17
+
+        proc = env.process(bad())
+        with pytest.raises(TypeError):
+            env.run(proc)
+
+    def test_exception_in_process_propagates_through_run(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1.0)
+            raise ValueError("kaput")
+
+        proc = env.process(bad())
+        with pytest.raises(ValueError, match="kaput"):
+            env.run(proc)
+
+    def test_run_until_time_leaves_future_events_queued(self):
+        env = Environment()
+        marks = []
+
+        def proc():
+            yield env.timeout(10.0)
+            marks.append("late")
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert marks == [] and env.now == 5.0
+        env.run()
+        assert marks == ["late"]
+
+    def test_run_until_event_raises_if_queue_drains(self):
+        env = Environment()
+        orphan = env.event()  # never triggered
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run(orphan)
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        causes = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as intr:
+                causes.append((env.now, intr.cause))
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(3.0)
+            v.interrupt("failure-7")
+
+        env.process(attacker())
+        env.run()
+        assert causes == [(3.0, "failure-7")]
+
+    def test_interrupt_detaches_from_target(self):
+        # After an interrupt, the original timeout firing must not resume
+        # the process a second time.
+        env = Environment()
+        resumed = []
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield env.timeout(50.0)
+            resumed.append("done")
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        env.process(attacker())
+        env.run()
+        assert resumed == ["interrupt", "done"]
+        assert env.now == 51.0
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt()  # must not raise
+
+    def test_interrupted_process_can_reenter_wait(self):
+        env = Environment()
+        log = []
+
+        def victim():
+            remaining = 10.0
+            while remaining > 0:
+                start = env.now
+                try:
+                    yield env.timeout(remaining)
+                    remaining = 0.0
+                except Interrupt:
+                    remaining -= env.now - start
+                    log.append(env.now)
+            log.append(("finished", env.now))
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(4.0)
+            v.interrupt()
+
+        env.process(attacker())
+        env.run()
+        assert log == [4.0, ("finished", 10.0)]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.all_of([env.timeout(2.0), env.timeout(5.0)])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [5.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.all_of([])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.any_of([env.timeout(7.0), env.timeout(3.0)])
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [3.0]
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def make(tag):
+            def proc():
+                yield env.timeout(1.0)
+                order.append(tag)
+
+            return proc
+
+        for tag in ("a", "b", "c"):
+            env.process(make(tag)())
+        env.run()
+        assert order == ["a", "b", "c"]

@@ -1,0 +1,146 @@
+"""Property-based tests of the DES engine on randomized process graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Environment, Interrupt
+
+
+@given(
+    delays=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=6),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_sequential_timeouts_sum(delays):
+    """Each process finishes at the sum of its delays; the clock ends at
+    the maximum over processes."""
+    env = Environment()
+    finish = {}
+
+    def make(idx, seq):
+        def proc():
+            for d in seq:
+                yield env.timeout(d)
+            finish[idx] = env.now
+
+        return proc
+
+    for i, seq in enumerate(delays):
+        env.process(make(i, seq)())
+    env.run()
+    for i, seq in enumerate(delays):
+        assert finish[i] == pytest.approx(sum(seq))
+    assert env.now == pytest.approx(max(sum(s) for s in delays))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_event_callbacks_fire_once(n, seed):
+    """Every triggered event delivers exactly one resume per waiter."""
+    import random
+
+    rng = random.Random(seed)
+    env = Environment()
+    events = [env.event() for _ in range(n)]
+    resumed = []
+
+    def waiter(i):
+        def proc():
+            value = yield events[i]
+            resumed.append((i, value))
+
+        return proc
+
+    for i in range(n):
+        env.process(waiter(i)())
+    order = list(range(n))
+    rng.shuffle(order)
+
+    def trigger():
+        for i in order:
+            yield env.timeout(1.0)
+            events[i].succeed(i * 10)
+
+    env.process(trigger())
+    env.run()
+    assert sorted(resumed) == [(i, i * 10) for i in range(n)]
+
+
+@given(
+    work=st.floats(min_value=10.0, max_value=1000.0),
+    interrupts=st.lists(
+        st.floats(min_value=0.5, max_value=999.0), min_size=0, max_size=10, unique=True
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_interrupted_work_conserves_time(work, interrupts):
+    """A process that re-enters its wait after each interrupt finishes at
+    exactly its nominal duration, regardless of the interrupt schedule."""
+    env = Environment()
+    interrupts = sorted(t for t in interrupts if t < work)
+    finish = []
+
+    def victim():
+        remaining = work
+        while remaining > 1e-12:
+            start = env.now
+            try:
+                yield env.timeout(remaining)
+                remaining = 0.0
+            except Interrupt:
+                remaining -= env.now - start
+        finish.append(env.now)
+
+    v = env.process(victim())
+
+    def attacker():
+        prev = 0.0
+        for t in interrupts:
+            yield env.timeout(t - prev)
+            prev = t
+            v.interrupt()
+
+    env.process(attacker())
+    env.run()
+    assert finish and finish[0] == pytest.approx(work, rel=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_property_any_of_fires_at_minimum(delays):
+    env = Environment()
+    observed = []
+
+    def proc():
+        yield env.any_of([env.timeout(d) for d in delays])
+        observed.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert observed[0] == pytest.approx(min(delays))
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_property_all_of_fires_at_maximum(delays):
+    env = Environment()
+    observed = []
+
+    def proc():
+        yield env.all_of([env.timeout(d) for d in delays])
+        observed.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert observed[0] == pytest.approx(max(delays))

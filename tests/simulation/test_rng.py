@@ -1,0 +1,54 @@
+"""Seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import StreamFactory, exponential_interarrivals
+
+
+class TestStreamFactory:
+    def test_same_name_same_stream_object(self):
+        f = StreamFactory(1)
+        assert f.get("x") is f.get("x")
+
+    def test_different_names_independent(self):
+        f = StreamFactory(1)
+        a = f.get("a").random(8)
+        b = f.get("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_factories(self):
+        a = StreamFactory(99).get("failures").random(8)
+        b = StreamFactory(99).get("failures").random(8)
+        assert np.array_equal(a, b)
+
+    def test_stream_independent_of_creation_order(self):
+        f1 = StreamFactory(5)
+        f1.get("first")
+        v1 = f1.get("second").random(4)
+        f2 = StreamFactory(5)
+        v2 = f2.get("second").random(4)  # created without touching "first"
+        assert np.array_equal(v1, v2)
+
+    def test_different_seeds_differ(self):
+        a = StreamFactory(1).get("x").random(8)
+        b = StreamFactory(2).get("x").random(8)
+        assert not np.allclose(a, b)
+
+
+class TestExponential:
+    def test_mean_approximately_correct(self):
+        rng = np.random.default_rng(0)
+        gaps = exponential_interarrivals(rng, 100.0, 20000)
+        assert gaps.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(0)
+        assert (exponential_interarrivals(rng, 5.0, 1000) > 0).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            exponential_interarrivals(rng, 0.0, 10)
+        with pytest.raises(ValueError):
+            exponential_interarrivals(rng, 1.0, -1)

@@ -1,0 +1,256 @@
+"""The C/R simulator: conservation laws, counters, strategy semantics."""
+
+import pytest
+
+from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
+from repro.simulation import SimConfig, TimelineRecorder, simulate
+from repro.simulation.simulator import CRSimulation, default_work
+
+
+def cfg(params, **kw):
+    defaults = dict(params=params, strategy="ndp", work=params.mtti * 40, seed=3)
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("strategy", ["ndp", "host", "io-only", "local-only"])
+    def test_accounted_time_equals_wall_time(self, params, strategy):
+        sim = CRSimulation(cfg(params, strategy=strategy, ratio=10))
+        res = sim.run()
+        assert sim.acct.total == pytest.approx(res.wall_time, rel=1e-9)
+
+    def test_compute_time_equals_work_target(self, params):
+        sim = CRSimulation(cfg(params))
+        res = sim.run()
+        # Fresh compute seconds == work target (rerun is counted separately).
+        assert sim.acct.seconds["compute"] == pytest.approx(res.work, rel=1e-9)
+
+    def test_efficiency_is_work_over_wall(self, params):
+        res = simulate(cfg(params))
+        assert res.efficiency == pytest.approx(res.work / res.wall_time)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, params):
+        a = simulate(cfg(params, seed=11))
+        b = simulate(cfg(params, seed=11))
+        assert a.wall_time == b.wall_time
+        assert a.failures == b.failures
+        assert a.breakdown.as_dict() == b.breakdown.as_dict()
+
+    def test_different_seed_different_failures(self, params):
+        a = simulate(cfg(params, seed=1))
+        b = simulate(cfg(params, seed=2))
+        assert a.wall_time != b.wall_time
+
+
+class TestFailureInjection:
+    def test_failure_count_near_expectation(self, params):
+        res = simulate(cfg(params, work=params.mtti * 100, seed=5))
+        expected = res.wall_time / params.mtti
+        assert res.failures == pytest.approx(expected, rel=0.25)
+
+    def test_no_failures_with_huge_mtti(self, params):
+        p = params.with_(mtti=1e12)
+        res = simulate(cfg(p, work=5000.0))
+        assert res.failures == 0
+        assert res.breakdown.rerun == 0.0
+
+    def test_recovery_split_tracks_p_local(self, params):
+        p = params.with_(p_local_recovery=0.85)
+        res = simulate(cfg(p, work=params.mtti * 200, seed=9))
+        frac_io = res.recoveries_io / (res.recoveries_io + res.recoveries_local)
+        # Slightly above 15% due to post-I/O-recovery cascades.
+        assert 0.10 < frac_io < 0.30
+
+
+class TestStrategySemantics:
+    def test_ndp_never_blocks_host_on_io(self, params):
+        sim = CRSimulation(cfg(params, strategy="ndp"))
+        sim.run()
+        assert sim.acct.seconds["checkpoint_io"] == 0.0
+
+    def test_host_pays_io_checkpoint_time(self, params):
+        sim = CRSimulation(cfg(params, strategy="host", ratio=10))
+        sim.run()
+        assert sim.acct.seconds["checkpoint_io"] > 0.0
+
+    def test_ndp_drains_to_io(self, params):
+        res = simulate(cfg(params, strategy="ndp"))
+        assert res.io_checkpoints > 0
+
+    def test_local_only_never_touches_io(self, params):
+        sim = CRSimulation(cfg(params, strategy="local-only"))
+        res = sim.run()
+        assert res.io_checkpoints == 0
+        assert sim.acct.seconds["checkpoint_io"] == 0.0
+        assert sim.acct.seconds["restore_io"] == 0.0
+
+    def test_io_only_never_touches_local(self, params):
+        sim = CRSimulation(cfg(params, strategy="io-only", work=params.mtti * 10))
+        res = sim.run()
+        assert res.local_checkpoints == 0
+        assert sim.acct.seconds["checkpoint_local"] == 0.0
+
+    def test_compression_shortens_drain_interval(self, params):
+        plain = simulate(cfg(params, compression=NO_COMPRESSION, seed=4))
+        comp = simulate(cfg(params, compression=NDP_GZIP1, seed=4))
+        # Same wall-ish time, more I/O checkpoints when compressed.
+        assert comp.io_checkpoints > plain.io_checkpoints
+
+    def test_ndp_beats_host_efficiency(self, params):
+        work = params.mtti * 120
+        host = simulate(cfg(params, strategy="host", ratio=15, compression=NDP_GZIP1, work=work))
+        ndp = simulate(cfg(params, strategy="ndp", compression=NDP_GZIP1, work=work))
+        assert ndp.efficiency > host.efficiency
+
+
+class TestValidation:
+    def test_bad_strategy_rejected(self, params):
+        with pytest.raises(ValueError):
+            SimConfig(params=params, strategy="quantum", work=100.0)
+
+    def test_bad_ratio_rejected(self, params):
+        with pytest.raises(ValueError):
+            SimConfig(params=params, ratio=0, work=100.0)
+
+    def test_work_required(self, params):
+        with pytest.raises(ValueError):
+            SimConfig(params=params, work=0.0)
+
+    def test_default_work_scales_with_mtti(self, params):
+        assert default_work(params, 100) == pytest.approx(params.mtti * 100)
+
+
+class TestTracing:
+    def test_trace_contains_expected_lanes(self, params):
+        tr = TimelineRecorder(horizon=3000)
+        simulate(cfg(params, trace=tr, work=3000.0))
+        assert "HOST" in tr.lanes()
+        assert "NDP" in tr.lanes()
+
+    def test_host_strategy_has_no_ndp_lane(self, params):
+        tr = TimelineRecorder(horizon=3000)
+        simulate(cfg(params, strategy="host", ratio=5, trace=tr, work=3000.0))
+        assert tr.lanes() == ["HOST"]
+
+    def test_trace_spans_are_ordered_within_lane(self, params):
+        tr = TimelineRecorder(horizon=5000)
+        simulate(cfg(params, trace=tr, work=5000.0))
+        host = [s for s in tr.spans if s.lane == "HOST"]
+        starts = [s.start for s in host]
+        assert starts == sorted(starts)
+
+
+class TestRestartOverhead:
+    def test_overhead_charged_per_recovery(self, params):
+        work = params.mtti * 80
+        fast = simulate(cfg(params, work=work, seed=3))
+        slow = simulate(
+            cfg(params.with_(restart_overhead=120.0), work=work, seed=3)
+        )
+        assert slow.efficiency < fast.efficiency
+        # The extra cost lands in the restore components.
+        assert (
+            slow.breakdown.restore_local + slow.breakdown.restore_io
+            > fast.breakdown.restore_local + fast.breakdown.restore_io
+        )
+
+    def test_model_agrees_on_overhead_direction(self, params):
+        from repro.core.model import multilevel_ndp
+
+        base = multilevel_ndp(params).efficiency
+        with_ovh = multilevel_ndp(params.with_(restart_overhead=120.0)).efficiency
+        assert with_ovh < base
+
+
+class TestFailureDistribution:
+    def test_weibull_mean_matches_mtti(self, params):
+        res = simulate(cfg(params, failure_shape=0.7, work=params.mtti * 150))
+        expected = res.wall_time / params.mtti
+        # Renewal with the same mean: failure count tracks wall/MTTI.
+        assert res.failures == pytest.approx(expected, rel=0.3)
+
+    def test_shape_one_identical_to_exponential_path(self, params):
+        a = simulate(cfg(params, failure_shape=1.0, seed=8))
+        b = simulate(cfg(params, seed=8))
+        assert a.wall_time == b.wall_time
+
+    def test_bursty_failures_still_complete(self, params):
+        res = simulate(cfg(params, failure_shape=0.5, seed=8))
+        assert 0 < res.efficiency < 1
+
+    def test_shape_validation(self, params):
+        with pytest.raises(ValueError):
+            SimConfig(params=params, work=100.0, failure_shape=0.0)
+
+
+class TestPartnerLevel:
+    def test_partner_copies_counted(self, params):
+        res = simulate(cfg(params, partner_every=2, p_partner_recovery=0.8))
+        assert res.partner_checkpoints == pytest.approx(
+            res.local_checkpoints / 2, abs=2
+        )
+
+    def test_partner_reduces_io_recoveries(self, params):
+        p = params.with_(p_local_recovery=0.6)
+        work = params.mtti * 120
+        base = simulate(cfg(p, work=work, seed=5))
+        with_partner = simulate(
+            cfg(p, work=work, seed=5, partner_every=1, p_partner_recovery=0.9)
+        )
+        assert with_partner.recoveries_io < base.recoveries_io
+        assert with_partner.recoveries_partner > 0
+
+    def test_partner_improves_efficiency_at_low_p_local(self, params):
+        p = params.with_(p_local_recovery=0.5)
+        work = params.mtti * 120
+        base = simulate(cfg(p, work=work, seed=5))
+        with_partner = simulate(
+            cfg(p, work=work, seed=5, partner_every=1, p_partner_recovery=0.9)
+        )
+        assert with_partner.efficiency > base.efficiency
+
+    def test_zero_cadence_disables(self, params):
+        res = simulate(cfg(params, partner_every=0, p_partner_recovery=0.9))
+        assert res.partner_checkpoints == 0
+        assert res.recoveries_partner == 0
+
+    def test_partner_cost_visible_in_breakdown(self, params):
+        # A slow interconnect makes partner copies expensive.
+        fast = simulate(cfg(params, partner_every=1, p_partner_recovery=0.5))
+        slow = simulate(
+            cfg(
+                params,
+                partner_every=1,
+                p_partner_recovery=0.5,
+                partner_bandwidth=2e9,
+            )
+        )
+        assert (
+            slow.breakdown.checkpoint_local > fast.breakdown.checkpoint_local
+        )
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            SimConfig(params=params, work=100.0, partner_every=-1)
+        with pytest.raises(ValueError):
+            SimConfig(params=params, work=100.0, partner_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            SimConfig(params=params, work=100.0, p_partner_recovery=1.2)
+
+
+class TestNVMBufferInteraction:
+    def test_tiny_buffer_can_stall_host(self, params):
+        # Capacity 1 with a slow drain: the only slot stays locked, the
+        # host must wait for drain completion.
+        slow = params.with_(io_bandwidth=20e6)  # 93 min drain
+        res = simulate(
+            cfg(slow, nvm_capacity=1, work=params.mtti * 5, seed=2)
+        )
+        assert res.host_stall_time > 0.0
+
+    def test_ample_buffer_never_stalls(self, params):
+        res = simulate(cfg(params, nvm_capacity=16))
+        assert res.host_stall_time == 0.0

@@ -1,0 +1,36 @@
+"""Time accounting and simulation result structures."""
+
+import pytest
+
+from repro.simulation.stats import TimeAccounting
+
+
+class TestTimeAccounting:
+    def test_accumulates_by_category(self):
+        acct = TimeAccounting()
+        acct.add("compute", 10.0)
+        acct.add("compute", 5.0)
+        acct.add("rerun_io", 5.0)
+        assert acct.seconds["compute"] == 15.0
+        assert acct.total == 20.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            TimeAccounting().add("coffee", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccounting().add("compute", -0.1)
+
+    def test_breakdown_fractions(self):
+        acct = TimeAccounting()
+        acct.add("compute", 80.0)
+        acct.add("checkpoint_local", 20.0)
+        b = acct.breakdown()
+        assert b.compute == pytest.approx(0.8)
+        assert b.checkpoint_local == pytest.approx(0.2)
+        assert b.total == pytest.approx(1.0)
+
+    def test_empty_breakdown_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccounting().breakdown()

@@ -1,0 +1,134 @@
+"""NVM circular-buffer semantics (Section 4.2.1/4.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.storage import CheckpointRecord, NVMBuffer
+
+
+def rec(i, done=True):
+    return CheckpointRecord(ckpt_id=i, position=float(i), local_done=float(i) if done else None)
+
+
+class TestAdmission:
+    def test_fifo_eviction_when_full(self):
+        buf = NVMBuffer(2)
+        buf.admit(rec(1))
+        buf.admit(rec(2))
+        evicted = buf.admit(rec(3))
+        assert [r.ckpt_id for r in evicted] == [1]
+        assert [r.ckpt_id for r in buf.records] == [2, 3]
+
+    def test_locked_checkpoint_survives_eviction(self):
+        buf = NVMBuffer(2)
+        r1 = rec(1)
+        buf.admit(r1)
+        buf.admit(rec(2))
+        buf.lock(r1)
+        evicted = buf.admit(rec(3))
+        assert [r.ckpt_id for r in evicted] == [2]
+        assert r1 in buf.records
+
+    def test_all_locked_raises_buffererror(self):
+        buf = NVMBuffer(1)
+        r1 = rec(1)
+        buf.admit(r1)
+        buf.lock(r1)
+        assert not buf.can_accept()
+        with pytest.raises(BufferError):
+            buf.admit(rec(2))
+        assert buf.stall_evictions_denied == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            NVMBuffer(0)
+
+
+class TestQueries:
+    def test_latest_completed_ignores_in_flight(self):
+        buf = NVMBuffer(4)
+        buf.admit(rec(1))
+        buf.admit(rec(2, done=False))
+        latest = buf.latest_completed(at=100.0)
+        assert latest.ckpt_id == 1
+
+    def test_latest_completed_respects_time(self):
+        buf = NVMBuffer(4)
+        buf.admit(rec(5))  # local_done = 5.0
+        assert buf.latest_completed(at=4.0) is None
+        assert buf.latest_completed(at=5.0).ckpt_id == 5
+
+    def test_newest_undrained_prefers_newest(self):
+        buf = NVMBuffer(4)
+        buf.admit(rec(1))
+        buf.admit(rec(2))
+        assert buf.newest_undrained().ckpt_id == 2
+
+    def test_newest_undrained_skips_drained_and_locked(self):
+        buf = NVMBuffer(4)
+        r1, r2, r3 = rec(1), rec(2), rec(3)
+        for r in (r1, r2, r3):
+            buf.admit(r)
+        r3.io_done = 10.0
+        buf.lock(r2)
+        assert buf.newest_undrained() is r1
+
+
+class TestLocking:
+    def test_double_lock_rejected(self):
+        buf = NVMBuffer(2)
+        r = rec(1)
+        buf.admit(r)
+        buf.lock(r)
+        with pytest.raises(ValueError):
+            buf.lock(r)
+
+    def test_unlock_requires_locked(self):
+        buf = NVMBuffer(2)
+        r = rec(1)
+        buf.admit(r)
+        with pytest.raises(ValueError):
+            buf.unlock(r)
+
+    def test_lock_unlock_cycle_restores_evictability(self):
+        buf = NVMBuffer(1)
+        r = rec(1)
+        buf.admit(r)
+        buf.lock(r)
+        buf.unlock(r)
+        assert buf.can_accept()
+        buf.admit(rec(2))
+        assert [x.ckpt_id for x in buf.records] == [2]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["admit", "lock_newest", "unlock_all"])),
+        min_size=1,
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_buffer_never_exceeds_capacity(ops, capacity):
+    """Under any admit/lock/unlock sequence the buffer respects capacity
+    and keeps records in FIFO (ascending ckpt_id) order."""
+    buf = NVMBuffer(capacity)
+    next_id = 1
+    for (op,) in ops:
+        if op == "admit":
+            if buf.can_accept():
+                buf.admit(rec(next_id))
+                next_id += 1
+        elif op == "lock_newest":
+            target = buf.newest_undrained()
+            if target is not None:
+                buf.lock(target)
+        else:
+            for r in buf.records:
+                if r.locked:
+                    buf.unlock(r)
+    assert len(buf) <= capacity
+    ids = [r.ckpt_id for r in buf.records]
+    assert ids == sorted(ids)

@@ -1,0 +1,89 @@
+"""Timeline recording and ASCII rendering."""
+
+import pytest
+
+from repro.simulation.trace import Span, TimelineRecorder, render_ascii
+
+
+class TestRecorder:
+    def test_emit_and_lane_order(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute")
+        tr.emit("NDP", 2, 8, "drain")
+        tr.emit("HOST", 10, 12, "ckpt-local")
+        assert tr.lanes() == ["HOST", "NDP"]
+        assert len(tr.spans) == 3
+
+    def test_horizon_clips_and_drops(self):
+        tr = TimelineRecorder(horizon=10.0)
+        tr.emit("HOST", 5, 20, "compute")  # clipped to 10
+        tr.emit("HOST", 15, 20, "compute")  # dropped entirely
+        assert len(tr.spans) == 1
+        assert tr.spans[0].end == 10.0
+
+    def test_empty_spans_dropped(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 5.0, 5.0, "compute")
+        assert tr.spans == []
+
+    def test_span_duration(self):
+        assert Span("HOST", 1.0, 4.0, "compute").duration == 3.0
+
+
+class TestRender:
+    def test_majority_glyphs(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 50, "compute")
+        tr.emit("HOST", 50, 100, "ckpt-io")
+        out = render_ascii(tr, width=10, t_end=100)
+        row = out.splitlines()[0]
+        assert "=====WWWWW" in row.replace(" ", "")
+
+    def test_empty_recorder(self):
+        assert "empty" in render_ascii(TimelineRecorder())
+
+    def test_includes_legend_and_scale(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute")
+        out = render_ascii(tr, width=20)
+        assert "legend:" in out
+        assert "t=10" in out
+
+    def test_one_row_per_lane(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute")
+        tr.emit("NDP", 0, 10, "drain")
+        rows = [l for l in render_ascii(tr, width=10).splitlines() if "|" in l]
+        assert len(rows) == 2
+
+    def test_zero_end_rejected(self):
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute")
+        with pytest.raises(ValueError):
+            render_ascii(tr, t_end=0.0)
+
+
+class TestExport:
+    def test_records_view(self):
+        from repro.simulation.trace import spans_to_records
+
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute", "a")
+        (rec,) = spans_to_records(tr)
+        assert rec == {"lane": "HOST", "start": 0, "end": 10, "kind": "compute", "label": "a"}
+
+    def test_csv_round_trip(self, tmp_path):
+        import csv
+
+        from repro.simulation.trace import write_csv
+
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0.0, 10.5, "compute")
+        tr.emit("NDP", 2.25, 8.0, "drain", "c3")
+        path = tmp_path / "timeline.csv"
+        assert write_csv(tr, path) == 2
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[1]["lane"] == "NDP"
+        assert float(rows[1]["start"]) == 2.25
+        assert rows[1]["label"] == "c3"

@@ -1,0 +1,102 @@
+"""Mini-app base infrastructure: quantization, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.workloads.base import (
+    deserialize_state,
+    quantize_mantissa,
+    serialize_state,
+    state_nbytes,
+)
+
+
+class TestQuantize:
+    def test_full_precision_is_identity(self, rng):
+        a = rng.standard_normal(100)
+        assert np.array_equal(quantize_mantissa(a, 52.0), a)
+
+    def test_zero_bits_keeps_exponent_only(self, rng):
+        a = rng.standard_normal(100) + 10.0
+        q = quantize_mantissa(a, 0.0)
+        # Mantissa cleared: each value becomes a power of two (its exponent).
+        mantissas = q.view(np.uint64) & np.uint64((1 << 52) - 1)
+        assert np.all(mantissas == 0)
+
+    def test_monotone_error(self, rng):
+        a = rng.standard_normal(1000)
+        err4 = np.abs(quantize_mantissa(a, 4.0) - a).max()
+        err20 = np.abs(quantize_mantissa(a, 20.0) - a).max()
+        assert err20 <= err4
+
+    def test_relative_error_bounded(self, rng):
+        a = rng.standard_normal(1000) + 5.0
+        q = quantize_mantissa(a, 10.0)
+        rel = np.abs((q - a) / a)
+        assert rel.max() < 2.0**-10 * 2  # keep 10 bits => rel err < 2^-10ish
+
+    def test_fractional_bits_between_integers(self, rng):
+        a = rng.standard_normal(5000)
+        import zlib
+
+        def factor(bits):
+            return len(zlib.compress(quantize_mantissa(a, bits).tobytes(), 1))
+
+        assert factor(4.0) <= factor(4.5) <= factor(5.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            quantize_mantissa(rng.standard_normal(4), 53.0)
+        with pytest.raises(TypeError):
+            quantize_mantissa(np.zeros(4, dtype=np.float32), 10.0)
+
+    def test_preserves_shape(self, rng):
+        a = rng.standard_normal((7, 8, 9))
+        assert quantize_mantissa(a, 8.0).shape == (7, 8, 9)
+
+
+class TestSerialization:
+    def test_round_trip_mixed_dtypes(self, rng):
+        state = {
+            "pos": rng.standard_normal((10, 3)),
+            "types": rng.integers(0, 5, 10, dtype=np.int32),
+            "flags": np.array([True, False, True]),
+        }
+        back = deserialize_state(serialize_state(state))
+        assert set(back) == set(state)
+        for k in state:
+            assert np.array_equal(back[k], state[k])
+            assert back[k].dtype == state[k].dtype
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_state(b"JUNK" + bytes(100))
+
+    def test_state_nbytes(self, rng):
+        state = {"a": np.zeros(100), "b": np.zeros(50, dtype=np.float32)}
+        assert state_nbytes(state) == 100 * 8 + 50 * 4
+
+    def test_empty_state(self):
+        assert deserialize_state(serialize_state({})) == {}
+
+    def test_non_contiguous_array_handled(self, rng):
+        a = rng.standard_normal((10, 10))[::2, ::2]
+        assert not a.flags.c_contiguous
+        back = deserialize_state(serialize_state({"v": a}))
+        assert np.array_equal(back["v"], a)
+
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.float64, np.int32, np.uint8]),
+            shape=hnp.array_shapes(max_dims=3, max_side=16),
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_round_trip(self, arr):
+        back = deserialize_state(serialize_state({"x": arr}))
+        assert np.array_equal(back["x"], arr, equal_nan=True)
+        assert back["x"].dtype == arr.dtype
+        assert back["x"].shape == arr.shape

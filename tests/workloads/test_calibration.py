@@ -1,0 +1,69 @@
+"""Compression-factor calibration of the proxy checkpoints."""
+
+import pytest
+
+from repro.compression.study import paper_factor
+from repro.workloads.calibration import (
+    CALIBRATED_PRECISION,
+    calibrate_precision,
+    calibrated_app,
+    gzip1_factor,
+)
+from repro.workloads.miniapps import APP_REGISTRY, make_app
+
+
+class TestGzip1Factor:
+    def test_zero_for_random(self, rng):
+        import numpy as np
+
+        data = rng.integers(0, 256, 50000, dtype=np.uint8).tobytes()
+        assert gzip1_factor(data) < 0.05
+
+    def test_high_for_zeros(self):
+        assert gzip1_factor(bytes(50000)) > 0.99
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gzip1_factor(b"")
+
+
+class TestCalibratedConstants:
+    def test_constants_cover_all_apps(self):
+        assert set(CALIBRATED_PRECISION) == set(APP_REGISTRY)
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_calibrated_factor_close_to_paper(self, name):
+        """The cached knobs must reproduce Table 2's gzip(1) column."""
+        app = calibrated_app(name, seed=0)
+        app.run(5)
+        achieved = gzip1_factor(app.checkpoint_bytes())
+        target = paper_factor(name, "gzip(1)")
+        assert achieved == pytest.approx(target, abs=0.04), (
+            f"{name}: calibrated factor {achieved:.3f} vs paper {target:.3f}"
+        )
+
+
+class TestBisection:
+    def test_converges_on_reachable_target(self):
+        bits = calibrate_precision(
+            lambda b: make_app("miniFE", seed=1, grid=12, precision_bits=b),
+            target_factor=0.60,
+            warmup_steps=2,
+            tol=0.02,
+        )
+        app = make_app("miniFE", seed=1, grid=12, precision_bits=bits)
+        app.run(2)
+        assert gzip1_factor(app.checkpoint_bytes()) == pytest.approx(0.60, abs=0.05)
+
+    def test_clamps_unreachable_low_target(self):
+        # A target below the full-precision floor returns the hi endpoint.
+        bits = calibrate_precision(
+            lambda b: make_app("miniSMAC2D", seed=1, grid=24, precision_bits=b),
+            target_factor=0.001,
+            warmup_steps=2,
+        )
+        assert bits == 52.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            calibrate_precision(lambda b: make_app("CoMD"), target_factor=1.0)

@@ -1,0 +1,181 @@
+"""The seven mini-app proxy kernels: physics sanity, restore fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import deserialize_state
+from repro.workloads.miniapps import (
+    APP_REGISTRY,
+    CoMDProxy,
+    HPCCGProxy,
+    MiniAeroProxy,
+    MiniSMAC2DProxy,
+    make_app,
+)
+
+SMALL_KW = {
+    "CoMD": {"n_atoms": 125},
+    "miniMD": {"n_atoms": 125},
+    "HPCCG": {"grid": 10},
+    "pHPCCG": {"grid": 10},
+    "miniFE": {"grid": 10},
+    "miniSMAC2D": {"grid": 32},
+    "miniAero": {"grid": 32},
+}
+
+
+def small(name, seed=0, **kw):
+    return make_app(name, seed=seed, **{**SMALL_KW[name], **kw})
+
+
+class TestRegistry:
+    def test_covers_paper_apps(self):
+        assert set(APP_REGISTRY) == {
+            "CoMD",
+            "HPCCG",
+            "miniFE",
+            "miniMD",
+            "miniSMAC2D",
+            "miniAero",
+            "pHPCCG",
+        }
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            make_app("LAMMPS")
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_name_attribute_matches_key(self, name):
+        assert small(name).name == name
+
+
+class TestStepping:
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_steps_change_state_and_stay_finite(self, name):
+        app = small(name)
+        before = {k: v.copy() for k, v in app.state().items()}
+        app.run(3)
+        after = app.state()
+        assert any(
+            not np.array_equal(before[k], after[k]) for k in before
+        ), f"{name} state did not evolve"
+        for k, v in after.items():
+            if np.issubdtype(v.dtype, np.floating):
+                assert np.isfinite(v).all(), f"{name}.{k} went non-finite"
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_deterministic_given_seed(self, name):
+        a, b = small(name, seed=3), small(name, seed=3)
+        a.run(3)
+        b.run(3)
+        for k, v in a.state().items():
+            assert np.array_equal(v, b.state()[k])
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_different_seeds_differ(self, name):
+        a, b = small(name, seed=1), small(name, seed=2)
+        assert any(
+            not np.array_equal(a.state()[k], b.state()[k]) for k in a.state()
+        )
+
+
+class TestRestore:
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_restore_resumes_identically(self, name):
+        """Checkpoint, keep running, restore, re-run: trajectories match."""
+        app = small(name, seed=5)
+        app.run(2)
+        snapshot = deserialize_state(app.checkpoint_bytes())
+        app.run(3)
+        after_direct = {k: v.copy() for k, v in app._raw_state().items()}
+
+        # RNG state is part of what a real checkpoint captures; proxies
+        # only draw randomness at init (and CG restart perturbations), so
+        # restoring arrays suffices for these step counts.
+        app.restore(snapshot)
+        app.run(3)
+        after_restored = app._raw_state()
+        for k in after_direct:
+            assert np.allclose(
+                after_direct[k], after_restored[k], equal_nan=True
+            ), f"{name}.{k} diverged after restore"
+
+    def test_restore_rejects_unknown_array(self):
+        app = small("CoMD")
+        with pytest.raises(KeyError):
+            app.restore({"bogus": np.zeros(3)})
+
+    def test_restore_rejects_shape_mismatch(self):
+        app = small("CoMD")
+        with pytest.raises(ValueError):
+            app.restore({"positions": np.zeros((1, 3))})
+
+
+class TestPhysics:
+    def test_md_momentum_near_zero(self):
+        app = CoMDProxy(n_atoms=125, seed=0)
+        app.run(5)
+        momentum = app.vel.sum(axis=0)
+        assert np.abs(momentum).max() < 1e-8 * app.n
+
+    def test_md_positions_stay_in_box(self):
+        app = CoMDProxy(n_atoms=125, seed=0)
+        app.run(10)
+        assert (app.pos >= 0).all() and (app.pos < app.box).all()
+
+    def test_cg_residual_decreases(self):
+        app = HPCCGProxy(grid=10, seed=0)
+        r0 = app.residual_norm()
+        app.run(10)
+        assert app.residual_norm() < r0
+
+    def test_smac_divergence_bounded(self):
+        app = MiniSMAC2DProxy(grid=32, seed=0)
+        app.run(10)
+        assert app.max_divergence() < 50.0  # Jacobi projection is approximate
+
+    def test_aero_mass_conserved(self):
+        app = MiniAeroProxy(grid=32, seed=0)
+        m0 = app.total_mass()
+        app.run(20)
+        assert app.total_mass() == pytest.approx(m0, rel=1e-6)
+
+    def test_aero_density_positive(self):
+        app = MiniAeroProxy(grid=32, seed=0)
+        app.run(20)
+        assert (app.rho > 0).all()
+
+    def test_minimd_has_types(self):
+        app = small("miniMD")
+        assert app.state()["types"].dtype == np.int32
+
+    def test_md_energy_conserved_with_small_dt(self):
+        app = CoMDProxy(n_atoms=125, seed=2)
+        app.dt = 0.0005  # small step: Verlet drift negligible
+        e0 = app.total_energy()
+        app.run(40)
+        drift = abs(app.total_energy() - e0) / max(abs(e0), 1.0)
+        assert drift < 0.01
+
+    def test_md_potential_negative_in_bound_state(self):
+        app = CoMDProxy(n_atoms=125, seed=2)
+        app.run(5)
+        assert app.potential_energy() < 0.0
+
+
+class TestPrecisionKnob:
+    def test_lower_precision_more_compressible(self):
+        import zlib
+
+        full = small("miniSMAC2D", precision_bits=52.0)
+        coarse = small("miniSMAC2D", precision_bits=4.0)
+        full.run(3)
+        coarse.run(3)
+        f_full = len(zlib.compress(full.checkpoint_bytes(), 1))
+        f_coarse = len(zlib.compress(coarse.checkpoint_bytes(), 1))
+        assert f_coarse < f_full
+
+    def test_checkpoint_size_independent_of_precision(self):
+        a = small("HPCCG", precision_bits=52.0)
+        b = small("HPCCG", precision_bits=2.0)
+        assert len(a.checkpoint_bytes()) == len(b.checkpoint_bytes())
