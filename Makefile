@@ -1,0 +1,31 @@
+# Developer entry points.  Everything runs offline with PYTHONPATH=src —
+# no install step required.
+
+PY      ?= python
+PYTEST   = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test test-fast smoke bench-parallel report
+
+## Full test suite (tier-1 gate).
+test:
+	$(PYTEST) -x -q
+
+## Fast split: everything except the long Monte-Carlo integration tests.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+## Smoke the parallel Monte-Carlo pool: the bench_parallel benches (tiny
+## seed counts) plus a miniature speedup recording, so the multiprocessing
+## path is exercised on every run.
+smoke:
+	$(PYTEST) -q benchmarks/bench_parallel.py
+	PYTHONPATH=src $(PY) benchmarks/record_parallel.py \
+		--seeds 4 --mttis 3 -o /tmp/bench_parallel_smoke.json
+
+## Full-size pool speedup recording (writes BENCH_parallel_pool.json).
+bench-parallel:
+	PYTHONPATH=src $(PY) benchmarks/record_parallel.py
+
+## Regenerate the experiment report, parallel where supported.
+report:
+	PYTHONPATH=src $(PY) -m repro report --jobs 0 -o REPORT.md

@@ -1,8 +1,55 @@
-"""Engineering benchmarks of the SPMD parallel substrate."""
+"""Engineering benchmarks of the parallel substrates.
+
+Two layers share this file: the SPMD mini-app substrate
+(:mod:`repro.parallel`) and the Monte-Carlo batch pool
+(:mod:`repro.simulation.pool`).  The pool benches use tiny seed counts so
+the ``make smoke`` target exercises the multiprocessing path on every
+run; :mod:`benchmarks.record_parallel` is the full-size speedup recorder
+behind ``BENCH_parallel_pool.json``.
+"""
 
 import pytest
 
+from repro.core import paper_parameters
 from repro.parallel import DistributedLJMD, DistributedSMAC2D, DistributedStencilCG
+from repro.simulation import ResultCache, SimConfig, mc_run
+
+
+def _mc_config(mttis: float = 4.0) -> SimConfig:
+    p = paper_parameters()
+    return SimConfig(params=p, strategy="ndp", work=p.mtti * mttis, seed=0)
+
+
+class TestMonteCarloPool:
+    """Smoke-level benches of the batch runtime (pool, cache, serial)."""
+
+    SEEDS = range(4)
+
+    def test_mc_serial(self, benchmark):
+        res = benchmark.pedantic(
+            mc_run, args=(_mc_config(), self.SEEDS), kwargs={"jobs": 1},
+            rounds=1, iterations=1,
+        )
+        assert res.n == len(self.SEEDS)
+
+    def test_mc_pool(self, benchmark):
+        res = benchmark.pedantic(
+            mc_run, args=(_mc_config(), self.SEEDS), kwargs={"jobs": 2},
+            rounds=1, iterations=1,
+        )
+        assert res.n == len(self.SEEDS)
+        # The pool must reproduce the serial samples bit-for-bit.
+        assert res.samples == mc_run(_mc_config(), self.SEEDS, jobs=1).samples
+
+    def test_mc_cache_warm(self, benchmark, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = mc_run(_mc_config(), self.SEEDS, jobs=1, cache=cache)
+        warm = benchmark.pedantic(
+            mc_run, args=(_mc_config(), self.SEEDS),
+            kwargs={"jobs": 1, "cache": cache}, rounds=1, iterations=1,
+        )
+        assert warm.samples == cold.samples
+        assert cache.hits == len(self.SEEDS)
 
 
 class TestDistributedCG:

@@ -6,6 +6,7 @@ Usage::
     python -m repro experiment figure6
     python -m repro experiment table2 -o source=paper
     python -m repro experiment figure8 --json fig8.json
+    python -m repro experiment validation --jobs 4 --no-cache
     python -m repro all --skip-slow
     python -m repro report -o report.md --skip-slow
     python -m repro calibrate
@@ -43,6 +44,44 @@ SLOW_EXPERIMENTS = (
 )
 
 
+def _runtime_kwargs(name: str, args: argparse.Namespace) -> dict[str, object]:
+    """Batch-runtime options (``--jobs``/``--no-cache``) an experiment accepts.
+
+    Experiments opt in by taking ``jobs``/``cache`` keyword parameters
+    (the Monte-Carlo ones do); everything else runs untouched, so the
+    flags are safe to pass globally.
+    """
+    import inspect
+
+    accepted = inspect.signature(REGISTRY[name]).parameters
+    out: dict[str, object] = {}
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        if jobs < 0:
+            raise SystemExit(f"--jobs must be >= 0 (0 = one per core): {jobs}")
+        if "jobs" in accepted:
+            out["jobs"] = jobs if jobs > 0 else None  # --jobs 0 => auto-detect
+    if "cache" in accepted and not getattr(args, "no_cache", False):
+        from .simulation.pool import ResultCache
+
+        out["cache"] = ResultCache.default()
+    return out
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker processes for Monte-Carlo experiments (0 = one per core)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk simulation result cache",
+    )
+
+
 def _parse_overrides(pairs: list[str]) -> dict[str, object]:
     out: dict[str, object] = {}
     for pair in pairs:
@@ -74,7 +113,9 @@ def _result_to_json(result: ExperimentResult) -> dict:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.name, **_parse_overrides(args.override))
+    kwargs = _runtime_kwargs(args.name, args)
+    kwargs.update(_parse_overrides(args.override))
+    result = run_experiment(args.name, **kwargs)
     print(result)
     if args.json:
         Path(args.json).write_text(
@@ -89,7 +130,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for name in REGISTRY:
         if args.skip_slow and name in SLOW_EXPERIMENTS:
             continue
-        result = run_experiment(name)
+        result = run_experiment(name, **_runtime_kwargs(name, args))
         sections.append(f"## {result.title}\n\n```\n{result.text}\n```\n")
         print(f"ran {name}", file=sys.stderr)
     body = "# repro — regenerated experiments\n\n" + "\n".join(sections)
@@ -108,7 +149,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
             print(f"-- skipping {name} (slow)")
             continue
         try:
-            print(run_experiment(name))
+            print(run_experiment(name, **_runtime_kwargs(name, args)))
             print()
         except Exception as exc:  # pragma: no cover - defensive CLI surface
             failures += 1
@@ -198,15 +239,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="keyword override forwarded to the experiment's run()",
     )
     p_exp.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    _add_runtime_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--skip-slow", action="store_true", help="skip slow experiments")
+    _add_runtime_flags(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     p_rep = sub.add_parser("report", help="write a markdown report of all experiments")
     p_rep.add_argument("-o", "--output", metavar="PATH", help="output file (default stdout)")
     p_rep.add_argument("--skip-slow", action="store_true", help="skip slow experiments")
+    _add_runtime_flags(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     p_ck = sub.add_parser("ckpt", help="inspect / verify checkpoint stores")

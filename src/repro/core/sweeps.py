@@ -147,13 +147,19 @@ def optimal_host_grid(
     """
     ratios = np.arange(1, max_ratio + 1, dtype=float)
     # Shape: (R, *grid) via broadcasting ratios on a new leading axis.
-    shaped = ratios.reshape((-1,) + (1,) * np.ndim(
-        np.broadcast_arrays(
-            np.asarray(grid.mtti, dtype=float),
-            np.asarray(grid.checkpoint_size, dtype=float),
-            np.asarray(grid.p_local, dtype=float),
-        )[0]
-    ))
+    # All five grid fields participate in the broadcast: a grid that
+    # sweeps only a bandwidth axis must still push the ratio axis in
+    # front of it rather than pairing with it elementwise.
+    grid_ndim = len(
+        np.broadcast_shapes(
+            np.shape(grid.mtti),
+            np.shape(grid.checkpoint_size),
+            np.shape(grid.local_bandwidth),
+            np.shape(grid.io_bandwidth),
+            np.shape(grid.p_local),
+        )
+    )
+    shaped = ratios.reshape((-1,) + (1,) * grid_ndim)
     effs = host_efficiency_grid(grid, shaped, compression, rerun_accounting)
     best_idx = np.argmax(effs, axis=0)
     best_eff = np.max(effs, axis=0)

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from ..core.configs import NDP_GZIP1, NO_COMPRESSION, CompressionSpec, CRParameters, paper_parameters
 from ..core.model import ModelResult, multilevel_host, multilevel_ndp
-from ..simulation import SimConfig, default_work, simulate
+from ..simulation import SimConfig, default_work, run_simulations
+from ..simulation.pool import ResultCache
 from .common import ExperimentResult, TextTable
 
 __all__ = ["run", "ValidationCase"]
@@ -55,25 +56,23 @@ def run(
     mttis: float = 150.0,
     seed: int = 7,
     params: CRParameters | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Compare simulated and modeled efficiency for each case.
 
     ``mttis`` controls simulation length (failure count ~ noise floor).
+    ``jobs`` fans the per-case simulations out over the batch pool
+    (``None`` = one worker per core) and ``cache`` consults/fills the
+    on-disk result cache — neither changes any reported number.
     """
     base = paper_parameters() if params is None else params
     table = TextTable(["case", "regime", "model eff", "sim eff", "abs diff", "failures"])
     rows = []
     worst = 0.0
-    for case in cases:
-        p = base.with_(p_local_recovery=case.p_local)
-        model: ModelResult
-        if case.strategy == "ndp":
-            model = multilevel_ndp(p, case.compression, rerun_accounting="staleness")
-        else:
-            model = multilevel_host(
-                p, case.ratio, case.compression, rerun_accounting="staleness"
-            )
-        sim = simulate(
+    case_params = [base.with_(p_local_recovery=case.p_local) for case in cases]
+    sims = run_simulations(
+        [
             SimConfig(
                 params=p,
                 strategy=case.strategy,
@@ -82,7 +81,19 @@ def run(
                 work=default_work(p, mttis),
                 seed=seed,
             )
-        )
+            for case, p in zip(cases, case_params)
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    for case, p, sim in zip(cases, case_params, sims):
+        model: ModelResult
+        if case.strategy == "ndp":
+            model = multilevel_ndp(p, case.compression, rerun_accounting="staleness")
+        else:
+            model = multilevel_host(
+                p, case.ratio, case.compression, rerun_accounting="staleness"
+            )
         diff = abs(model.efficiency - sim.efficiency)
         if case.regime == "paper":
             worst = max(worst, diff)

@@ -10,6 +10,15 @@ from .bandwidth import SharedBandwidth, Transfer
 from .batch import MCResult, PairedComparison, compare_strategies, mc_run
 from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, simulate_cluster
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .pool import (
+    ChunkTiming,
+    ResultCache,
+    chunk_indices,
+    config_key,
+    parallel_map,
+    resolve_jobs,
+    run_simulations,
+)
 from .rng import StreamFactory, exponential_interarrivals
 from .simulator import STRATEGIES, CRSimulation, SimConfig, default_work, simulate
 from .stats import SimulationResult, TimeAccounting
@@ -23,6 +32,13 @@ __all__ = [
     "PairedComparison",
     "mc_run",
     "compare_strategies",
+    "ChunkTiming",
+    "ResultCache",
+    "chunk_indices",
+    "config_key",
+    "parallel_map",
+    "resolve_jobs",
+    "run_simulations",
     "ClusterConfig",
     "ClusterResult",
     "ClusterSimulation",

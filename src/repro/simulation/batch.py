@@ -10,6 +10,12 @@ deserve confidence intervals.  This module provides
   seed, so the difference estimate cancels the dominant noise source and
   tight conclusions need far fewer runs (classic variance reduction).
 
+Both fan their per-seed runs out over the :mod:`repro.simulation.pool`
+runtime (``jobs`` workers, optional on-disk result cache).  Each seed's
+RNG streams derive from that seed alone via
+:class:`~repro.simulation.rng.StreamFactory`, so samples are bit-identical
+at every worker count.
+
 Used by the validation machinery and the simulation-study example.
 """
 
@@ -21,12 +27,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .simulator import SimConfig, SimulationResult, simulate
+from .pool import ChunkTiming, ResultCache, run_simulations
+from .simulator import SimConfig, SimulationResult
 
 __all__ = ["MCResult", "PairedComparison", "mc_run", "compare_strategies"]
 
-#: two-sided 95% Student-t critical values by degrees of freedom (1..30);
-#: falls back to the normal 1.96 beyond the table.
+#: two-sided 95% Student-t critical values by degrees of freedom.  Sparse
+#: above 20: :func:`_t95` uses the nearest lower entry inside the table's
+#: gaps and the normal 1.96 beyond dof 30.
 _T95 = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
     8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
@@ -34,14 +42,23 @@ _T95 = {
     20: 2.086, 25: 2.060, 30: 2.042,
 }
 
+_T95_MAX_DOF = max(_T95)
+
 
 def _t95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom.
+
+    Exact table entries where available; inside the table's gaps (e.g.
+    dof 21..24) the nearest *lower* tabulated value (conservative: its
+    critical value is larger); the normal-limit 1.96 beyond dof 30.
+    """
     if dof <= 0:
         return float("inf")
     if dof in _T95:
         return _T95[dof]
-    candidates = [k for k in _T95 if k <= dof]
-    return _T95[max(candidates)] if candidates else 1.96
+    if dof > _T95_MAX_DOF:
+        return 1.96
+    return _T95[max(k for k in _T95 if k <= dof)]
 
 
 @dataclass(frozen=True)
@@ -69,11 +86,40 @@ class MCResult:
         return len(self.samples)
 
 
-def mc_run(config: SimConfig, seeds: Sequence[int]) -> MCResult:
-    """Run ``config`` once per seed; summarize efficiency."""
+def mc_run(
+    config: SimConfig,
+    seeds: Sequence[int],
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    timings: list[ChunkTiming] | None = None,
+) -> MCResult:
+    """Run ``config`` once per seed; summarize efficiency.
+
+    ``seeds`` must be non-empty (an empty sequence raises ``ValueError``
+    — there is nothing to estimate).  With exactly **one** seed the mean
+    is that single sample and ``ci95`` is ``inf``: a single draw carries
+    no variance information, and an infinite half-width is the honest
+    statement of that (any finite value would fabricate certainty).
+
+    ``jobs`` fans the seeds out over a worker pool (``None`` = one worker
+    per core); samples are bit-identical to the serial path at any worker
+    count, including both edge behaviors above.  ``cache`` is an optional
+    :class:`~repro.simulation.pool.ResultCache` consulted per seed;
+    ``progress``/``timings`` expose the pool's observability hooks.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = tuple(simulate(replace(config, seed=s)) for s in seeds)
+    results = run_simulations(
+        [replace(config, seed=s) for s in seeds],
+        jobs=jobs,
+        cache=cache,
+        chunk_size=chunk_size,
+        progress=progress,
+        timings=timings,
+    )
     samples = tuple(r.efficiency for r in results)
     arr = np.asarray(samples)
     mean = float(arr.mean())
@@ -114,6 +160,10 @@ def compare_strategies(
     config_b: SimConfig,
     seeds: Sequence[int],
     transform: Callable[[SimulationResult], float] | None = None,
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> PairedComparison:
     """Paired comparison: same seed => same failure sequence for both.
 
@@ -122,20 +172,20 @@ def compare_strategies(
     common random numbers the shared failure-timing noise cancels, so the
     difference CI is never worse (and often much tighter) than the
     unpaired difference's.
+
+    ``jobs``/``cache``/``progress`` are forwarded to the batch pool; the
+    2N runs (both configs, every seed) execute in one fan-out and the
+    per-seed pairing is reassembled afterwards, bit-identical to the
+    serial loop.
     """
     if len(seeds) < 2:
         raise ValueError("a paired comparison needs at least 2 seeds")
     metric = transform or (lambda r: r.efficiency)
-    diffs = []
-    a_vals = []
-    b_vals = []
-    for s in seeds:
-        ra = simulate(replace(config_a, seed=s))
-        rb = simulate(replace(config_b, seed=s))
-        a_vals.append(metric(ra))
-        b_vals.append(metric(rb))
-        diffs.append(b_vals[-1] - a_vals[-1])
-    d = np.asarray(diffs)
+    configs = [replace(cfg, seed=s) for s in seeds for cfg in (config_a, config_b)]
+    results = run_simulations(configs, jobs=jobs, cache=cache, progress=progress)
+    a_vals = [metric(r) for r in results[0::2]]
+    b_vals = [metric(r) for r in results[1::2]]
+    d = np.asarray(b_vals) - np.asarray(a_vals)
     ci = _t95(len(d) - 1) * float(d.std(ddof=1)) / math.sqrt(len(d))
     return PairedComparison(
         mean_a=float(np.mean(a_vals)),

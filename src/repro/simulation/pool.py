@@ -1,0 +1,371 @@
+"""Parallel batch-execution runtime for Monte-Carlo simulation sweeps.
+
+The validation machinery runs the discrete-event simulator over many seeds
+and many configurations; a 200-MTTI x many-seed sweep is embarrassingly
+parallel but was historically executed in a serial Python loop.  This
+module is the shared engine underneath :func:`repro.simulation.mc_run`,
+:func:`repro.simulation.compare_strategies` and the validation/scorecard
+experiments:
+
+* :func:`run_simulations` — fan a sequence of :class:`SimConfig` out over
+  a ``multiprocessing`` worker pool with chunked scheduling.  Every run
+  derives its RNG streams from its own config seed via
+  :class:`~repro.simulation.rng.StreamFactory`, so results are
+  **bit-identical to the serial path at any worker count** — the pool only
+  changes *where* a seed executes, never *what* it draws.
+* :class:`ResultCache` — a keyed on-disk cache of
+  :class:`~repro.simulation.stats.SimulationResult` summaries
+  (config-hash -> JSON), so repeated figure/experiment runs skip seeds
+  that already completed.
+* :func:`parallel_map` — a thread/process map for non-simulation batch
+  work (e.g. scorecard claim evaluation, where the tasks close over
+  unpicklable state).
+* lightweight observability: per-chunk :class:`ChunkTiming` records and a
+  ``progress(done, total)`` callback.
+
+Determinism contract: for any ``configs`` sequence,
+``run_simulations(configs, jobs=k)`` returns the same tuple (sample for
+sample, field for field) for every ``k`` — results are reassembled in
+submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..core.breakdown import OverheadBreakdown
+from .simulator import SimConfig, simulate
+from .stats import SimulationResult
+
+__all__ = [
+    "ChunkTiming",
+    "ResultCache",
+    "chunk_indices",
+    "config_key",
+    "parallel_map",
+    "resolve_jobs",
+    "run_simulations",
+]
+
+#: Bump to invalidate every cached result (simulator semantics change).
+CACHE_SCHEMA = 1
+
+#: Upper bound on seeds per chunk: small enough that progress callbacks
+#: stay responsive, large enough to amortize pickling and IPC.
+_MAX_CHUNK = 16
+
+
+# -- worker sizing and chunking -------------------------------------------------
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Number of workers: ``None`` means one per available core.
+
+    Uses the scheduler affinity mask when the platform exposes it (a
+    cgroup-limited container may have fewer usable cores than
+    ``os.cpu_count()`` reports).
+    """
+    if jobs is None:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or None for auto): {jobs}")
+    return jobs
+
+
+def chunk_indices(total: int, jobs: int, chunk_size: int | None = None) -> list[range]:
+    """Split ``range(total)`` into contiguous chunks for the pool.
+
+    The default size aims at ~4 chunks per worker (load balancing against
+    per-chunk overhead), capped so progress reporting stays fine-grained.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if total == 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, min(_MAX_CHUNK, math.ceil(total / (4 * max(1, jobs)))))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+    return [range(lo, min(lo + chunk_size, total)) for lo in range(0, total, chunk_size)]
+
+
+# -- config hashing and the on-disk result cache --------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """A JSON-able canonical form of nested (frozen) dataclasses.
+
+    Floats go through ``repr`` so the key distinguishes every distinct
+    double (including ``inf``) and never depends on print precision.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        body["__type__"] = type(obj).__name__
+        return body
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache keying")
+
+
+def config_key(config: SimConfig) -> str:
+    """Stable hash of everything that determines a simulation's outcome.
+
+    The ``trace`` recorder is excluded (it observes the run, it does not
+    alter it); the schema version is included so simulator changes
+    invalidate stale cache entries wholesale.
+    """
+    body = {
+        f.name: _canonical(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+        if f.name != "trace"
+    }
+    body["__schema__"] = CACHE_SCHEMA
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _result_to_dict(result: SimulationResult) -> dict:
+    out = dataclasses.asdict(result)
+    out["breakdown"] = dataclasses.asdict(result.breakdown)
+    return out
+
+
+def _result_from_dict(data: dict) -> SimulationResult:
+    data = dict(data)
+    data["breakdown"] = OverheadBreakdown(**data["breakdown"])
+    return SimulationResult(**data)
+
+
+class ResultCache:
+    """Keyed on-disk store of :class:`SimulationResult` summaries.
+
+    One JSON file per (config-hash) key, sharded by the first two hex
+    digits.  Entries are only ever valid for the exact config hash, which
+    covers the full :class:`SimConfig` (including seed) plus the cache
+    schema version — changing any scenario knob, the seed, or the
+    simulator semantics (schema bump) misses the cache by construction.
+
+    Corrupt or unreadable entries are treated as misses, never errors.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """The conventional cache location (override via ``REPRO_CACHE_DIR``)."""
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            return cls(env)
+        return cls(Path.home() / ".cache" / "repro" / "simcache")
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            result = _result_from_dict(data)
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (atomic rename, last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(_result_to_dict(result)))
+        tmp.replace(path)
+
+
+# -- observability ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkTiming:
+    """Wall-clock record for one executed chunk of simulations."""
+
+    chunk: int
+    size: int
+    seconds: float
+    worker_pid: int
+
+    @property
+    def per_run(self) -> float:
+        """Mean seconds per simulation in this chunk."""
+        return self.seconds / max(1, self.size)
+
+
+# -- the pool itself -------------------------------------------------------------
+
+
+def _simulate_chunk(
+    chunk: list[tuple[int, SimConfig]],
+) -> tuple[list[tuple[int, SimulationResult]], float, int]:
+    """Worker entry point: run one chunk, report wall time and pid."""
+    t0 = time.perf_counter()
+    out = [(i, simulate(cfg)) for i, cfg in chunk]
+    return out, time.perf_counter() - t0, os.getpid()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform offers it (cheap, inherits imports)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork-less platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_simulations(
+    configs: Sequence[SimConfig],
+    *,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    timings: list[ChunkTiming] | None = None,
+) -> tuple[SimulationResult, ...]:
+    """Run every config, in order, over a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (the default) runs inline with no pool,
+        ``None`` uses every available core.  The returned tuple is
+        identical for every value — parallelism is an execution detail.
+    cache:
+        Optional :class:`ResultCache`; completed runs are looked up by
+        :func:`config_key` before any worker is spawned and stored as
+        they finish.
+    chunk_size:
+        Seeds per work unit (default: auto, ~4 chunks per worker).
+    progress:
+        Called as ``progress(done, total)`` after every completed chunk
+        and once for the cache-served portion.
+    timings:
+        Optional list that receives one :class:`ChunkTiming` per executed
+        chunk — per-chunk wall time and the worker pid that ran it.
+
+    Configs carrying a ``trace`` recorder are always executed inline (the
+    recorder mutates in-process state that cannot cross a process
+    boundary) and are never cached (the cache stores summaries only, and
+    a cache hit would leave the recorder empty).
+    """
+    configs = list(configs)
+    total = len(configs)
+    results: list[SimulationResult | None] = [None] * total
+    if total == 0:
+        return ()
+
+    # Serve what we can from the cache first.
+    pending: list[tuple[int, SimConfig]] = []
+    if cache is not None:
+        for i, cfg in enumerate(configs):
+            hit = None if cfg.trace is not None else cache.get(config_key(cfg))
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.append((i, cfg))
+        if progress is not None and len(pending) < total:
+            progress(total - len(pending), total)
+    else:
+        pending = list(enumerate(configs))
+
+    n_jobs = resolve_jobs(jobs)
+    traced = any(cfg.trace is not None for _, cfg in pending)
+    chunks = [
+        [pending[i] for i in block]
+        for block in chunk_indices(len(pending), n_jobs, chunk_size)
+    ]
+    done = total - len(pending)
+
+    def _absorb(
+        chunk_no: int,
+        ran: list[tuple[int, SimulationResult]],
+        seconds: float,
+        pid: int,
+    ) -> None:
+        nonlocal done
+        for i, res in ran:
+            results[i] = res
+            if cache is not None and configs[i].trace is None:
+                cache.put(config_key(configs[i]), res)
+        done += len(ran)
+        if timings is not None:
+            timings.append(
+                ChunkTiming(chunk=chunk_no, size=len(ran), seconds=seconds, worker_pid=pid)
+            )
+        if progress is not None:
+            progress(done, total)
+
+    if n_jobs == 1 or len(pending) <= 1 or traced:
+        for chunk_no, chunk in enumerate(chunks):
+            _absorb(chunk_no, *_simulate_chunk(chunk))
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(n_jobs, len(chunks))) as pool:
+            # Unordered completion is fine: every item carries its index.
+            for chunk_no, (ran, seconds, pid) in enumerate(
+                pool.imap_unordered(_simulate_chunk, chunks)
+            ):
+                _absorb(chunk_no, ran, seconds, pid)
+
+    assert all(r is not None for r in results)
+    return tuple(results)  # type: ignore[arg-type]
+
+
+# -- generic batch map (threads for unpicklable work) ----------------------------
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    *,
+    jobs: int | None = None,
+    backend: str = "thread",
+) -> list:
+    """``[fn(x) for x in items]`` evaluated concurrently, order preserved.
+
+    ``backend="thread"`` suits closures and numpy-bound work (the GIL is
+    released inside numpy; lambdas need not pickle); ``"process"`` suits
+    picklable CPU-bound functions; ``"serial"`` is the plain loop.
+    """
+    if backend not in ("thread", "process", "serial"):
+        raise ValueError(f"unknown backend {backend!r}: thread | process | serial")
+    items = list(items)
+    n_jobs = min(resolve_jobs(jobs), max(1, len(items)))
+    if backend == "serial" or n_jobs == 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    if backend == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(fn, items))
+    with _pool_context().Pool(processes=n_jobs) as pool:
+        return pool.map(fn, items)

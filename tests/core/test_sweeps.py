@@ -111,6 +111,93 @@ class TestOptimalHostGrid:
             host_efficiency_grid(grid_of(1800.0, 112e9), 0)
 
 
+class TestBandwidthAxisBroadcast:
+    """Regression: the ratio axis must broadcast against *all* grid fields.
+
+    ``optimal_host_grid`` used to derive its leading-axis reshape from the
+    broadcast of only ``mtti``/``checkpoint_size``/``p_local``; a grid
+    sweeping only a bandwidth axis then paired the ratio axis elementwise
+    with the bandwidth axis (or failed to broadcast outright)."""
+
+    def test_io_bandwidth_only_sweep_matches_scalar(self):
+        bws = np.array([50e6, 100e6, 400e6])
+        grid = grid_of(1800.0, 112e9, bw_io=bws)
+        ratios, effs = optimal_host_grid(grid, NDP_GZIP1, max_ratio=64)
+        assert ratios.shape == (3,)
+        assert effs.shape == (3,)
+        for i, bw in enumerate(bws):
+            params = scalar_params(1800.0, 112e9, 15e9, bw, 0.85)
+            r = optimal_ratio(params, NDP_GZIP1, max_ratio=64)
+            assert ratios[i] == r
+            assert effs[i] == pytest.approx(
+                multilevel_host(params, r, NDP_GZIP1).efficiency, rel=1e-9
+            )
+
+    def test_bandwidth_sweep_same_length_as_ratio_range(self):
+        """The silent-corruption case: len(bw axis) == max_ratio broadcasts
+        without error pre-fix but pairs ratio k with bandwidth k."""
+        bws = np.linspace(50e6, 400e6, 4)
+        grid = grid_of(1800.0, 112e9, bw_io=bws)
+        ratios, effs = optimal_host_grid(grid, NDP_GZIP1, max_ratio=4)
+        assert effs.shape == (4,)
+        for i, bw in enumerate(bws):
+            params = scalar_params(1800.0, 112e9, 15e9, bw, 0.85)
+            best = max(
+                range(1, 5),
+                key=lambda r: multilevel_host(params, r, NDP_GZIP1).efficiency,
+            )
+            assert ratios[i] == best
+
+    def test_local_bandwidth_only_sweep(self):
+        grid = grid_of(1800.0, 112e9, bw_l=np.array([2e9, 15e9]))
+        ratios, effs = optimal_host_grid(grid, NDP_GZIP1, max_ratio=32)
+        assert ratios.shape == (2,)
+        assert np.all(effs > 0)
+
+
+#: A deliberately non-trivial engine: partial factor, finite rates slow
+#: enough that both the compress-bound and stream-bound branches of the
+#: max() in the commit/restore times are exercised across the domain.
+CUSTOM_SPEC = NDP_GZIP1.__class__(
+    factor=0.5, compress_rate=300e6, decompress_rate=2e9, name="custom"
+)
+
+
+class TestPropertyStalenessAccounting:
+    """Element-for-element equivalence under the simulator-matching
+    "staleness" rerun accounting and a non-trivial compression spec —
+    the property the module docstring promises."""
+
+    @given(
+        mtti=st.floats(min_value=300.0, max_value=36000.0),
+        size=st.floats(min_value=1e9, max_value=500e9),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ndp_staleness_pointwise(self, mtti, size, p):
+        grid = grid_of(mtti, size, p=p)
+        vec = float(ndp_efficiency_grid(grid, CUSTOM_SPEC, "staleness"))
+        scalar = multilevel_ndp(
+            scalar_params(mtti, size, 15e9, 100e6, p), CUSTOM_SPEC, "staleness"
+        ).efficiency
+        assert vec == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    @given(
+        mtti=st.floats(min_value=300.0, max_value=36000.0),
+        size=st.floats(min_value=1e9, max_value=500e9),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        ratio=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_host_staleness_pointwise(self, mtti, size, p, ratio):
+        grid = grid_of(mtti, size, p=p)
+        vec = float(host_efficiency_grid(grid, ratio, CUSTOM_SPEC, "staleness"))
+        scalar = multilevel_host(
+            scalar_params(mtti, size, 15e9, 100e6, p), ratio, CUSTOM_SPEC, "staleness"
+        ).efficiency
+        assert vec == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+
 class TestMonotonicityProperties:
     def test_efficiency_rises_with_mtti(self):
         grid = grid_of(np.linspace(600, 9000, 30), 112e9)

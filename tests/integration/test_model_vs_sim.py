@@ -12,6 +12,9 @@ from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
 from repro.core.model import multilevel_host, multilevel_ndp, single_level
 from repro.simulation import SimConfig, default_work, simulate
 
+#: Long Monte-Carlo runs (hundreds of simulated failures per case).
+pytestmark = pytest.mark.slow
+
 WORK_MTTIS = 150.0
 
 

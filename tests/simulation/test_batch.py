@@ -4,12 +4,35 @@ import pytest
 
 from repro.core.configs import NDP_GZIP1, NO_COMPRESSION
 from repro.simulation import SimConfig, compare_strategies, mc_run
+from repro.simulation.batch import _t95
 
 
 def cfg(params, **kw):
     defaults = dict(params=params, strategy="ndp", work=params.mtti * 30, seed=0)
     defaults.update(kw)
     return SimConfig(**defaults)
+
+
+class TestT95:
+    def test_exact_table_entries(self):
+        assert _t95(1) == 12.706
+        assert _t95(20) == 2.086
+        assert _t95(30) == 2.042
+
+    def test_gap_uses_nearest_lower_entry(self):
+        # The table is sparse above 20: 21..24 fall back to dof 20,
+        # 26..29 to dof 25 (conservative: the lower dof's value is larger).
+        assert _t95(21) == 2.086
+        assert _t95(29) == 2.060
+
+    def test_beyond_table_is_normal_limit(self):
+        # Docstring promise: beyond dof 30 the normal 1.96 applies, not
+        # the last tabulated value forever.
+        assert _t95(31) == 1.96
+        assert _t95(1000) == 1.96
+
+    def test_degenerate_dof(self):
+        assert _t95(0) == float("inf")
 
 
 class TestMCRun:
