@@ -4,7 +4,7 @@
 PY      ?= python
 PYTEST   = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test test-fast smoke bench-parallel report
+.PHONY: test test-fast smoke bench-parallel bench-runtime report
 
 ## Full test suite (tier-1 gate).
 test:
@@ -21,10 +21,22 @@ smoke:
 	$(PYTEST) -q benchmarks/bench_parallel.py
 	PYTHONPATH=src $(PY) benchmarks/record_parallel.py \
 		--seeds 4 --mttis 3 -o /tmp/bench_parallel_smoke.json
+	PYTHONPATH=src $(PY) benchmarks/record_runtime.py \
+		--quick -o /tmp/bench_runtime_smoke.json
 
 ## Full-size pool speedup recording (writes BENCH_parallel_pool.json).
 bench-parallel:
 	PYTHONPATH=src $(PY) benchmarks/record_parallel.py
+
+## Checkpoint data-path throughput: records BENCH_runtime_throughput.json
+## on first run; afterwards fails if either headline speedup (dense lz4
+## kernel, pipelined drain) regresses more than 20% vs the recording.
+bench-runtime:
+	@if [ -f BENCH_runtime_throughput.json ]; then \
+		PYTHONPATH=src $(PY) benchmarks/record_runtime.py --check; \
+	else \
+		PYTHONPATH=src $(PY) benchmarks/record_runtime.py; \
+	fi
 
 ## Regenerate the experiment report, parallel where supported.
 report:

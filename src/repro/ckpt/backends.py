@@ -23,7 +23,12 @@ import threading
 import time
 from pathlib import Path
 
-from .format import ContextHeader, read_context_file, write_context_file
+from .format import (
+    ContextHeader,
+    read_context_file,
+    write_context_file,
+    write_context_frames,
+)
 
 __all__ = ["DirectoryStore", "LocalStore", "PartnerStore", "IOStore"]
 
@@ -109,6 +114,44 @@ class DirectoryStore:
         cdir.mkdir(parents=True, exist_ok=True)
         self._write_file(cdir / f"rank_{rank:05d}.ctx", payload, header)
 
+    def stage_rank_frames(
+        self,
+        app_id: str,
+        ckpt_id: int,
+        rank: int,
+        frames,
+        *,
+        position: float = 0.0,
+        uncompressed_size: int | None = None,
+        codec: str | None = None,
+        delta_base: int | None = None,
+    ) -> ContextHeader:
+        """Stream one rank's payload ``frames`` into a staged context file.
+
+        The pipelined counterpart of :meth:`stage_rank_file`: ``frames``
+        is an iterable of byte chunks (e.g. the block frames of
+        :func:`repro.ckpt.stream.iter_frames`) written as they arrive, so
+        the store never holds a rank payload in one piece.  Each chunk
+        passes through the :meth:`_on_chunk` hook — the throttled
+        :class:`IOStore` charges bandwidth per chunk, which is what lets a
+        producer overlap compression with the sleep of the previous
+        chunk's write.  Returns the finalized header.
+        """
+        cdir = self._ckpt_dir(app_id, ckpt_id)
+        cdir.mkdir(parents=True, exist_ok=True)
+        return write_context_frames(
+            cdir / f"rank_{rank:05d}.ctx",
+            frames,
+            app_id=app_id,
+            rank=rank,
+            ckpt_id=ckpt_id,
+            position=position,
+            uncompressed_size=uncompressed_size,
+            codec=codec,
+            delta_base=delta_base,
+            on_chunk=self._on_chunk,
+        )
+
     def commit_checkpoint(self, app_id: str, ckpt_id: int) -> None:
         """Atomically publish a fully-staged checkpoint."""
         with self._lock:
@@ -139,6 +182,57 @@ class DirectoryStore:
                     f"no rank files on {self.level} (directory lost?)"
                 )
             return out
+
+    def rank_files(self, app_id: str, ckpt_id: int) -> list[Path]:
+        """Paths of a committed checkpoint's rank files, rank order.
+
+        Raises the same :class:`FileNotFoundError` as
+        :meth:`read_checkpoint` for uncommitted or file-less checkpoints.
+        """
+        with self._lock:
+            if ckpt_id not in self.committed(app_id):
+                raise FileNotFoundError(
+                    f"checkpoint {ckpt_id} of {app_id!r} not committed on {self.level}"
+                )
+            paths = sorted(self._ckpt_dir(app_id, ckpt_id).glob("rank_*.ctx"))
+            if not paths:
+                raise FileNotFoundError(
+                    f"checkpoint {ckpt_id} of {app_id!r} is committed but has "
+                    f"no rank files on {self.level} (directory lost?)"
+                )
+            return paths
+
+    def read_rank_file(
+        self, app_id: str, ckpt_id: int, rank: int, verify: bool = True
+    ) -> tuple[ContextHeader, bytes]:
+        """Load a single rank file of a committed checkpoint.
+
+        Restore uses this (via :meth:`iter_rank_files`) so at most one
+        rank's payload is resident while a checkpoint reconstructs.
+        """
+        with self._lock:
+            if ckpt_id not in self.committed(app_id):
+                raise FileNotFoundError(
+                    f"checkpoint {ckpt_id} of {app_id!r} not committed on {self.level}"
+                )
+            path = self._ckpt_dir(app_id, ckpt_id) / f"rank_{rank:05d}.ctx"
+            return read_context_file(path, verify=verify)
+
+    def iter_rank_files(self, app_id: str, ckpt_id: int, verify: bool = True):
+        """Yield ``(header, payload)`` per rank of a committed checkpoint.
+
+        Validates the commit eagerly (same errors as
+        :meth:`read_checkpoint`) but reads lazily, one file per step and
+        outside the store lock, so a slow consumer never serializes
+        concurrent store traffic and never holds more than one rank file.
+        """
+        paths = self.rank_files(app_id, ckpt_id)
+
+        def _iter():
+            for path in paths:
+                yield read_context_file(path, verify=verify)
+
+        return _iter()
 
     def committed(self, app_id: str) -> list[int]:
         """Committed checkpoint ids, ascending."""
@@ -186,6 +280,9 @@ class DirectoryStore:
 
     def _write_file(self, path: Path, payload: bytes, header: ContextHeader) -> None:
         write_context_file(path, payload, header)
+
+    def _on_chunk(self, nbytes: int) -> None:
+        """Per-chunk write hook (bandwidth accounting/throttling lives here)."""
 
     def _post_commit(self, app_id: str) -> None:
         """Post-commit hook (retention policy lives here)."""
@@ -291,6 +388,13 @@ class IOStore(DirectoryStore):
 
     def _write_file(self, path: Path, payload: bytes, header: ContextHeader) -> None:
         super()._write_file(path, payload, header)
-        self.bytes_written += len(payload)
+        self._on_chunk(len(payload))
+
+    def _on_chunk(self, nbytes: int) -> None:
+        # Whole-file and per-frame writes share this accounting, so a
+        # pipelined producer pays the throttle one chunk at a time (and
+        # can compress the next block during the sleep) instead of in one
+        # checkpoint-sized stall at the end.
+        self.bytes_written += nbytes
         if self.throttle_bps is not None:
-            time.sleep(len(payload) / self.throttle_bps)
+            time.sleep(nbytes / self.throttle_bps)

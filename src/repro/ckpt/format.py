@@ -24,7 +24,10 @@ from pathlib import Path
 __all__ = [
     "ContextHeader",
     "write_context_file",
+    "write_context_frames",
     "read_context_file",
+    "read_context_header",
+    "read_context_chunks",
     "make_header",
     "CorruptCheckpointError",
 ]
@@ -94,6 +97,135 @@ def write_context_file(path: Path | str, payload: bytes, header: ContextHeader) 
     tmp.write_bytes(blob)
     tmp.replace(path)
     return len(blob)
+
+
+def write_context_frames(
+    path: Path | str,
+    frames,
+    *,
+    app_id: str,
+    rank: int,
+    ckpt_id: int,
+    position: float = 0.0,
+    uncompressed_size: int | None = None,
+    codec: str | None = None,
+    delta_base: int | None = None,
+    on_chunk=None,
+) -> ContextHeader:
+    """Stream ``frames`` (an iterable of byte chunks) into a context file.
+
+    The streaming counterpart of :func:`write_context_file`: the payload
+    never exists as one object — each frame is written (and CRC'd) as it
+    arrives, so a drain pipeline can feed compressed blocks straight from
+    the codec to disk with only one block in memory.  ``on_chunk(nbytes)``
+    is invoked after each frame hits the file — backends hook this for
+    per-chunk bandwidth throttling.
+
+    The header is written into a space reserved up front and patched once
+    sizes and CRC are known (JSON tolerates the padding), keeping the
+    write single-pass; the temp-then-rename dance still makes the commit
+    atomic.  Returns the final :class:`ContextHeader`.
+    """
+    path = Path(path)
+    meta = dict(
+        app_id=app_id,
+        rank=rank,
+        ckpt_id=ckpt_id,
+        position=position,
+        codec=codec,
+        delta_base=delta_base,
+    )
+    placeholder = ContextHeader(
+        payload_crc=0, payload_size=0, uncompressed_size=0, **meta
+    )
+    reserve = len(json.dumps(asdict(placeholder), separators=(",", ":")).encode("utf-8")) + 48
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    crc = 0
+    size = 0
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC + struct.pack("<HI", _VERSION, reserve))
+            fh.write(b" " * reserve)
+            for frame in frames:
+                fh.write(frame)
+                crc = zlib.crc32(frame, crc)
+                size += len(frame)
+                if on_chunk is not None:
+                    on_chunk(len(frame))
+            header = ContextHeader(
+                payload_crc=crc & 0xFFFFFFFF,
+                payload_size=size,
+                uncompressed_size=size if uncompressed_size is None else uncompressed_size,
+                **meta,
+            )
+            head = json.dumps(asdict(header), separators=(",", ":")).encode("utf-8")
+            fh.seek(10)
+            fh.write(head + b" " * (reserve - len(head)))
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    tmp.replace(path)
+    return header
+
+
+def read_context_header(path: Path | str) -> tuple[ContextHeader, int]:
+    """Read only the header of a context file; returns (header, payload offset).
+
+    Lets stores inspect rank files (sizes, codec, delta base) without
+    pulling payloads into memory.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        pre = fh.read(10)
+        if len(pre) < 10 or pre[:4] != _MAGIC:
+            raise CorruptCheckpointError(f"{path}: not a checkpoint context file")
+        version, head_len = struct.unpack_from("<HI", pre, 4)
+        if version != _VERSION:
+            raise CorruptCheckpointError(f"{path}: unsupported version {version}")
+        head = fh.read(head_len)
+        if len(head) < head_len:
+            raise CorruptCheckpointError(f"{path}: truncated header")
+    try:
+        header = ContextHeader(**json.loads(head))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise CorruptCheckpointError(f"{path}: malformed header: {exc}") from exc
+    return header, 10 + head_len
+
+
+def read_context_chunks(
+    path: Path | str, verify: bool = True, chunk_size: int = 1 << 20
+):
+    """Chunked counterpart of :func:`read_context_file`.
+
+    Returns ``(header, chunks)`` where ``chunks`` yields the payload in
+    ``chunk_size`` pieces, CRC-checked incrementally; a mismatch or a
+    truncated payload raises :class:`CorruptCheckpointError` from the
+    generator.  Restore uses this so only one chunk of one rank file is
+    buffered at a time.
+    """
+    path = Path(path)
+    header, offset = read_context_header(path)
+
+    def _chunks():
+        crc = 0
+        got = 0
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            while True:
+                chunk = fh.read(chunk_size)
+                if not chunk:
+                    break
+                crc = zlib.crc32(chunk, crc)
+                got += len(chunk)
+                yield chunk
+        if got != header.payload_size:
+            raise CorruptCheckpointError(
+                f"{path}: payload truncated ({got} of {header.payload_size} bytes)"
+            )
+        if verify and (crc & 0xFFFFFFFF) != header.payload_crc:
+            raise CorruptCheckpointError(f"{path}: payload CRC mismatch")
+
+    return header, _chunks()
 
 
 def read_context_file(path: Path | str, verify: bool = True) -> tuple[ContextHeader, bytes]:

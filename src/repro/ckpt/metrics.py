@@ -13,7 +13,48 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["RuntimeMetrics"]
+__all__ = ["RuntimeMetrics", "StageCounter"]
+
+
+@dataclass
+class StageCounter:
+    """Byte/second throughput counter for one stage of a data pipeline.
+
+    The NDP drain and restore paths account each stage (compress, write,
+    read, decompress) separately so the achieved pipeline rate can be
+    compared against the model's ``min(io_bw / (1 - factor),
+    compress_rate)`` drain-rate bound stage by stage.
+    """
+
+    bytes: int = 0
+    seconds: float = 0.0
+    ops: int = 0
+
+    def add(self, nbytes: int, seconds: float) -> None:
+        """Charge ``nbytes`` processed in ``seconds`` to this stage."""
+        self.bytes += nbytes
+        self.seconds += seconds
+        self.ops += 1
+
+    @contextmanager
+    def timed(self, nbytes: int) -> Iterator[None]:
+        """Context manager charging elapsed wall time for ``nbytes``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(nbytes, time.perf_counter() - t0)
+
+    @property
+    def rate(self) -> float:
+        """Throughput in bytes/second (0.0 before any time is charged)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.bytes / self.seconds
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return f"{self.bytes}B in {self.seconds:.3f}s ({self.rate / 1e6:.2f} MB/s, {self.ops} ops)"
 
 
 @dataclass

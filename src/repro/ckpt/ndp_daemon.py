@@ -10,17 +10,29 @@ Faithful to Section 4.2:
   skipped — draining them would only lengthen I/O-recovery rerun),
 * locks the checkpoint in the local circular buffer for the duration and
   unlocks (making it evictable) on completion,
-* compression overlaps the I/O write: rank files are compressed in the
-  daemon thread while a single writer thread pushes completed files to the
-  (possibly throttled) I/O store,
+* compression overlaps the I/O write block-by-block: the daemon thread
+  feeds compressed frames through a bounded queue to a single writer
+  thread streaming them into the (possibly throttled) I/O store, so at
+  most ``queue_depth`` blocks are in flight and a rank's compressed
+  payload is never materialized whole (Section 4.2.2's small-DMA
+  pipeline).  ``pipelined=False`` falls back to rank-at-a-time staging
+  (compress a full rank, then write it while the next compresses) — the
+  pre-pipeline behaviour, kept as the benchmark baseline,
 * :meth:`pause` / :meth:`resume` let the host claim full NVM bandwidth
   during its local checkpoint writes, and recovery code pauses the drain
   while it reads from global I/O (Section 4.2.3).
+
+Per-stage byte/second counters (:class:`repro.ckpt.metrics.StageCounter`)
+on :class:`DrainStats` expose the achieved compress and write rates, the
+two terms of the paper's drain-rate bound
+``min(io_bw / (1 - factor), compress_rate)``.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -28,7 +40,8 @@ from ..compression.codecs import Codec
 from ..compression.delta import xor_delta, zero_rle
 from .backends import IOStore, LocalStore
 from .format import CorruptCheckpointError, make_header
-from .stream import DEFAULT_BLOCK_SIZE, compress_stream
+from .metrics import StageCounter
+from .stream import DEFAULT_BLOCK_SIZE, compress_stream, iter_frames
 
 __all__ = ["NDPDrainDaemon", "DrainStats"]
 
@@ -43,6 +56,10 @@ class DrainStats:
     bytes_in: int = 0
     bytes_out: int = 0
     drained_ids: list[int] = field(default_factory=list)
+    #: Time/bytes spent producing compressed frames (daemon thread).
+    compress: StageCounter = field(default_factory=StageCounter)
+    #: Time/bytes spent writing frames to the I/O store (writer thread).
+    write: StageCounter = field(default_factory=StageCounter)
 
     @property
     def achieved_factor(self) -> float:
@@ -74,6 +91,18 @@ class NDPDrainDaemon:
         drain, shrinking I/O traffic for slowly-evolving state.  Recovery
         reconstructs delta checkpoints from their base
         (:mod:`repro.ckpt.restart`).
+    pipelined:
+        True (default) streams compressed frames to the writer thread
+        through a bounded queue — compression of block ``b+1`` overlaps
+        the write (and throttle sleep) of block ``b``, and peak buffering
+        is ``queue_depth`` blocks.  False restores rank-at-a-time staging.
+    queue_depth:
+        Frames in flight between the compressor and the writer
+        (pipelined mode's backpressure bound).
+    compress_workers:
+        Threads compressing blocks concurrently inside one rank (passed
+        to :func:`repro.ckpt.stream.iter_frames`).  Useful for codecs
+        that release the GIL; 1 keeps compression on the daemon thread.
     """
 
     def __init__(
@@ -85,9 +114,16 @@ class NDPDrainDaemon:
         block_size: int = DEFAULT_BLOCK_SIZE,
         poll_interval: float = 0.005,
         delta_every: int = 0,
+        pipelined: bool = True,
+        queue_depth: int = 8,
+        compress_workers: int = 1,
     ):
         if delta_every < 0:
             raise ValueError("delta_every must be >= 0")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if compress_workers < 1:
+            raise ValueError("compress_workers must be >= 1")
         self.app_id = app_id
         self.local = local
         self.io = io
@@ -95,6 +131,9 @@ class NDPDrainDaemon:
         self.block_size = block_size
         self.poll_interval = poll_interval
         self.delta_every = delta_every
+        self.pipelined = pipelined
+        self.queue_depth = queue_depth
+        self.compress_workers = compress_workers
         self.stats = DrainStats()
         # Delta state: the most recent *full* drained checkpoint.
         self._base_id: int | None = None
@@ -204,48 +243,10 @@ class NDPDrainDaemon:
             return
         use_delta = self._delta_eligible(files)
         try:
-            # Overlap: compress rank r+1 in this thread while the writer
-            # thread streams rank r into the (throttled) I/O store.
-            with ThreadPoolExecutor(max_workers=1, thread_name_prefix="ndp-write") as writer:
-                pending: Future | None = None
-                for rank, (header, payload) in sorted(files.items()):
-                    self._running.wait()
-                    if use_delta:
-                        body = zero_rle(xor_delta(self._base_payloads[rank], payload))
-                        delta_base = self._base_id
-                    else:
-                        body = payload
-                        delta_base = None
-                    if self.codec is not None:
-                        out_payload = compress_stream(body, self.codec, self.block_size)
-                        codec_name = self.codec.name
-                    else:
-                        out_payload = body
-                        codec_name = None
-                    out_header = make_header(
-                        app_id=header.app_id,
-                        rank=header.rank,
-                        ckpt_id=header.ckpt_id,
-                        payload=out_payload,
-                        position=header.position,
-                        uncompressed_size=header.uncompressed_size,
-                        codec=codec_name,
-                        delta_base=delta_base,
-                    )
-                    self.stats.bytes_in += len(payload)
-                    self.stats.bytes_out += len(out_payload)
-                    if pending is not None:
-                        pending.result()
-                    pending = writer.submit(
-                        self.io.stage_rank_file,
-                        self.app_id,
-                        ckpt_id,
-                        rank,
-                        out_header,
-                        out_payload,
-                    )
-                if pending is not None:
-                    pending.result()
+            if self.pipelined:
+                self._push_pipelined(ckpt_id, files, use_delta)
+            else:
+                self._push_staged(ckpt_id, files, use_delta)
             self.io.commit_checkpoint(self.app_id, ckpt_id)
             self.stats.checkpoints_drained += 1
             self.stats.drained_ids.append(ckpt_id)
@@ -260,14 +261,164 @@ class NDPDrainDaemon:
         finally:
             self.local.unlock(self.app_id, ckpt_id)
 
+    def _rank_body(self, rank: int, payload: bytes, use_delta: bool):
+        """The bytes actually drained for one rank: payload or its delta."""
+        if use_delta:
+            return zero_rle(xor_delta(self._base_payloads[rank], payload, strict=True))
+        return payload
+
+    def _push_pipelined(self, ckpt_id: int, files: dict, use_delta: bool) -> None:
+        """Frame-at-a-time drain: bounded queue into a single writer thread.
+
+        The daemon thread compresses blocks and feeds wire frames into a
+        ``queue_depth``-bounded queue; the writer thread streams the
+        queue into the store via :meth:`DirectoryStore.stage_rank_frames`.
+        The queue bound is the backpressure: when the (throttled) store
+        falls behind, ``put`` blocks and compression stalls rather than
+        buffering the checkpoint.  The compressor may run one rank ahead
+        of the writer, still bounded by that rank's queue.
+        """
+        delta_base = self._base_id if use_delta else None
+        codec_name = self.codec.name if self.codec is not None else None
+        with ThreadPoolExecutor(max_workers=1, thread_name_prefix="ndp-write") as writer:
+            pending: Future | None = None
+            for rank, (header, payload) in sorted(files.items()):
+                self._running.wait()
+                body = self._rank_body(rank, payload, use_delta)
+                if self.codec is not None:
+                    frames = iter_frames(
+                        body, self.codec, self.block_size, self.compress_workers
+                    )
+                else:
+                    mv = memoryview(body)
+                    frames = (
+                        mv[off : off + self.block_size]
+                        for off in range(0, max(len(mv), 1), self.block_size)
+                    )
+                fifo: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+                fut = writer.submit(
+                    self._write_rank,
+                    ckpt_id,
+                    rank,
+                    fifo,
+                    header.position,
+                    header.uncompressed_size,
+                    codec_name,
+                    delta_base,
+                )
+                out_bytes = 0
+                t0 = time.perf_counter()
+                for frame in frames:
+                    self.stats.compress.add(len(frame), time.perf_counter() - t0)
+                    out_bytes += len(frame)
+                    self._feed(fifo, fut, bytes(frame))
+                    t0 = time.perf_counter()
+                fifo.put(None)
+                if pending is not None:
+                    pending.result()
+                pending = fut
+                self.stats.bytes_in += len(payload)
+                self.stats.bytes_out += out_bytes
+            if pending is not None:
+                pending.result()
+
+    def _feed(self, fifo: queue.Queue, fut: Future, frame: bytes) -> None:
+        """Put a frame with backpressure, bailing out if the writer died."""
+        while True:
+            try:
+                fifo.put(frame, timeout=0.1)
+                return
+            except queue.Full:
+                if fut.done():
+                    fut.result()  # surfaces the writer's exception
+                    raise RuntimeError("writer finished while frames remained")
+
+    def _write_rank(
+        self,
+        ckpt_id: int,
+        rank: int,
+        fifo: queue.Queue,
+        position: float,
+        uncompressed_size: int,
+        codec_name: str | None,
+        delta_base: int | None,
+    ):
+        """Writer-thread body: drain the frame queue into the I/O store."""
+        t0 = time.perf_counter()
+        out_header = self.io.stage_rank_frames(
+            self.app_id,
+            ckpt_id,
+            rank,
+            iter(fifo.get, None),
+            position=position,
+            uncompressed_size=uncompressed_size,
+            codec=codec_name,
+            delta_base=delta_base,
+        )
+        self.stats.write.add(out_header.payload_size, time.perf_counter() - t0)
+        return out_header
+
+    def _push_staged(self, ckpt_id: int, files: dict, use_delta: bool) -> None:
+        """Rank-at-a-time drain (the pre-pipeline baseline).
+
+        Each rank is compressed to one bytes object in the daemon thread,
+        then written whole by the writer thread while the next rank
+        compresses — overlap at rank granularity, with a full compressed
+        rank buffered and the throttle paid in one sleep per rank.
+        """
+        delta_base = self._base_id if use_delta else None
+        with ThreadPoolExecutor(max_workers=1, thread_name_prefix="ndp-write") as writer:
+            pending: Future | None = None
+            for rank, (header, payload) in sorted(files.items()):
+                self._running.wait()
+                body = self._rank_body(rank, payload, use_delta)
+                t0 = time.perf_counter()
+                if self.codec is not None:
+                    out_payload = compress_stream(body, self.codec, self.block_size)
+                    codec_name = self.codec.name
+                else:
+                    out_payload = body
+                    codec_name = None
+                self.stats.compress.add(len(out_payload), time.perf_counter() - t0)
+                out_header = make_header(
+                    app_id=header.app_id,
+                    rank=header.rank,
+                    ckpt_id=header.ckpt_id,
+                    payload=out_payload,
+                    position=header.position,
+                    uncompressed_size=header.uncompressed_size,
+                    codec=codec_name,
+                    delta_base=delta_base,
+                )
+                self.stats.bytes_in += len(payload)
+                self.stats.bytes_out += len(out_payload)
+                if pending is not None:
+                    pending.result()
+                pending = writer.submit(
+                    self._stage_whole_rank, ckpt_id, rank, out_header, out_payload
+                )
+            if pending is not None:
+                pending.result()
+
+    def _stage_whole_rank(self, ckpt_id: int, rank: int, header, payload) -> None:
+        t0 = time.perf_counter()
+        self.io.stage_rank_file(self.app_id, ckpt_id, rank, header, payload)
+        self.stats.write.add(len(payload), time.perf_counter() - t0)
+
     def _delta_eligible(self, files: dict) -> bool:
         """Whether this drain may be stored as a delta against the base."""
         if self.delta_every <= 0 or self._base_id is None:
             return False
         if self._since_full >= self.delta_every - 1:
             return False  # due for a full checkpoint
-        # Every rank needs a base of matching size semantics.
-        return set(files) == set(self._base_payloads)
+        # Every rank needs a base of matching size — a resized rank state
+        # forces a full drain (strict xor_delta would reject it anyway).
+        if set(files) != set(self._base_payloads):
+            return False
+        return all(
+            len(payload) == len(self._base_payloads[rank])
+            for rank, (_, payload) in files.items()
+        )
 
     def _note_skip(self, ckpt_id: int) -> None:
         self.stats.checkpoints_skipped += 1
@@ -275,6 +426,4 @@ class NDPDrainDaemon:
 
 
 def _monotonic() -> float:
-    import time
-
     return time.monotonic()

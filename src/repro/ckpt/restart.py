@@ -4,12 +4,14 @@ Given the prioritized list of stores, :func:`recover` determines the
 rollback point (the newest checkpoint committed *anywhere*), then fetches
 it from the fastest level that holds it, verifying integrity and
 decompressing drained checkpoints with parallel host-side block decoding
-(Section 4.3).  Delta-drained checkpoints (the NDP daemon's
-``delta_every`` mode) are reconstructed from their full base checkpoint on
-the same store.  If the designated checkpoint is unreadable (corrupt file,
-CRC mismatch, missing delta base) recovery walks back to the next-newest
-id rather than failing — a failed restore must never strand the
-application.
+(Section 4.3).  Rank files are read one at a time
+(:meth:`DirectoryStore.iter_rank_files`), so restore memory is bounded by
+one rank's state, not the whole checkpoint.  Delta-drained checkpoints
+(the NDP daemon's ``delta_every`` mode) are reconstructed rank-by-rank
+from their full base checkpoint on the same store.  If the designated
+checkpoint is unreadable (corrupt file, CRC mismatch, missing delta base)
+recovery walks back to the next-newest id rather than failing — a failed
+restore must never strand the application.
 """
 
 from __future__ import annotations
@@ -77,7 +79,7 @@ def recover(
             if ckpt_id not in store.committed(app_id):
                 continue
             try:
-                files = store.read_checkpoint(app_id, ckpt_id, verify=verify)
+                files = store.iter_rank_files(app_id, ckpt_id, verify=verify)
                 payloads, positions = _unpack(
                     files, decompress_workers, store, app_id, verify
                 )
@@ -103,22 +105,29 @@ def _decode(header: ContextHeader, payload: bytes, workers: int) -> bytes:
 
 
 def _unpack(
-    files: dict[int, tuple[ContextHeader, bytes]],
+    files,
     workers: int,
     store: DirectoryStore,
     app_id: str,
     verify: bool,
 ) -> tuple[dict[int, bytes], dict[int, float]]:
-    """Decompress and delta-reconstruct payloads/positions per rank."""
+    """Decompress and delta-reconstruct payloads/positions per rank.
+
+    ``files`` yields ``(header, payload)`` pairs lazily (one rank file
+    resident at a time); a delta rank pulls only its *own* rank's base
+    file, so peak memory during reconstruction is one rank's compressed
+    payload, its base, and the decoded state — never a whole checkpoint
+    of extra copies.
+    """
     payloads: dict[int, bytes] = {}
     positions: dict[int, float] = {}
-    base_files: dict[int, tuple[ContextHeader, bytes]] | None = None
-    for rank, (header, payload) in files.items():
+    for header, payload in files:
+        rank = header.rank
         body = _decode(header, payload, workers)
         if header.delta_base is not None:
-            if base_files is None:
-                base_files = store.read_checkpoint(app_id, header.delta_base, verify=verify)
-            base_header, base_payload = base_files[rank]
+            base_header, base_payload = store.read_rank_file(
+                app_id, header.delta_base, rank, verify=verify
+            )
             if base_header.delta_base is not None:
                 raise ValueError(
                     f"delta base {header.delta_base} is itself a delta "

@@ -5,18 +5,29 @@ network write, and the host decompresses blocks *concurrently* on restore
 ("each page ... sent to a different core", Section 4.3).  This module is
 that container format plus its pipelined/parallel processors:
 
-* :func:`compress_stream` — frame a payload into independently-compressed
-  blocks.
+* :func:`iter_frames` — the streaming producer: yields wire-format frames
+  (header first, then one frame per compressed block) from ``memoryview``
+  slices of the payload, so nothing is ever concatenated or copied on the
+  way in.  With ``workers > 1`` blocks compress on a thread pool behind a
+  bounded in-flight window: the producer stays at most ``workers + 2``
+  blocks ahead of the consumer (backpressure), and frames still come out
+  in order.
+* :func:`compress_stream` — materialize the frames into one bytes object.
 * :func:`decompress_stream` — sequential decode.
 * :func:`parallel_decompress` — thread-pool decode.  zlib/bz2/lzma release
   the GIL inside their C cores, so this achieves real parallel speedup,
   mirroring the paper's multi-core host decompression.
+
+Frames parse from a ``memoryview`` of the stream, so block payloads feed
+the codec without intermediate copies on the way out either.
 """
 
 from __future__ import annotations
 
 import struct
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
 
 from ..compression.codecs import Codec
 
@@ -25,6 +36,7 @@ __all__ = [
     "decompress_stream",
     "parallel_decompress",
     "iter_compressed_blocks",
+    "iter_frames",
     "DEFAULT_BLOCK_SIZE",
 ]
 
@@ -32,45 +44,92 @@ _MAGIC = b"RPBS"
 DEFAULT_BLOCK_SIZE = 1 << 20  # 1 MiB blocks
 
 
-def iter_compressed_blocks(payload: bytes, codec: Codec, block_size: int = DEFAULT_BLOCK_SIZE):
+def iter_compressed_blocks(payload, codec: Codec, block_size: int = DEFAULT_BLOCK_SIZE):
     """Yield ``(uncompressed_len, compressed_bytes)`` per block.
 
     This generator is the producer side of the NDP's compress-while-write
     pipeline: the drain daemon pulls one block at a time and ships it to
-    the NIC (I/O store) while the next block compresses.
+    the NIC (I/O store) while the next block compresses.  Blocks are
+    ``memoryview`` slices — no payload copies.
     """
     if block_size < 1024:
         raise ValueError("block_size must be >= 1024")
-    for off in range(0, len(payload), block_size):
-        chunk = payload[off : off + block_size]
+    mv = memoryview(payload)
+    for off in range(0, len(mv), block_size):
+        chunk = mv[off : off + block_size]
         yield len(chunk), codec.compress(chunk)
 
 
-def compress_stream(payload: bytes, codec: Codec, block_size: int = DEFAULT_BLOCK_SIZE) -> bytes:
+def iter_frames(
+    payload,
+    codec: Codec,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 1,
+) -> Iterator[bytes]:
+    """Yield the container's wire frames: header, then one per block.
+
+    The concatenation of the frames is exactly :func:`compress_stream`'s
+    output, for any ``workers`` — parallel compression preserves frame
+    order.  The payload is consumed as ``memoryview`` slices and at most
+    ``workers + 2`` blocks are in flight at once, so memory stays bounded
+    no matter how slowly the consumer drains (this is the backpressure
+    that keeps the NDP drain from buffering a whole checkpoint).
+    """
+    if block_size < 1024:
+        raise ValueError("block_size must be >= 1024")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    mv = memoryview(payload)
+    total = len(mv)
+    nblocks = (total + block_size - 1) // block_size
+    yield _MAGIC + struct.pack("<IQI", block_size, total, nblocks)
+    chunks = (mv[off : off + block_size] for off in range(0, total, block_size))
+    if workers == 1 or nblocks <= 1:
+        for chunk in chunks:
+            cdata = codec.compress(chunk)
+            yield struct.pack("<II", len(chunk), len(cdata)) + cdata
+        return
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        window: deque = deque()
+        for chunk in chunks:
+            window.append((len(chunk), pool.submit(codec.compress, chunk)))
+            if len(window) > workers + 1:
+                usize, fut = window.popleft()
+                cdata = fut.result()
+                yield struct.pack("<II", usize, len(cdata)) + cdata
+        while window:
+            usize, fut = window.popleft()
+            cdata = fut.result()
+            yield struct.pack("<II", usize, len(cdata)) + cdata
+
+
+def compress_stream(
+    payload,
+    codec: Codec,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 1,
+) -> bytes:
     """Frame ``payload`` into the block-stream container.
 
     Layout: magic, block size, total uncompressed size, block count, then
-    per block ``[usize u32][csize u32][cdata]``.
+    per block ``[usize u32][csize u32][cdata]``.  Output is identical for
+    any ``workers``.
     """
-    blocks = list(iter_compressed_blocks(payload, codec, block_size))
-    parts = [_MAGIC, struct.pack("<IQI", block_size, len(payload), len(blocks))]
-    for usize, cdata in blocks:
-        parts.append(struct.pack("<II", usize, len(cdata)))
-        parts.append(cdata)
-    return b"".join(parts)
+    return b"".join(iter_frames(payload, codec, block_size, workers))
 
 
-def _parse_frames(stream: bytes) -> tuple[int, list[bytes]]:
-    if stream[:4] != _MAGIC:
+def _parse_frames(stream) -> tuple[int, list]:
+    mv = memoryview(stream)
+    if bytes(mv[:4]) != _MAGIC:
         raise ValueError("not a block-compressed stream (bad magic)")
-    _, total, count = struct.unpack_from("<IQI", stream, 4)
+    _, total, count = struct.unpack_from("<IQI", mv, 4)
     off = 4 + 16
-    frames: list[bytes] = []
+    frames: list = []
     expected = 0
     for _ in range(count):
-        usize, csize = struct.unpack_from("<II", stream, off)
+        usize, csize = struct.unpack_from("<II", mv, off)
         off += 8
-        frames.append(stream[off : off + csize])
+        frames.append(mv[off : off + csize])
         if len(frames[-1]) != csize:
             raise ValueError("truncated block stream")
         off += csize
@@ -80,7 +139,7 @@ def _parse_frames(stream: bytes) -> tuple[int, list[bytes]]:
     return total, frames
 
 
-def decompress_stream(stream: bytes, codec: Codec) -> bytes:
+def decompress_stream(stream, codec: Codec) -> bytes:
     """Sequentially decode a block stream."""
     total, frames = _parse_frames(stream)
     out = b"".join(codec.decompress(f) for f in frames)
@@ -89,7 +148,7 @@ def decompress_stream(stream: bytes, codec: Codec) -> bytes:
     return out
 
 
-def parallel_decompress(stream: bytes, codec: Codec, workers: int = 4) -> bytes:
+def parallel_decompress(stream, codec: Codec, workers: int = 4) -> bytes:
     """Decode blocks concurrently on a thread pool (host-side restore).
 
     Matches Section 4.3's pipelined restore: blocks are independent, the

@@ -26,43 +26,103 @@ __all__ = [
     "xor_delta",
     "apply_xor_delta",
     "zero_rle",
+    "zero_rle_ref",
     "zero_rle_decode",
     "BlockDeduper",
     "DedupResult",
 ]
 
 
-def xor_delta(previous: bytes, current: bytes) -> bytes:
+def xor_delta(previous, current, *, strict: bool = False) -> bytes:
     """Byte-wise XOR of ``current`` against ``previous``.
 
     Checkpoints may grow or shrink: the overlapping prefix is XORed, the
     tail of ``current`` passes through verbatim.  Unchanged bytes become
     zero, making the delta highly compressible for slowly-evolving state.
+
+    With ``strict=True`` a length mismatch raises :class:`ValueError`
+    instead — the NDP drain path uses this so a resized rank state can
+    never be silently encoded against the wrong base.
     """
-    n = min(len(previous), len(current))
-    prev = np.frombuffer(previous, dtype=np.uint8, count=n)
-    curr = np.frombuffer(current, dtype=np.uint8, count=n)
-    out = np.bitwise_xor(prev, curr).tobytes()
-    return out + current[n:]
+    prev = np.frombuffer(previous, dtype=np.uint8)
+    curr = np.frombuffer(current, dtype=np.uint8)
+    if strict and len(prev) != len(curr):
+        raise ValueError(
+            f"xor_delta length mismatch: previous={len(prev)} current={len(curr)}"
+        )
+    n = min(len(prev), len(curr))
+    out = np.empty(len(curr), dtype=np.uint8)
+    np.bitwise_xor(prev[:n], curr[:n], out=out[:n])
+    out[n:] = curr[n:]
+    return out.tobytes()
 
 
-def apply_xor_delta(previous: bytes, delta: bytes) -> bytes:
+def apply_xor_delta(previous, delta, *, strict: bool = False) -> bytes:
     """Invert :func:`xor_delta`: reconstruct ``current``."""
-    n = min(len(previous), len(delta))
-    prev = np.frombuffer(previous, dtype=np.uint8, count=n)
-    dlt = np.frombuffer(delta, dtype=np.uint8, count=n)
-    out = np.bitwise_xor(prev, dlt).tobytes()
-    return out + delta[n:]
+    prev = np.frombuffer(previous, dtype=np.uint8)
+    dlt = np.frombuffer(delta, dtype=np.uint8)
+    if strict and len(prev) != len(dlt):
+        raise ValueError(
+            f"apply_xor_delta length mismatch: previous={len(prev)} delta={len(dlt)}"
+        )
+    n = min(len(prev), len(dlt))
+    out = np.empty(len(dlt), dtype=np.uint8)
+    np.bitwise_xor(prev[:n], dlt[:n], out=out[:n])
+    out[n:] = dlt[n:]
+    return out.tobytes()
 
 
-def zero_rle(data: bytes, min_run: int = 8) -> bytes:
+def zero_rle(data, min_run: int = 8) -> bytes:
     """Collapse zero runs: a cheap NDP-friendly encoding for XOR deltas.
 
     Format: a stream of records, each either ``0x00 + varint(run_length)``
     for a zero run of >= ``min_run`` bytes, or ``0x01 + varint(length) +
     literal bytes``.  Runs shorter than ``min_run`` stay literal (record
-    overhead would exceed the saving).
+    overhead would exceed the saving).  ``min_run`` larger than the input
+    therefore yields a single literal record.
+
+    Only the qualifying zero runs are visited in Python; everything
+    between two of them (including short zero runs) is one literal record
+    copied as a single slice.  Output is byte-identical to
+    :func:`zero_rle_ref`.
     """
+    if min_run < 1:
+        raise ValueError("min_run must be >= 1")
+    src = data if isinstance(data, (bytes, memoryview)) else memoryview(data)
+    arr = np.frombuffer(src, dtype=np.uint8)
+    n = len(arr)
+    if n == 0:
+        return b""
+    out = bytearray()
+    is_zero = arr == 0
+    dif = np.diff(is_zero.view(np.int8))
+    zs = np.flatnonzero(dif == 1) + 1
+    ze = np.flatnonzero(dif == -1) + 1
+    if is_zero[0]:
+        zs = np.concatenate(([0], zs))
+    if is_zero[-1]:
+        ze = np.concatenate((ze, [n]))
+    keep = (ze - zs) >= min_run
+    prev = 0
+    for s, e in zip(zs[keep].tolist(), ze[keep].tolist()):
+        if s > prev:
+            out.append(0x01)
+            out += _varint(s - prev)
+            out += src[prev:s]
+        out.append(0x00)
+        out += _varint(e - s)
+        prev = e
+    if prev < n:
+        out.append(0x01)
+        out += _varint(n - prev)
+        out += src[prev:n]
+    return bytes(out)
+
+
+def zero_rle_ref(data, min_run: int = 8) -> bytes:
+    """Per-run scalar :func:`zero_rle` (executable spec + bench baseline)."""
+    if min_run < 1:
+        raise ValueError("min_run must be >= 1")
     arr = np.frombuffer(data, dtype=np.uint8)
     out = bytearray()
     # Boundaries of zero/nonzero runs via diff of the zero mask.
@@ -84,7 +144,7 @@ def zero_rle(data: bytes, min_run: int = 8) -> bytes:
         out.extend(blob)
 
     for s, e in zip(starts, ends):
-        run = data[s:e]
+        run = bytes(data[s:e])
         if is_zero[s] and (e - s) >= min_run:
             flush_literal()
             out.append(0x00)

@@ -65,10 +65,18 @@ def optimal_ratio(
     time.  We exploit unimodality with a doubling bracket followed by a
     ternary search, falling back to a linear scan of the final bracket, so
     the search is exact and cheap even when the optimum is large.
+    Evaluations are memoized: the bracket, ternary and scan phases revisit
+    ratios, and each model evaluation walks the full failure/rerun terms.
     """
+    cache: dict[int, float] = {}
 
     def eff(r: int) -> float:
-        return multilevel_host(params, r, compression, rerun_accounting).efficiency
+        e = cache.get(r)
+        if e is None:
+            e = cache[r] = multilevel_host(
+                params, r, compression, rerun_accounting
+            ).efficiency
+        return e
 
     # Doubling bracket: find hi with eff(hi) <= eff(hi/2).
     lo, hi = 1, 2

@@ -1,0 +1,155 @@
+"""Byte-identity of the vectorized kernels against their scalar specs.
+
+The fast paths (``lz4.compress``, ``lz4.compress_dense``, ``zero_rle``)
+must produce *exactly* the bytes of their executable reference
+implementations — any divergence is a correctness bug, not a quality
+trade-off.  Payload families deliberately straddle ``_VECTOR_MIN`` so the
+scalar/vector dispatch seam is exercised from both sides.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import lz4
+from repro.compression.delta import (
+    apply_xor_delta,
+    xor_delta,
+    zero_rle,
+    zero_rle_decode,
+    zero_rle_ref,
+)
+
+
+def _payload(kind: str, size: int, seed: int = 0) -> bytes:
+    rng = np.random.default_rng(seed)
+    if kind == "random":
+        return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+    if kind == "zeros":
+        return bytes(size)
+    if kind == "repetitive":
+        return (b"state vector block " * (size // 19 + 1))[:size]
+    if kind == "lowentropy":
+        return rng.integers(0, 4, size, dtype=np.uint8).tobytes()
+    if kind == "sparse":
+        arr = np.zeros(size, dtype=np.uint8)
+        if size:
+            idx = rng.integers(0, size, max(size // 50, 1))
+            arr[idx] = rng.integers(1, 256, len(idx), dtype=np.uint8)
+        return arr.tobytes()
+    raise AssertionError(kind)
+
+
+KINDS = ["random", "zeros", "repetitive", "lowentropy", "sparse"]
+# Sizes straddling the scalar/vector dispatch threshold.
+SIZES = [0, 1, 11, lz4._VECTOR_MIN - 1, lz4._VECTOR_MIN, lz4._VECTOR_MIN + 1, 40_000]
+
+
+class TestLZ4ByteIdentity:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_exact_kernel_matches_reference(self, kind, size):
+        data = _payload(kind, size)
+        assert lz4.compress(data) == lz4.compress_ref(data)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_dense_kernel_matches_its_spec(self, kind, size):
+        data = _payload(kind, size)
+        out = lz4.compress_dense(data)
+        assert out == lz4.compress_dense_ref(data)
+        assert lz4.decompress(out, len(data)) == data
+
+    def test_miniapp_state_payload(self):
+        # Real serialized miniapp state, not synthetic bytes.
+        from repro.workloads import calibrated_app
+
+        app = calibrated_app("miniMD")
+        app.run(2)
+        data = app.checkpoint_bytes()
+        assert len(data) > lz4._VECTOR_MIN
+        assert lz4.compress(data) == lz4.compress_ref(data)
+        dense = lz4.compress_dense(data)
+        assert dense == lz4.compress_dense_ref(data)
+        assert lz4.decompress(dense, len(data)) == data
+
+    @given(st.binary(min_size=0, max_size=6000))
+    @settings(max_examples=60, deadline=None)
+    def test_fuzz_both_kernels(self, data):
+        assert lz4.compress(data) == lz4.compress_ref(data)
+        dense = lz4.compress_dense(data)
+        assert dense == lz4.compress_dense_ref(data)
+        assert lz4.decompress(dense, len(data)) == data
+
+    def test_memoryview_input_matches_bytes(self, small_blob):
+        mv = memoryview(small_blob)
+        assert lz4.compress(mv) == lz4.compress(small_blob)
+        assert lz4.compress_dense(mv) == lz4.compress_dense(small_blob)
+
+
+class TestOverlappingCopyDecode:
+    def test_offset_smaller_than_match_length(self):
+        # Hand-built block: 4 literals "abcd", then a 10-byte match at
+        # offset 2 — the match source overlaps the bytes it produces, so
+        # a correct decoder replicates "cd" five times.
+        token = (4 << 4) | (10 - lz4.MIN_MATCH)
+        block = bytes([token]) + b"abcd" + struct.pack("<H", 2)
+        block += bytes([5 << 4]) + b"vwxyz"  # final literals-only sequence
+        assert lz4.decompress(block) == b"abcd" + b"cd" * 5 + b"vwxyz"
+
+    def test_offset_one_run(self):
+        token = (1 << 4) | 15
+        block = bytes([token]) + b"q" + struct.pack("<H", 1) + bytes([200 - 15 - 4])
+        block += bytes([5 << 4]) + b"vwxyz"
+        assert lz4.decompress(block) == b"q" * 201 + b"vwxyz"
+
+    @pytest.mark.parametrize("period", [1, 2, 3, 5, 7])
+    def test_periodic_round_trips(self, period):
+        data = (bytes(range(1, period + 1)) * (9000 // period + 1))[:9000]
+        for kernel in (lz4.compress, lz4.compress_dense):
+            assert lz4.decompress(kernel(data), len(data)) == data
+
+
+class TestZeroRLE:
+    @given(st.binary(max_size=4000), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, data, min_run):
+        out = zero_rle(data, min_run)
+        assert out == zero_rle_ref(data, min_run)
+        assert zero_rle_decode(out) == data
+
+    def test_sparse_payload_matches_reference(self):
+        data = _payload("sparse", 100_000)
+        assert zero_rle(data) == zero_rle_ref(data)
+
+    def test_min_run_larger_than_input_is_one_literal(self):
+        data = bytes(16)  # all zeros, but the run is below min_run
+        out = zero_rle(data, min_run=32)
+        assert out[0] == 0x01  # single literal record, no zero-run record
+        assert zero_rle_decode(out) == data
+
+    @pytest.mark.parametrize("fn", [zero_rle, zero_rle_ref])
+    def test_min_run_validation(self, fn):
+        with pytest.raises(ValueError, match="min_run"):
+            fn(b"abc", min_run=0)
+
+
+class TestXorDeltaStrict:
+    def test_strict_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="xor_delta length mismatch"):
+            xor_delta(b"abcd", b"abcdef", strict=True)
+        with pytest.raises(ValueError, match="apply_xor_delta length mismatch"):
+            apply_xor_delta(b"abcd", b"abcdef", strict=True)
+
+    def test_lenient_passes_tail_through(self):
+        delta = xor_delta(b"abcd", b"abcdXY")
+        assert delta[4:] == b"XY"
+        assert apply_xor_delta(b"abcd", delta) == b"abcdXY"
+
+    @given(st.binary(max_size=500), st.binary(max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, previous, current):
+        assert apply_xor_delta(previous, xor_delta(previous, current)) == current

@@ -1,8 +1,11 @@
 """Ratio / interval optimizers over the performance model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.configs import HOST_GZIP1, paper_parameters
+from repro.core.configs import HOST_GZIP1, NO_COMPRESSION, paper_parameters
+from repro.core.units import minutes
 from repro.core.model import multilevel_host
 from repro.core.optimizer import (
     golden_section_max,
@@ -75,3 +78,30 @@ class TestLocalInterval:
             params.with_(local_interval=optimal_local_interval(params)), 20
         ).efficiency
         assert refined >= seeded - 1e-6
+
+
+class TestOptimalRatioProperty:
+    """optimal_ratio must equal the exhaustive-sweep argmax (Figure 5's
+    construction) across paper-configuration variations, not just the
+    Table 4 defaults — the memoized bracket/ternary search is an
+    optimization of the sweep, never an approximation of it."""
+
+    @given(
+        mtti_minutes=st.floats(min_value=5.0, max_value=240.0),
+        p_local=st.floats(min_value=0.05, max_value=0.99),
+        spec=st.sampled_from([NO_COMPRESSION, HOST_GZIP1,
+                              HOST_GZIP1.with_factor(0.1),
+                              HOST_GZIP1.with_factor(0.7)]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_exhaustive_argmax(self, mtti_minutes, p_local, spec):
+        p = paper_parameters().with_(
+            mtti=minutes(mtti_minutes), p_local_recovery=p_local
+        )
+        best = optimal_ratio(p, spec, max_ratio=300)
+        scan_eff = max(
+            multilevel_host(p, r, spec).efficiency for r in range(1, 301)
+        )
+        assert multilevel_host(p, best, spec).efficiency == pytest.approx(
+            scan_eff, rel=1e-12
+        )
