@@ -4,7 +4,7 @@
 PY      ?= python
 PYTEST   = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test test-fast smoke bench-parallel bench-runtime report
+.PHONY: test test-fast smoke bench-parallel bench-runtime bench-obs metrics-demo report
 
 ## Full test suite (tier-1 gate).
 test:
@@ -37,6 +37,20 @@ bench-runtime:
 	else \
 		PYTHONPATH=src $(PY) benchmarks/record_runtime.py; \
 	fi
+
+## Telemetry overhead: records BENCH_obs_overhead.json on first run;
+## afterwards fails if the disabled-span cost regresses >3x or the
+## disabled-instrumentation bound ever exceeds its 2% budget.
+bench-obs:
+	@if [ -f BENCH_obs_overhead.json ]; then \
+		PYTHONPATH=src $(PY) benchmarks/record_obs.py --check; \
+	else \
+		PYTHONPATH=src $(PY) benchmarks/record_obs.py; \
+	fi
+
+## Run the calibrated C/R demo and print measured-vs-model drift tables.
+metrics-demo:
+	PYTHONPATH=src $(PY) -m repro metrics
 
 ## Regenerate the experiment report, parallel where supported.
 report:

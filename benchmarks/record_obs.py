@@ -1,0 +1,239 @@
+"""Record the telemetry layer's overhead to BENCH_obs_overhead.json.
+
+Three measurements, designed so the headline numbers are ratios of
+interleaved runs (robust to absolute machine-speed drift):
+
+* **primitive costs** — nanoseconds per disabled ``span()`` call (one
+  global read + branch returning the shared null span), per enabled
+  in-memory span, and per labelled ``Counter.inc``;
+* **drain overhead, measured** — the NDP drain of a real checkpoint with
+  tracing off vs tracing on (JSONL sink), interleaved, median of
+  ``--reps``;
+* **drain overhead, disabled bound** — an *upper bound* on what the
+  disabled instrumentation can cost the drain: the per-block
+  instrumentation op count times the measured worst primitive cost,
+  divided by the drain's wall time.  This is the "<2% when disabled"
+  guarantee, checked on every run (record and ``--check`` alike).
+
+::
+
+    PYTHONPATH=src python benchmarks/record_obs.py             # record
+    PYTHONPATH=src python benchmarks/record_obs.py --check     # CI gate
+
+``--check`` re-measures and fails (exit 1) if the disabled-overhead
+bound exceeds the 2% budget or the null-span cost regressed more than
+``--tolerance``x over the recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ckpt.backends import IOStore, LocalStore
+from repro.ckpt.format import make_header
+from repro.ckpt.ndp_daemon import NDPDrainDaemon
+from repro.ckpt.stream import DEFAULT_BLOCK_SIZE
+from repro.compression.codecs import fast_lz4_codec
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Hard budget for the disabled-instrumentation overhead bound.
+DISABLED_BUDGET = 0.02
+
+
+def _log(msg: str) -> None:
+    print(msg, file=sys.stderr)
+
+
+def _ns_per_op(fn, iters: int) -> float:
+    """Best-of-3 nanoseconds per call of ``fn`` over ``iters`` calls."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / iters * 1e9
+
+
+def bench_primitives(iters: int) -> dict:
+    obs_trace.disable()
+    span = obs_trace.span
+    ns_null = _ns_per_op(lambda: span("bench", "null"), iters)
+
+    tracer = obs_trace.configure(sink=None, keep_records=False)
+    def _enabled_span() -> None:
+        with span("bench", "enabled"):
+            pass
+    ns_enabled = _ns_per_op(_enabled_span, max(iters // 10, 1))
+    obs_trace.disable()
+
+    reg = obs_metrics.MetricsRegistry()
+    counter = reg.counter("bench_ops_total", "benchmark counter")
+    ns_inc = _ns_per_op(lambda: counter.inc(direction="compress"), iters)
+
+    _log(f"  null span   {ns_null:8.1f} ns/op")
+    _log(f"  live span   {ns_enabled:8.1f} ns/op  ({tracer.total} warmup spans)")
+    _log(f"  counter.inc {ns_inc:8.1f} ns/op")
+    return {
+        "iters": iters,
+        "null_span_ns": round(ns_null, 1),
+        "enabled_span_ns": round(ns_enabled, 1),
+        "counter_inc_ns": round(ns_inc, 1),
+    }
+
+
+def _payloads(size: int) -> dict[int, bytes]:
+    rng = np.random.default_rng(3)
+    out: dict[int, bytes] = {}
+    for rank in range(2):
+        arr = rng.integers(0, 256, size, dtype=np.uint8)
+        arr[rng.random(size) < 0.6] = 0  # ~60% compressible
+        out[rank] = arr.tobytes()
+    return out
+
+
+def _drain_once(payloads: dict[int, bytes], throttle: float) -> float:
+    app_id = "obsbench"
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        local = LocalStore(root / "local", capacity=4)
+        io = IOStore(root / "io", throttle_bps=throttle)
+        files = {
+            rank: (make_header(app_id, rank, 1, data, position=1.0), data)
+            for rank, data in payloads.items()
+        }
+        local.write_checkpoint(app_id, 1, files)
+        daemon = NDPDrainDaemon(app_id, local, io, codec=fast_lz4_codec())
+        t0 = time.perf_counter()
+        daemon._drain_one(1)
+        dt = time.perf_counter() - t0
+        if daemon.stats.checkpoints_drained != 1:
+            raise SystemExit("FATAL: drain did not complete")
+    return dt
+
+
+def bench_drain(reps: int, primitives: dict) -> dict:
+    payloads = _payloads(1 << 19)
+    total = sum(len(p) for p in payloads.values())
+    throttle = 16e6
+    obs_trace.disable()
+    _drain_once(payloads, throttle)  # warm caches before the interleave
+
+    off: list[float] = []
+    on: list[float] = []
+    with tempfile.TemporaryDirectory() as td:
+        sink = str(Path(td) / "drain-trace.jsonl")
+        for _ in range(reps):
+            obs_trace.disable()
+            off.append(_drain_once(payloads, throttle))
+            obs_trace.configure(sink, keep_records=False)
+            on.append(_drain_once(payloads, throttle))
+        obs_trace.disable()
+
+    t_off = statistics.median(off)
+    t_on = statistics.median(on)
+    enabled_overhead = t_on / t_off - 1.0
+
+    # Upper bound on the disabled-instrumentation cost of that drain:
+    # per block the stream layer makes 2 counter updates and the feed
+    # loop one perf_counter read + queue-depth gauge set; plus a fixed
+    # handful of spans/counters per checkpoint.  Charge every op at the
+    # worst measured primitive cost.
+    nblocks = (total + DEFAULT_BLOCK_SIZE - 1) // DEFAULT_BLOCK_SIZE
+    ops = 4 * max(nblocks, len(payloads)) + 16
+    worst_ns = max(primitives["null_span_ns"], primitives["counter_inc_ns"])
+    disabled_bound = ops * worst_ns * 1e-9 / t_off
+
+    _log(
+        f"  drain {total / 1e6:.2f} MB: off {t_off:.4f}s  on {t_on:.4f}s  "
+        f"enabled overhead {enabled_overhead:+.2%}"
+    )
+    _log(
+        f"  disabled bound: {ops} ops x {worst_ns:.0f} ns = "
+        f"{disabled_bound:.4%} of the drain (budget {DISABLED_BUDGET:.0%})"
+    )
+    return {
+        "reps": reps,
+        "bytes": total,
+        "io_throttle_mbps": throttle / 1e6,
+        "disabled_seconds": round(t_off, 4),
+        "enabled_seconds": round(t_on, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "instrumentation_ops": ops,
+        "disabled_overhead_bound": round(disabled_bound, 6),
+        "disabled_budget": DISABLED_BUDGET,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--iters", type=int, default=200_000,
+                    help="iterations for the primitive-cost loops")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="interleaved drain repetitions per mode")
+    ap.add_argument("--check", action="store_true",
+                    help="compare against the recorded baseline instead of overwriting")
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="--check fails if null-span ns exceeds this multiple "
+                         "of the recording (default 3.0; ns timings are noisy)")
+    ap.add_argument("-o", "--output", default="BENCH_obs_overhead.json",
+                    help="baseline JSON path")
+    args = ap.parse_args(argv)
+
+    primitives = bench_primitives(args.iters)
+    drain = bench_drain(args.reps, primitives)
+
+    if drain["disabled_overhead_bound"] > DISABLED_BUDGET:
+        _log(
+            f"FAIL: disabled-tracing overhead bound "
+            f"{drain['disabled_overhead_bound']:.2%} exceeds the "
+            f"{DISABLED_BUDGET:.0%} budget"
+        )
+        return 1
+
+    record = {
+        "benchmark": "telemetry overhead: span/counter primitives, drain on/off",
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "primitives": primitives,
+        "drain": drain,
+    }
+
+    if args.check:
+        path = Path(args.output)
+        if not path.exists():
+            _log(f"FATAL: --check needs a recorded baseline at {path}")
+            return 1
+        baseline = json.loads(path.read_text())
+        ref_ns = baseline["primitives"]["null_span_ns"]
+        ceiling = args.tolerance * ref_ns
+        got_ns = primitives["null_span_ns"]
+        status = "ok" if got_ns <= ceiling else "REGRESSION"
+        _log(f"  check null span: {got_ns:.0f} ns vs recorded {ref_ns:.0f} ns "
+             f"(ceiling {ceiling:.0f} ns) {status}")
+        if got_ns > ceiling:
+            _log("FAIL: disabled-span cost regression")
+            return 1
+        _log("check passed: telemetry overhead within budget")
+        return 0
+
+    Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
+    _log(f"wrote {args.output}: null span {primitives['null_span_ns']:.0f} ns, "
+         f"disabled bound {drain['disabled_overhead_bound']:.3%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

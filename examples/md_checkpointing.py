@@ -108,6 +108,21 @@ def main() -> None:
             "checkpointing cost from the application"
         )
 
+        # -- measured vs model: the drift report ------------------------------
+        from repro.core.configs import CRParameters
+        from repro.obs.demo import calibrate_codec, calibrate_local_bandwidth
+        from repro.obs.drift import drain_drift
+
+        sample = serialize_state(make_ranks()[0].state())
+        spec = calibrate_codec(make_codec("gzip", 1), sample)
+        params = CRParameters(
+            checkpoint_size=float(RANKS * len(sample)),
+            local_bandwidth=calibrate_local_bandwidth(root, sample),
+            io_bandwidth=THROTTLE,
+        )
+        print()
+        print(drain_drift(cr.daemon.stats, params, spec).render())
+
 
 if __name__ == "__main__":
     main()

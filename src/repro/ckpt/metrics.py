@@ -8,12 +8,20 @@ uses this to show the NDP-vs-host contrast on real data.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
 __all__ = ["RuntimeMetrics", "StageCounter"]
+
+#: The clock both ``timed`` context managers charge from.  Monotonic by
+#: contract (``perf_counter`` is a monotonic clock with the highest
+#: available resolution): elapsed time can never go negative under
+#: system clock adjustments, and the ``finally`` blocks below charge it
+#: even when the timed body raises.
+_clock = time.perf_counter
 
 
 @dataclass
@@ -38,19 +46,39 @@ class StageCounter:
 
     @contextmanager
     def timed(self, nbytes: int) -> Iterator[None]:
-        """Context manager charging elapsed wall time for ``nbytes``."""
-        t0 = time.perf_counter()
+        """Context manager charging elapsed wall time for ``nbytes``.
+
+        The time is charged even when the body raises — an aborted write
+        still consumed the seconds, and dropping them would inflate the
+        reported rate.
+        """
+        t0 = _clock()
         try:
             yield
         finally:
-            self.add(nbytes, time.perf_counter() - t0)
+            self.add(nbytes, _clock() - t0)
 
     @property
     def rate(self) -> float:
-        """Throughput in bytes/second (0.0 before any time is charged)."""
+        """Throughput in bytes/second.
+
+        0.0 before anything was charged; ``inf`` when bytes were charged
+        with no measurable time (clock resolution, or ``add(n, 0.0)``) —
+        explicitly "unmeasurably fast", never a silent 0.0 that would
+        read as "no throughput".
+        """
         if self.seconds <= 0.0:
-            return 0.0
+            return math.inf if self.bytes > 0 else 0.0
         return self.bytes / self.seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict export consumed by the ``repro.obs`` registry."""
+        return {
+            "bytes": self.bytes,
+            "seconds": self.seconds,
+            "ops": self.ops,
+            "rate": self.rate,
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -88,19 +116,37 @@ class RuntimeMetrics:
 
     @contextmanager
     def timed(self, activity: str) -> Iterator[None]:
-        """Context manager charging elapsed wall time to ``activity``."""
+        """Context manager charging elapsed wall time to ``activity``.
+
+        The activity is validated *before* the clock starts (a typo can
+        never corrupt another bucket) and time is charged in a
+        ``finally`` — an exception mid-operation still blocked the host
+        for however long it ran.
+        """
         if activity not in self.blocked_seconds:
             raise KeyError(f"unknown activity {activity!r}")
-        t0 = time.perf_counter()
+        t0 = _clock()
         try:
             yield
         finally:
-            self.blocked_seconds[activity] += time.perf_counter() - t0
+            self.blocked_seconds[activity] += _clock() - t0
 
     @property
     def total_blocked(self) -> float:
         """Total host-blocked wall seconds across activities."""
         return sum(self.blocked_seconds.values())
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict export consumed by the ``repro.obs`` registry."""
+        return {
+            "blocked_seconds": dict(self.blocked_seconds),
+            "total_blocked": self.total_blocked,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "bytes_local": self.bytes_local,
+            "bytes_partner": self.bytes_partner,
+            "bytes_io_host": self.bytes_io_host,
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -31,6 +31,8 @@ from __future__ import annotations
 import threading
 
 from ..compression.codecs import Codec
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .async_local import AsyncLocalWriter
 from .backends import IOStore, LocalStore, PartnerStore
 from .format import ContextHeader, make_header
@@ -40,6 +42,17 @@ from .restart import RecoveryResult, recover
 from .stream import DEFAULT_BLOCK_SIZE, compress_stream
 
 __all__ = ["MultilevelCheckpointer"]
+
+# Registry instruments shared by every checkpointer, labelled per call.
+_CHECKPOINTS = obs_metrics.REGISTRY.counter(
+    "cr_checkpoints_total", "coordinated checkpoints committed"
+)
+_RESTORES = obs_metrics.REGISTRY.counter(
+    "cr_restores_total", "recoveries served, by storage level"
+)
+_BYTES = obs_metrics.REGISTRY.counter(
+    "cr_bytes_total", "payload bytes written on the critical path, by level"
+)
 
 
 class MultilevelCheckpointer:
@@ -115,6 +128,7 @@ class MultilevelCheckpointer:
         self.partner_every = partner_every
         self.block_size = block_size
         self.metrics = RuntimeMetrics()
+        obs_metrics.register_runtime_metrics(self.metrics, app=app_id, mode=mode)
         self._lock = threading.Lock()
         self._next_id = self._initial_id()
         self.daemon: NDPDrainDaemon | None = None
@@ -188,36 +202,51 @@ class MultilevelCheckpointer:
             for rank, data in payloads.items()
         }
         nbytes = sum(len(d) for d in payloads.values())
-        if self._async_writer is not None:
-            # Background commit: stage and return.  The writer pauses the
-            # drain around the actual NVM write itself.
-            with self.metrics.timed("local"):
-                self._async_writer.submit(ckpt_id, files)
-        else:
-            if self.daemon is not None:
-                self.daemon.pause()  # host takes all NVM bandwidth
-            try:
-                with self.metrics.timed("local"):
-                    self.local.write_checkpoint(self.app_id, ckpt_id, files)
-            finally:
-                if self.daemon is not None:
-                    self.daemon.resume()
-        self.metrics.checkpoints += 1
-        self.metrics.bytes_local += nbytes
-
-        if (
-            self.partner is not None
-            and self.partner_every > 0
-            and ckpt_id % self.partner_every == 0
+        with obs_trace.span(
+            "ckpt",
+            "commit",
+            label=f"ckpt-{ckpt_id}",
+            ckpt=ckpt_id,
+            ranks=len(files),
+            bytes=nbytes,
+            mode=self.mode,
         ):
-            with self.metrics.timed("partner"):
-                self.partner.write_checkpoint(self.app_id, ckpt_id, files)
-            self.metrics.bytes_partner += nbytes
+            if self._async_writer is not None:
+                # Background commit: stage and return.  The writer pauses the
+                # drain around the actual NVM write itself.
+                with self.metrics.timed("local"):
+                    self._async_writer.submit(ckpt_id, files)
+            else:
+                if self.daemon is not None:
+                    self.daemon.pause()  # host takes all NVM bandwidth
+                try:
+                    with self.metrics.timed("local"):
+                        self.local.write_checkpoint(self.app_id, ckpt_id, files)
+                finally:
+                    if self.daemon is not None:
+                        self.daemon.resume()
+            self.metrics.checkpoints += 1
+            self.metrics.bytes_local += nbytes
+            _CHECKPOINTS.inc(app=self.app_id, mode=self.mode)
+            _BYTES.inc(nbytes, app=self.app_id, level="local")
 
-        if self.mode == "host" and ckpt_id % self.io_every == 0:
-            with self.metrics.timed("io"):
-                self._host_push_io(ckpt_id, payloads, position)
-            self.metrics.bytes_io_host += nbytes
+            if (
+                self.partner is not None
+                and self.partner_every > 0
+                and ckpt_id % self.partner_every == 0
+            ):
+                with obs_trace.span("ckpt", "partner-push", ckpt=ckpt_id), self.metrics.timed(
+                    "partner"
+                ):
+                    self.partner.write_checkpoint(self.app_id, ckpt_id, files)
+                self.metrics.bytes_partner += nbytes
+                _BYTES.inc(nbytes, app=self.app_id, level="partner")
+
+            if self.mode == "host" and ckpt_id % self.io_every == 0:
+                with obs_trace.span("ckpt", "io-push", ckpt=ckpt_id), self.metrics.timed("io"):
+                    self._host_push_io(ckpt_id, payloads, position)
+                self.metrics.bytes_io_host += nbytes
+                _BYTES.inc(nbytes, app=self.app_id, level="io_host")
         return ckpt_id
 
     def _host_push_io(
@@ -270,11 +299,14 @@ class MultilevelCheckpointer:
         if self.daemon is not None:
             self.daemon.pause()
         try:
-            with self.metrics.timed("restore"):
-                result = recover(
-                    self.app_id, stores, decompress_workers=decompress_workers
-                )
+            with obs_trace.span("restore", "restart", app=self.app_id) as sp:
+                with self.metrics.timed("restore"):
+                    result = recover(
+                        self.app_id, stores, decompress_workers=decompress_workers
+                    )
+                sp.set(ckpt=result.ckpt_id, level=result.level)
             self.metrics.restores += 1
+            _RESTORES.inc(app=self.app_id, level=result.level)
             return result
         finally:
             if self.daemon is not None:

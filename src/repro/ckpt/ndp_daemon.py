@@ -38,12 +38,30 @@ from dataclasses import dataclass, field
 
 from ..compression.codecs import Codec
 from ..compression.delta import xor_delta, zero_rle
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .backends import IOStore, LocalStore
 from .format import CorruptCheckpointError, make_header
 from .metrics import StageCounter
 from .stream import DEFAULT_BLOCK_SIZE, compress_stream, iter_frames
 
 __all__ = ["NDPDrainDaemon", "DrainStats"]
+
+# Registry instruments shared by every daemon instance, labelled by app.
+_DRAINS = obs_metrics.REGISTRY.counter(
+    "ndp_drains_total", "checkpoints drained to the I/O level"
+)
+_STALLS = obs_metrics.REGISTRY.counter(
+    "ndp_backpressure_stalls_total",
+    "frames that blocked because the writer queue was full",
+)
+_STALL_SECONDS = obs_metrics.REGISTRY.counter(
+    "ndp_backpressure_stall_seconds_total",
+    "seconds the compressor spent blocked on writer backpressure",
+)
+_QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
+    "ndp_queue_depth", "compressed frames currently queued for the writer"
+)
 
 
 @dataclass
@@ -55,11 +73,22 @@ class DrainStats:
     delta_drains: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: Backpressure accounting: how many frames blocked on a full writer
+    #: queue, and the total seconds the compressor spent blocked.  A
+    #: nonzero value means the drain is I/O-bound — the paper's regime
+    #: where only overlap (not kernel speed) helps.
+    stalls: int = 0
+    stall_seconds: float = 0.0
     drained_ids: list[int] = field(default_factory=list)
     #: Time/bytes spent producing compressed frames (daemon thread).
     compress: StageCounter = field(default_factory=StageCounter)
     #: Time/bytes spent writing frames to the I/O store (writer thread).
     write: StageCounter = field(default_factory=StageCounter)
+    #: Whole-checkpoint drain wall time, charged with *uncompressed*
+    #: bytes — ``drain.bytes / drain.seconds`` is the measured end-to-end
+    #: drain rate, directly comparable to the model's
+    #: ``min(io_bw / (1 - factor), compress_rate)`` bound.
+    drain: StageCounter = field(default_factory=StageCounter)
 
     @property
     def achieved_factor(self) -> float:
@@ -67,6 +96,22 @@ class DrainStats:
         if self.bytes_in == 0:
             return 0.0
         return 1.0 - self.bytes_out / self.bytes_in
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict export consumed by the ``repro.obs`` registry."""
+        return {
+            "checkpoints_drained": self.checkpoints_drained,
+            "checkpoints_skipped": self.checkpoints_skipped,
+            "delta_drains": self.delta_drains,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "stalls": self.stalls,
+            "stall_seconds": self.stall_seconds,
+            "achieved_factor": self.achieved_factor,
+            "compress": self.compress.as_dict(),
+            "write": self.write.as_dict(),
+            "drain": self.drain.as_dict(),
+        }
 
 
 class NDPDrainDaemon:
@@ -135,6 +180,7 @@ class NDPDrainDaemon:
         self.queue_depth = queue_depth
         self.compress_workers = compress_workers
         self.stats = DrainStats()
+        obs_metrics.register_drain_stats(self.stats, app=app_id)
         # Delta state: the most recent *full* drained checkpoint.
         self._base_id: int | None = None
         self._base_payloads: dict[int, bytes] = {}
@@ -242,14 +288,25 @@ class NDPDrainDaemon:
             self._note_skip(ckpt_id)
             return
         use_delta = self._delta_eligible(files)
+        payload_bytes = sum(len(p) for _, p in files.values())
         try:
-            if self.pipelined:
-                self._push_pipelined(ckpt_id, files, use_delta)
-            else:
-                self._push_staged(ckpt_id, files, use_delta)
-            self.io.commit_checkpoint(self.app_id, ckpt_id)
+            with obs_trace.span(
+                "drain",
+                "drain-ckpt",
+                label=f"ckpt-{ckpt_id}",
+                ckpt=ckpt_id,
+                ranks=len(files),
+                bytes=payload_bytes,
+                delta=use_delta,
+            ), self.stats.drain.timed(payload_bytes):
+                if self.pipelined:
+                    self._push_pipelined(ckpt_id, files, use_delta)
+                else:
+                    self._push_staged(ckpt_id, files, use_delta)
+                self.io.commit_checkpoint(self.app_id, ckpt_id)
             self.stats.checkpoints_drained += 1
             self.stats.drained_ids.append(ckpt_id)
+            _DRAINS.inc(app=self.app_id)
             self._high_water = max(self._high_water, ckpt_id)
             if use_delta:
                 self.stats.delta_drains += 1
@@ -323,15 +380,32 @@ class NDPDrainDaemon:
                 pending.result()
 
     def _feed(self, fifo: queue.Queue, fut: Future, frame: bytes) -> None:
-        """Put a frame with backpressure, bailing out if the writer died."""
+        """Put a frame with backpressure, bailing out if the writer died.
+
+        A full queue means the (throttled) store has fallen behind: the
+        stall is counted and its duration charged to
+        ``stats.stall_seconds`` — the live signal that the drain is
+        I/O-bound rather than compute-bound.
+        """
+        t0 = time.perf_counter()
+        stalled = False
         while True:
             try:
                 fifo.put(frame, timeout=0.1)
-                return
+                break
             except queue.Full:
+                if not stalled:
+                    stalled = True
+                    self.stats.stalls += 1
+                    _STALLS.inc(app=self.app_id)
                 if fut.done():
                     fut.result()  # surfaces the writer's exception
                     raise RuntimeError("writer finished while frames remained")
+        if stalled:
+            dt = time.perf_counter() - t0
+            self.stats.stall_seconds += dt
+            _STALL_SECONDS.inc(dt, app=self.app_id)
+        _QUEUE_DEPTH.set(fifo.qsize(), app=self.app_id)
 
     def _write_rank(
         self,

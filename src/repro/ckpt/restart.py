@@ -20,9 +20,18 @@ from dataclasses import dataclass
 
 from ..compression.codecs import codec_from_name
 from ..compression.delta import apply_xor_delta, zero_rle_decode
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .backends import DirectoryStore
 from .format import ContextHeader, CorruptCheckpointError
 from .stream import parallel_decompress
+
+_RECOVERIES = obs_metrics.REGISTRY.counter(
+    "restore_recoveries_total", "successful recover() calls, by serving level"
+)
+_WALKBACKS = obs_metrics.REGISTRY.counter(
+    "restore_walkbacks_total", "designated checkpoints rejected during recovery"
+)
 
 __all__ = ["RecoveryResult", "recover", "NoCheckpointError"]
 
@@ -74,23 +83,33 @@ def recover(
     if not candidates:
         raise NoCheckpointError(f"no committed checkpoints for {app_id!r} on any level")
 
-    for ckpt_id in sorted(candidates, reverse=True):
-        for store in stores:
-            if ckpt_id not in store.committed(app_id):
-                continue
-            try:
-                files = store.iter_rank_files(app_id, ckpt_id, verify=verify)
-                payloads, positions = _unpack(
-                    files, decompress_workers, store, app_id, verify
+    with obs_trace.span("restore", "recover", app=app_id) as sp:
+        for ckpt_id in sorted(candidates, reverse=True):
+            for store in stores:
+                if ckpt_id not in store.committed(app_id):
+                    continue
+                try:
+                    files = store.iter_rank_files(app_id, ckpt_id, verify=verify)
+                    payloads, positions = _unpack(
+                        files, decompress_workers, store, app_id, verify
+                    )
+                except (CorruptCheckpointError, FileNotFoundError, OSError, ValueError, KeyError):
+                    _WALKBACKS.inc(app=app_id)
+                    continue
+                sp.set(
+                    ckpt=ckpt_id,
+                    level=store.level,
+                    ranks=len(payloads),
+                    bytes=sum(len(p) for p in payloads.values()),
                 )
-            except (CorruptCheckpointError, FileNotFoundError, OSError, ValueError, KeyError):
-                continue
-            return RecoveryResult(
-                ckpt_id=ckpt_id,
-                level=store.level,
-                payloads=payloads,
-                positions=positions,
-            )
+                _RECOVERIES.inc(app=app_id, level=store.level)
+                return RecoveryResult(
+                    ckpt_id=ckpt_id,
+                    level=store.level,
+                    payloads=payloads,
+                    positions=positions,
+                )
+        sp.set(failed=True)
     raise NoCheckpointError(
         f"all committed checkpoints of {app_id!r} failed verification"
     )

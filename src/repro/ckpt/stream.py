@@ -30,6 +30,18 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator
 
 from ..compression.codecs import Codec
+from ..obs import metrics as obs_metrics
+
+# Block-granularity counters for the compression workers.  Updates are
+# one lock + float add per (1 MiB) block — invisible next to the codec —
+# and give the registry a live view of how much data the stream layer
+# has pushed through in each direction.
+_BLOCKS = obs_metrics.REGISTRY.counter(
+    "stream_blocks_total", "blocks processed by the stream codec layer"
+)
+_BYTES = obs_metrics.REGISTRY.counter(
+    "stream_bytes_total", "uncompressed bytes through the stream codec layer"
+)
 
 __all__ = [
     "compress_stream",
@@ -87,6 +99,8 @@ def iter_frames(
     if workers == 1 or nblocks <= 1:
         for chunk in chunks:
             cdata = codec.compress(chunk)
+            _BLOCKS.inc(direction="compress")
+            _BYTES.inc(len(chunk), direction="compress")
             yield struct.pack("<II", len(chunk), len(cdata)) + cdata
         return
     with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -96,10 +110,14 @@ def iter_frames(
             if len(window) > workers + 1:
                 usize, fut = window.popleft()
                 cdata = fut.result()
+                _BLOCKS.inc(direction="compress")
+                _BYTES.inc(usize, direction="compress")
                 yield struct.pack("<II", usize, len(cdata)) + cdata
         while window:
             usize, fut = window.popleft()
             cdata = fut.result()
+            _BLOCKS.inc(direction="compress")
+            _BYTES.inc(usize, direction="compress")
             yield struct.pack("<II", usize, len(cdata)) + cdata
 
 
@@ -145,6 +163,8 @@ def decompress_stream(stream, codec: Codec) -> bytes:
     out = b"".join(codec.decompress(f) for f in frames)
     if len(out) != total:
         raise ValueError(f"decoded {len(out)} bytes, expected {total}")
+    _BLOCKS.inc(len(frames), direction="decompress")
+    _BYTES.inc(total, direction="decompress")
     return out
 
 
@@ -165,4 +185,6 @@ def parallel_decompress(stream, codec: Codec, workers: int = 4) -> bytes:
     out = b"".join(parts)
     if len(out) != total:
         raise ValueError(f"decoded {len(out)} bytes, expected {total}")
+    _BLOCKS.inc(len(frames), direction="decompress")
+    _BYTES.inc(total, direction="decompress")
     return out

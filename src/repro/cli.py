@@ -10,6 +10,8 @@ Usage::
     python -m repro all --skip-slow
     python -m repro report -o report.md --skip-slow
     python -m repro calibrate
+    python -m repro trace --out run.jsonl experiment figure7
+    python -m repro metrics --json drift.json
 
 Options after ``-o``/``--override`` are ``key=value`` pairs forwarded to
 the experiment's ``run()`` (values parsed as Python literals when
@@ -197,6 +199,46 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import trace as obs_trace
+
+    if not args.rest or args.rest[0] == "trace":
+        raise SystemExit("usage: repro trace [--out PATH] <command> [args...]")
+    out = args.out
+    # Spawned/forked workers read REPRO_TRACE at import and append to the
+    # same file (O_APPEND keeps lines whole across processes).
+    os.environ[obs_trace.ENV_VAR] = out
+    tracer = obs_trace.configure(out)
+    try:
+        return main(list(args.rest))
+    finally:
+        print(f"trace: {tracer.summary()}", file=sys.stderr)
+        obs_trace.disable()
+        os.environ.pop(obs_trace.ENV_VAR, None)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    # Lazy import: obs.demo pulls in the checkpoint runtime + simulator.
+    from .obs.demo import run_demo
+
+    result = run_demo(
+        steps=args.steps,
+        include_breakdown=not args.no_breakdown,
+    )
+    print(result.render())
+    if args.prometheus:
+        from .obs import metrics as obs_metrics
+
+        print()
+        print(obs_metrics.REGISTRY.render_prometheus())
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.as_dict(), indent=1, default=str))
+        print(f"(wrote {args.json})")
+    return 0
+
+
 def _cmd_calibrate(_: argparse.Namespace) -> int:
     from .compression.study import paper_factor
     from .workloads.calibration import calibrate_precision, gzip1_factor
@@ -258,6 +300,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_ck.add_argument("roots", nargs="+", help="store root directories (fastest first)")
     p_ck.add_argument("--app", help="restrict to one application id")
     p_ck.set_defaults(func=_cmd_ckpt)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run any repro command with structured tracing to a JSONL file",
+    )
+    p_tr.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.jsonl",
+        help="JSON-lines output path (default: trace.jsonl)",
+    )
+    p_tr.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="the repro command to run under tracing",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_me = sub.add_parser(
+        "metrics",
+        help="run the calibrated C/R demo and print measured-vs-model drift tables",
+    )
+    p_me.add_argument(
+        "--steps", type=int, default=6, help="checkpoints per mode (default 6)"
+    )
+    p_me.add_argument(
+        "--no-breakdown",
+        action="store_true",
+        help="skip the simulator-vs-model overhead breakdown report",
+    )
+    p_me.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the metrics registry in Prometheus text format",
+    )
+    p_me.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    p_me.set_defaults(func=_cmd_metrics)
 
     sub.add_parser(
         "calibrate", help="recompute proxy-app precision calibration"

@@ -1,0 +1,77 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Three pillars, documented in ``docs/OBSERVABILITY.md``:
+
+* :mod:`repro.obs.trace` — structured hierarchical spans with
+  thread-safe JSON-lines export (``REPRO_TRACE=out.jsonl`` or
+  :func:`configure`); near-zero overhead when disabled.
+* :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram
+  registry with JSON-snapshot and Prometheus-text exporters, plus
+  adapters wrapping the runtime's pre-existing ``StageCounter`` /
+  ``RuntimeMetrics`` / ``DrainStats`` objects.
+* :mod:`repro.obs.drift` — measured-vs-model drift reports comparing
+  live telemetry against ``repro.core.model`` predictions.
+
+The checkpoint runtime, the NDP drain daemon, the restore path, the
+stream codecs and the simulation pool are instrumented through this
+package; ``repro trace`` / ``repro metrics`` surface it on the CLI.
+"""
+
+from . import drift, metrics, trace
+from .drift import DriftReport, DriftRow, blocked_drift, breakdown_drift, drain_drift
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    register_drain_stats,
+    register_runtime_metrics,
+    register_stage_counter,
+)
+from .trace import (
+    SPAN_FIELDS,
+    Tracer,
+    configure,
+    disable,
+    emit,
+    enabled,
+    get_tracer,
+    span,
+    validate_file,
+    validate_record,
+)
+
+__all__ = [
+    "trace",
+    "metrics",
+    "drift",
+    # tracing
+    "SPAN_FIELDS",
+    "Tracer",
+    "configure",
+    "disable",
+    "emit",
+    "enabled",
+    "get_tracer",
+    "span",
+    "validate_file",
+    "validate_record",
+    # metrics
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "register_drain_stats",
+    "register_runtime_metrics",
+    "register_stage_counter",
+    # drift
+    "DriftReport",
+    "DriftRow",
+    "blocked_drift",
+    "breakdown_drift",
+    "drain_drift",
+]

@@ -1,0 +1,412 @@
+"""Metrics registry: named counters/gauges/histograms with labels.
+
+The registry is the runtime's one place where quantitative telemetry
+accumulates: the checkpointer, the NDP drain daemon, the stream codecs
+and the simulation pool all register instruments here, and exporters
+(:meth:`MetricsRegistry.snapshot` for JSON, :meth:`render_prometheus`
+for Prometheus text format) read them out without knowing who owns what.
+
+Three instrument types, all label-aware:
+
+* :class:`Counter` — monotonically increasing totals
+  (``cr_checkpoints_total{mode="ndp"}``).
+* :class:`Gauge` — point-in-time values, settable directly or bound to a
+  callback evaluated at snapshot time (:meth:`Gauge.set_function`) —
+  the adapter mechanism that surfaces the pre-existing
+  :class:`~repro.ckpt.metrics.StageCounter` /
+  :class:`~repro.ckpt.metrics.RuntimeMetrics` /
+  ``DrainStats`` objects without changing their callers.
+* :class:`Histogram` — bucketed distributions (span durations).
+
+Everything is guarded by one registry lock; updates are a dict get +
+float add, cheap enough for per-block (1 MiB) granularity but not meant
+for per-byte loops.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "register_stage_counter",
+    "register_runtime_metrics",
+    "register_drain_stats",
+]
+
+
+class MetricError(ValueError):
+    """Invalid metric operation (type clash, negative counter add...)."""
+
+
+def _label_key(labels: dict[str, Any]) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common machinery: name, help text, labelled value cells."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._values: dict[tuple, Any] = {}
+
+    def clear(self) -> None:
+        """Drop every labelled cell (used by ``registry.reset()``)."""
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> list[tuple[dict[str, str], Any]]:
+        """``(labels, value)`` pairs, deterministically ordered."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(dict(key), value) for key, value in items]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled cell."""
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current total for the labelled cell (0.0 if never touched)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value; settable or callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._callbacks: dict[tuple, Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labelled cell to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Adjust the labelled cell by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], float], **labels: Any) -> None:
+        """Bind the labelled cell to ``fn``, evaluated at read time.
+
+        This is the adapter hook: a live object (a ``DrainStats``, a
+        ``RuntimeMetrics``) exposes a field by closure, and every
+        snapshot sees its current value.  Re-binding the same labels
+        replaces the previous callback.
+        """
+        with self._lock:
+            self._callbacks[_label_key(labels)] = fn
+
+    def value(self, **labels: Any) -> float:
+        """Current value (callback cells are evaluated)."""
+        key = _label_key(labels)
+        with self._lock:
+            fn = self._callbacks.get(key)
+            if fn is None:
+                return self._values.get(key, 0.0)
+        return float(fn())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+            self._callbacks.clear()
+
+    def samples(self) -> list[tuple[dict[str, str], Any]]:
+        with self._lock:
+            static = dict(self._values)
+            callbacks = dict(self._callbacks)
+        merged: dict[tuple, float] = dict(static)
+        for key, fn in callbacks.items():
+            try:
+                merged[key] = float(fn())
+            except Exception:
+                # A dead adapter (its object torn down mid-snapshot) must
+                # not take the whole exporter with it.
+                merged[key] = math.nan
+        return [(dict(key), value) for key, value in sorted(merged.items())]
+
+
+#: Default histogram buckets, tuned for span durations in seconds.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, math.inf)
+
+
+class Histogram(_Instrument):
+    """A bucketed distribution (cumulative buckets, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, lock)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise MetricError("histogram needs at least one bucket")
+        if edges[-1] != math.inf:
+            edges = edges + (math.inf,)
+        self.buckets = edges
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation."""
+        key = _label_key(labels)
+        with self._lock:
+            cell = self._values.get(key)
+            if cell is None:
+                cell = self._values[key] = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    cell["counts"][i] += 1
+                    break
+            cell["sum"] += value
+            cell["count"] += 1
+
+    def value(self, **labels: Any) -> dict:
+        """``{"counts": [...], "sum": s, "count": n}`` for the cell."""
+        with self._lock:
+            cell = self._values.get(_label_key(labels))
+            if cell is None:
+                return {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+            return {"counts": list(cell["counts"]), "sum": cell["sum"], "count": cell["count"]}
+
+
+class MetricsRegistry:
+    """A named collection of instruments with snapshot/Prometheus export.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: registering
+    the same name twice returns the existing instrument (so module-level
+    handles and adapters can share), and a *type* clash raises
+    :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any) -> Any:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise MetricError(f"invalid metric name: {name!r}")
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name, help, self._lock, **kwargs)
+            elif not isinstance(inst, cls) or type(inst) is not cls:
+                raise MetricError(
+                    f"metric {name!r} already registered as {inst.kind}, not {cls.kind}"
+                )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument (handles stay valid; tests use this)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            inst.clear()
+
+    # -- exporters ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view: ``{name: {type, help, samples: [...]}}``.
+
+        Gauge callbacks are evaluated at snapshot time, so adapters over
+        live objects report their *current* state.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict[str, dict] = {}
+        for name, inst in sorted(instruments.items()):
+            out[name] = {
+                "type": inst.kind,
+                "help": inst.help,
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in inst.samples()
+                ],
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: list[str] = []
+        for name, inst in sorted(instruments.items()):
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            for labels, value in inst.samples():
+                if inst.kind == "histogram":
+                    cum = 0
+                    for edge, n in zip(inst.buckets, value["counts"]):  # type: ignore[attr-defined]
+                        cum += n
+                        le = "+Inf" if edge == math.inf else f"{edge:g}"
+                        lines.append(
+                            f"{name}_bucket{_fmt_labels({**labels, 'le': le})} {cum}"
+                        )
+                    lines.append(f"{name}_sum{_fmt_labels(labels)} {value['sum']:g}")
+                    lines.append(f"{name}_count{_fmt_labels(labels)} {value['count']}")
+                else:
+                    lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return f"{value:g}"
+
+
+#: The process-global default registry all built-in instrumentation uses.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return REGISTRY
+
+
+# -- adapters over the pre-existing telemetry objects --------------------------
+#
+# The runtime's older counters (StageCounter, RuntimeMetrics, DrainStats)
+# keep their APIs and callers; these functions mirror them into a registry
+# as callback gauges, so one snapshot covers old and new instrumentation.
+
+
+def register_stage_counter(
+    stage, name: str, registry: MetricsRegistry | None = None, **labels: Any
+) -> None:
+    """Expose a :class:`~repro.ckpt.metrics.StageCounter` as gauges.
+
+    Publishes ``{name}_bytes_total``, ``{name}_seconds_total``,
+    ``{name}_ops_total`` and ``{name}_bytes_per_second`` under ``labels``.
+    """
+    reg = registry or REGISTRY
+    reg.gauge(f"{name}_bytes_total", "bytes processed by this stage").set_function(
+        lambda: stage.bytes, **labels
+    )
+    reg.gauge(f"{name}_seconds_total", "seconds charged to this stage").set_function(
+        lambda: stage.seconds, **labels
+    )
+    reg.gauge(f"{name}_ops_total", "operations charged to this stage").set_function(
+        lambda: stage.ops, **labels
+    )
+    reg.gauge(f"{name}_bytes_per_second", "stage throughput").set_function(
+        lambda: stage.rate, **labels
+    )
+
+
+def register_runtime_metrics(
+    metrics, registry: MetricsRegistry | None = None, prefix: str = "cr", **labels: Any
+) -> None:
+    """Expose a :class:`~repro.ckpt.metrics.RuntimeMetrics` as gauges."""
+    reg = registry or REGISTRY
+    blocked = reg.gauge(
+        f"{prefix}_blocked_seconds", "host wall seconds blocked in C/R, by activity"
+    )
+    for activity in metrics.blocked_seconds:
+        blocked.set_function(
+            lambda a=activity: metrics.blocked_seconds[a], activity=activity, **labels
+        )
+    for field, help in (
+        ("checkpoints", "checkpoints committed"),
+        ("restores", "recoveries served"),
+        ("bytes_local", "payload bytes written to the local level"),
+        ("bytes_partner", "payload bytes mirrored to the partner level"),
+        ("bytes_io_host", "payload bytes pushed to I/O synchronously"),
+    ):
+        reg.gauge(f"{prefix}_{field}", help).set_function(
+            lambda f=field: getattr(metrics, f), **labels
+        )
+
+
+def register_drain_stats(
+    stats, registry: MetricsRegistry | None = None, prefix: str = "ndp", **labels: Any
+) -> None:
+    """Expose a :class:`~repro.ckpt.ndp_daemon.DrainStats` as gauges.
+
+    Covers the scalar counters, the backpressure stall accounting, the
+    achieved compression factor, and the compress/write/drain
+    :class:`StageCounter` stages.
+    """
+    reg = registry or REGISTRY
+    for field, help in (
+        ("checkpoints_drained", "checkpoints drained to the I/O level"),
+        ("checkpoints_skipped", "checkpoints skipped (evicted/corrupt/stale)"),
+        ("delta_drains", "drains stored as XOR deltas"),
+        ("bytes_in", "uncompressed bytes entering the drain"),
+        ("bytes_out", "bytes actually written to the I/O level"),
+        ("stalls", "backpressure stalls (writer queue full)"),
+        ("stall_seconds", "seconds the compressor blocked on backpressure"),
+    ):
+        reg.gauge(f"{prefix}_{field}", help).set_function(
+            lambda f=field: getattr(stats, f), **labels
+        )
+    reg.gauge(f"{prefix}_achieved_factor", "aggregate compression factor").set_function(
+        lambda: stats.achieved_factor, **labels
+    )
+    for stage_name in ("compress", "write", "drain"):
+        register_stage_counter(
+            getattr(stats, stage_name), f"{prefix}_{stage_name}", reg, **labels
+        )

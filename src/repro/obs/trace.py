@@ -1,0 +1,429 @@
+"""Structured tracing: hierarchical spans with JSON-lines export.
+
+The runtime's hot paths (checkpoint commit, NDP drain, restore, the
+simulation pool) emit *spans* — named wall-clock intervals with
+attributes — through a process-global :class:`Tracer`.  Design goals:
+
+* **Near-zero overhead when disabled.**  :func:`span` returns a shared
+  no-op context manager when no tracer is configured; the cost is one
+  global read and a branch.  Hot loops are instrumented at rank/chunk
+  granularity, never per byte.
+* **One schema for real runs and simulations.**  Every record carries
+  the five core fields in :data:`SPAN_FIELDS` — the exact schema
+  :func:`repro.simulation.trace.spans_to_records` has always produced —
+  so a simulator timeline and a live-runtime trace are interchangeable
+  inputs to the same tooling (``tools/check_trace.py`` validates both).
+* **Thread- and fork-safe export.**  Each record is appended to the
+  sink file with a single ``os.write`` on an ``O_APPEND`` descriptor, so
+  concurrently-tracing threads (and forked pool workers inheriting the
+  descriptor) never interleave partial lines.
+
+Enable globally with the ``REPRO_TRACE`` environment variable (a
+JSON-lines output path, read at import time) or programmatically::
+
+    from repro.obs import trace
+    tracer = trace.configure("run.jsonl")
+    with trace.span("ckpt", "commit", ckpt=3, bytes=1 << 20):
+        ...
+    trace.disable()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "SPAN_FIELDS",
+    "ENV_VAR",
+    "TraceSchemaError",
+    "Tracer",
+    "SpanHandle",
+    "NULL_SPAN",
+    "configure",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "span",
+    "emit",
+    "validate_record",
+    "validate_file",
+]
+
+#: The core span schema, shared with ``repro.simulation.trace``:
+#: ``lane`` (component / timeline row), ``start``/``end`` (seconds on a
+#: monotonic clock — wall for real runs, simulated for the simulator),
+#: ``kind`` (activity class) and ``label`` (free-form tag).
+SPAN_FIELDS = ("lane", "start", "end", "kind", "label")
+
+#: Optional per-record fields (runtime traces add these; simulator
+#: timelines usually omit them): name -> required type(s).
+OPTIONAL_FIELDS: dict[str, tuple[type, ...]] = {
+    "attrs": (dict,),
+    "span": (int,),
+    "parent": (int,),
+    "pid": (int,),
+    "thread": (str,),
+}
+
+#: Environment variable naming the JSONL sink path; read once at import.
+ENV_VAR = "REPRO_TRACE"
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not conform to the span schema."""
+
+
+def validate_record(rec: object) -> dict:
+    """Check one record against the span schema; returns it on success.
+
+    Raises :class:`TraceSchemaError` naming the offending field.  Both
+    the runtime tracer's records and the simulator's
+    ``spans_to_records`` output validate.
+    """
+    if not isinstance(rec, dict):
+        raise TraceSchemaError(f"record must be an object, got {type(rec).__name__}")
+    for name in SPAN_FIELDS:
+        if name not in rec:
+            raise TraceSchemaError(f"missing required field {name!r}")
+    for name in ("lane", "kind", "label"):
+        if not isinstance(rec[name], str):
+            raise TraceSchemaError(f"{name!r} must be a string: {rec[name]!r}")
+    for name in ("start", "end"):
+        if isinstance(rec[name], bool) or not isinstance(rec[name], (int, float)):
+            raise TraceSchemaError(f"{name!r} must be a number: {rec[name]!r}")
+    if rec["end"] < rec["start"]:
+        raise TraceSchemaError(f"end {rec['end']} precedes start {rec['start']}")
+    if not rec["kind"]:
+        raise TraceSchemaError("'kind' must be non-empty")
+    for name, value in rec.items():
+        if name in SPAN_FIELDS:
+            continue
+        types = OPTIONAL_FIELDS.get(name)
+        if types is None:
+            raise TraceSchemaError(f"unknown field {name!r}")
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise TraceSchemaError(
+                f"{name!r} must be {'/'.join(t.__name__ for t in types)}: {value!r}"
+            )
+    return rec
+
+
+def validate_file(path: str | os.PathLike) -> int:
+    """Validate a JSON-lines trace file; returns the record count.
+
+    Raises :class:`TraceSchemaError` with a 1-based line number on the
+    first malformed line (bad JSON or schema violation).
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError as exc:
+                raise TraceSchemaError(f"line {lineno}: invalid JSON: {exc}") from None
+            try:
+                validate_record(rec)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"line {lineno}: {exc}") from None
+            count += 1
+    return count
+
+
+class _NullSpan:
+    """The shared disabled-tracing span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Attribute updates are dropped (tracing is off)."""
+        return self
+
+
+#: The singleton no-op span returned by :func:`span` while disabled.
+NULL_SPAN = _NullSpan()
+
+
+class SpanHandle:
+    """An open span; a context manager that records on exit.
+
+    Attributes set via :meth:`set` (or the constructor's ``attrs``) land
+    in the record's ``attrs`` object.  Nesting is tracked per thread:
+    the record's ``parent`` is the span id of the innermost enclosing
+    span on the same thread.
+    """
+
+    __slots__ = ("_tracer", "lane", "kind", "label", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", lane: str, kind: str, label: str, attrs: dict):
+        self._tracer = tracer
+        self.lane = lane
+        self.kind = kind
+        self.label = label
+        self.attrs = attrs
+        self.span_id = tracer._new_id()
+        self.parent_id: int | None = None
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        """Attach/overwrite attributes (visible in the emitted record)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = self._tracer.clock()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._record(
+            lane=self.lane,
+            start=self._start,
+            end=end,
+            kind=self.kind,
+            label=self.label,
+            attrs=self.attrs,
+            span=self.span_id,
+            parent=self.parent_id,
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with JSON-lines export.
+
+    Parameters
+    ----------
+    sink:
+        ``None`` keeps records in memory (``records``); a path appends
+        one JSON line per record (fork-safe ``O_APPEND`` writes); a
+        callable receives each record dict as it completes.
+    clock:
+        Timestamp source; must be monotonic.  Defaults to
+        :func:`time.monotonic` so concurrent spans order consistently
+        even across system clock adjustments.
+    keep_records:
+        Force in-memory retention on/off (default: on only when there
+        is no sink, so file-backed long runs don't accumulate RAM).
+    """
+
+    def __init__(
+        self,
+        sink: str | os.PathLike | Callable[[dict], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        keep_records: bool | None = None,
+    ):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._next = 0
+        self._fd: int | None = None
+        self._sink_fn: Callable[[dict], None] | None = None
+        self.path: str | None = None
+        if callable(sink):
+            self._sink_fn = sink
+        elif sink is not None:
+            self.path = os.fspath(sink)
+            self._fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        self.keep_records = (sink is None) if keep_records is None else keep_records
+        self.records: list[dict] = []
+        self.counts: dict[str, int] = {}
+
+    # -- span API -------------------------------------------------------------
+
+    def span(self, lane: str, kind: str, label: str = "", **attrs: Any) -> SpanHandle:
+        """Open a span; use as a context manager."""
+        return SpanHandle(self, lane, kind, label, attrs)
+
+    def emit(
+        self,
+        lane: str,
+        start: float,
+        end: float,
+        kind: str,
+        label: str = "",
+        attrs: dict | None = None,
+    ) -> None:
+        """Record a pre-timed interval (e.g. a worker-measured chunk)."""
+        self._record(
+            lane=lane,
+            start=start,
+            end=end,
+            kind=kind,
+            label=label,
+            attrs=attrs or {},
+            span=self._new_id(),
+            parent=None,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Number of records emitted so far."""
+        return sum(self.counts.values())
+
+    def summary(self) -> str:
+        """One-line human-readable digest of what was recorded."""
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.counts.items()))
+        where = self.path or ("callback" if self._sink_fn else "memory")
+        return f"{self.total} spans -> {where} ({kinds or 'none'})"
+
+    def close(self) -> None:
+        """Release the file descriptor (idempotent)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    # -- internals ------------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        with self._lock:
+            self._next += 1
+            return self._next
+
+    def _record(
+        self,
+        lane: str,
+        start: float,
+        end: float,
+        kind: str,
+        label: str,
+        attrs: dict,
+        span: int,
+        parent: int | None,
+    ) -> None:
+        rec: dict[str, Any] = {
+            "lane": lane,
+            "start": start,
+            "end": max(end, start),
+            "kind": kind,
+            "label": label,
+            "span": span,
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
+        }
+        if parent is not None:
+            rec["parent"] = parent
+        if attrs:
+            rec["attrs"] = attrs
+        with self._lock:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            if self.keep_records:
+                self.records.append(rec)
+            fd = self._fd
+        if fd is not None:
+            line = json.dumps(rec, separators=(",", ":"), default=str) + "\n"
+            os.write(fd, line.encode("utf-8"))
+        if self._sink_fn is not None:
+            self._sink_fn(rec)
+
+
+# -- the process-global tracer ------------------------------------------------
+
+_global: Tracer | None = None
+_global_lock = threading.Lock()
+
+
+def configure(
+    sink: str | os.PathLike | Callable[[dict], None] | None = None,
+    keep_records: bool | None = None,
+) -> Tracer:
+    """Install (and return) the process-global tracer.
+
+    Replaces any previously configured tracer, closing its file sink.
+    """
+    global _global
+    tracer = Tracer(sink, keep_records=keep_records)
+    with _global_lock:
+        old, _global = _global, tracer
+    if old is not None:
+        old.close()
+    return tracer
+
+
+def disable() -> None:
+    """Tear down the global tracer; :func:`span` reverts to no-ops."""
+    global _global
+    with _global_lock:
+        old, _global = _global, None
+    if old is not None:
+        old.close()
+
+
+def enabled() -> bool:
+    """Whether a global tracer is installed."""
+    return _global is not None
+
+
+def get_tracer() -> Tracer | None:
+    """The global tracer, or ``None`` when tracing is disabled."""
+    return _global
+
+
+def span(lane: str, kind: str, label: str = "", **attrs: Any):
+    """A span on the global tracer, or the shared no-op when disabled.
+
+    This is the function instrumented code calls; keep its disabled path
+    on the hot-loop budget: one global read, one branch.
+    """
+    tracer = _global
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(lane, kind, label, **attrs)
+
+
+def emit(
+    lane: str,
+    start: float,
+    end: float,
+    kind: str,
+    label: str = "",
+    attrs: dict | None = None,
+) -> None:
+    """Record a pre-timed interval on the global tracer (no-op if off)."""
+    tracer = _global
+    if tracer is not None:
+        tracer.emit(lane, start, end, kind, label, attrs)
+
+
+def iter_file(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield validated records from a JSON-lines trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield validate_record(json.loads(line))
+
+
+# Honour REPRO_TRACE at import: any process that touches the obs layer
+# (including forked/spawned pool workers) starts exporting immediately.
+_env_path = os.environ.get(ENV_VAR)
+if _env_path:
+    configure(_env_path)
+del _env_path

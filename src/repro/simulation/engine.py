@@ -22,6 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs import trace as obs_trace
+
 __all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt", "AllOf", "AnyOf"]
 
 
@@ -290,6 +292,18 @@ class Environment:
         fires, returning its value, raising if it failed or the queue
         drains first), or ``None`` (drain the queue).
         """
+        if not obs_trace.enabled():
+            return self._run(until)
+        # Span timestamps are wall clock; the simulated interval covered
+        # goes into the attrs (events dispatched, virtual clock reached).
+        seq0 = self._seq
+        now0 = self._now
+        with obs_trace.span("sim", "env-run") as sp:
+            result = self._run(until)
+            sp.set(events=self._seq - seq0, sim_from=now0, sim_to=self._now)
+        return result
+
+    def _run(self, until: float | Event | None) -> Any:
         if isinstance(until, Event):
             sentinel = until
             while not sentinel.triggered or not sentinel.processed:

@@ -43,6 +43,8 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..core.breakdown import OverheadBreakdown
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .simulator import SimConfig, simulate
 from .stats import SimulationResult
 
@@ -62,6 +64,19 @@ CACHE_SCHEMA = 1
 #: Upper bound on seeds per chunk: small enough that progress callbacks
 #: stay responsive, large enough to amortize pickling and IPC.
 _MAX_CHUNK = 16
+
+# Batch-runtime counters: chunk/run volume plus result-cache traffic, so
+# a sweep's parallel efficiency and cache hit rate show up in
+# ``repro metrics`` snapshots without extra plumbing.
+_CHUNKS = obs_metrics.REGISTRY.counter(
+    "pool_chunks_total", "simulation chunks executed by the batch pool"
+)
+_RUNS = obs_metrics.REGISTRY.counter(
+    "pool_runs_total", "simulations executed (cache misses) by the batch pool"
+)
+_CACHE_HITS = obs_metrics.REGISTRY.counter(
+    "pool_cache_hits_total", "simulations served from the on-disk result cache"
+)
 
 
 # -- worker sizing and chunking -------------------------------------------------
@@ -292,6 +307,8 @@ def run_simulations(
                 results[i] = hit
             else:
                 pending.append((i, cfg))
+        if len(pending) < total:
+            _CACHE_HITS.inc(total - len(pending))
         if progress is not None and len(pending) < total:
             progress(total - len(pending), total)
     else:
@@ -317,6 +334,20 @@ def run_simulations(
             if cache is not None and configs[i].trace is None:
                 cache.put(config_key(configs[i]), res)
         done += len(ran)
+        _CHUNKS.inc()
+        _RUNS.inc(len(ran))
+        if obs_trace.enabled():
+            # The chunk was timed inside the worker; emit it as a
+            # pre-timed interval ending now on the tracer's clock.
+            end = time.monotonic()
+            obs_trace.emit(
+                "pool",
+                end - seconds,
+                end,
+                "chunk",
+                label=f"chunk-{chunk_no}",
+                attrs={"size": len(ran), "seconds": seconds, "pid": pid},
+            )
         if timings is not None:
             timings.append(
                 ChunkTiming(chunk=chunk_no, size=len(ran), seconds=seconds, worker_pid=pid)

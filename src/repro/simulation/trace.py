@@ -6,13 +6,27 @@ checkpoint writes), NVM (the NDP's compress/drain activity) and I/O (the
 global-I/O write in flight).  :class:`TimelineRecorder` captures the same
 lanes from a simulation run and :func:`render_ascii` draws them, giving a
 qualitative reproduction of the figure from actual simulated events.
+
+Exported records use the repo-wide span schema
+(:data:`repro.obs.trace.SPAN_FIELDS`), so simulator timelines and live
+runtime traces feed the same tooling; :func:`records_to_spans` restores a
+recorder from exported records (``spans_to_records`` round-trips).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "TimelineRecorder", "render_ascii", "spans_to_records", "write_csv"]
+from ..obs.trace import SPAN_FIELDS, validate_record
+
+__all__ = [
+    "Span",
+    "TimelineRecorder",
+    "render_ascii",
+    "spans_to_records",
+    "records_to_spans",
+    "write_csv",
+]
 
 
 @dataclass(frozen=True)
@@ -63,22 +77,38 @@ class TimelineRecorder:
 
 
 def spans_to_records(recorder: TimelineRecorder) -> list[dict]:
-    """Spans as plain dicts (for JSON export / external plotting)."""
-    return [
-        {
-            "lane": s.lane,
-            "start": s.start,
-            "end": s.end,
-            "kind": s.kind,
-            "label": s.label,
-        }
-        for s in recorder.spans
-    ]
+    """Spans as plain dicts in :data:`SPAN_FIELDS` order.
+
+    Every record validates against the shared span schema, so the export
+    is directly consumable by ``tools/check_trace.py`` and the rest of
+    the ``repro.obs`` tooling.
+    """
+    return [{name: getattr(s, name) for name in SPAN_FIELDS} for s in recorder.spans]
+
+
+def records_to_spans(records) -> TimelineRecorder:
+    """Rebuild a recorder from exported records (inverse of export).
+
+    Accepts any iterable of schema-conformant dicts — the output of
+    :func:`spans_to_records`, or a runtime trace loaded via
+    :func:`repro.obs.trace.iter_file` (extra fields like ``attrs`` and
+    ``pid`` are ignored).  ``records_to_spans(spans_to_records(r))``
+    reproduces ``r.spans`` exactly.
+    """
+    recorder = TimelineRecorder()
+    for rec in records:
+        validate_record(rec)
+        recorder.spans.append(
+            Span(rec["lane"], rec["start"], rec["end"], rec["kind"], rec["label"])
+        )
+    return recorder
 
 
 def write_csv(recorder: TimelineRecorder, path) -> int:
-    """Write the timeline as CSV (lane,start,end,kind,label); returns rows.
+    """Write the timeline as CSV; returns the row count.
 
+    The header is exactly :data:`SPAN_FIELDS`, in schema order — the
+    column layout is deterministic and shared with the JSONL exports.
     The CSV round-trips into any plotting tool for a publication-quality
     Figure 3 (the ASCII renderer is for terminals).
     """
@@ -88,7 +118,7 @@ def write_csv(recorder: TimelineRecorder, path) -> int:
     path = Path(path)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["lane", "start", "end", "kind", "label"])
+        writer.writerow(SPAN_FIELDS)
         for s in recorder.spans:
             writer.writerow([s.lane, f"{s.start:.6f}", f"{s.end:.6f}", s.kind, s.label])
     return len(recorder.spans)

@@ -1,10 +1,44 @@
 """Runtime metrics collection."""
 
+import math
+
 import pytest
 
 from repro.ckpt.backends import IOStore, LocalStore
-from repro.ckpt.metrics import RuntimeMetrics
+from repro.ckpt.metrics import RuntimeMetrics, StageCounter
 from repro.ckpt.multilevel import MultilevelCheckpointer
+
+
+class TestStageCounter:
+    def test_rate(self):
+        s = StageCounter()
+        s.add(1000, 0.5)
+        assert s.rate == 2000.0
+        assert s.ops == 1
+
+    def test_rate_empty_is_zero(self):
+        assert StageCounter().rate == 0.0
+
+    def test_rate_zero_seconds_nonzero_bytes_is_inf(self):
+        s = StageCounter()
+        s.add(1000, 0.0)
+        assert s.rate == math.inf  # not a silent 0.0
+
+    def test_as_dict(self):
+        s = StageCounter()
+        s.add(100, 0.1)
+        d = s.as_dict()
+        assert d == {"bytes": 100, "seconds": pytest.approx(0.1), "ops": 1,
+                     "rate": pytest.approx(1000.0)}
+
+    def test_timed_charges_on_exception(self):
+        s = StageCounter()
+        with pytest.raises(RuntimeError):
+            with s.timed(50):
+                raise RuntimeError("x")
+        assert s.bytes == 50
+        assert s.seconds > 0.0
+        assert s.ops == 1
 
 
 class TestRuntimeMetrics:
@@ -27,6 +61,22 @@ class TestRuntimeMetrics:
         m = RuntimeMetrics()
         m.checkpoints = 3
         assert "3 checkpoints" in m.summary()
+
+    def test_timed_charges_on_exception(self):
+        m = RuntimeMetrics()
+        with pytest.raises(RuntimeError):
+            with m.timed("io"):
+                raise RuntimeError("x")
+        assert m.blocked_seconds["io"] > 0.0
+
+    def test_as_dict(self):
+        m = RuntimeMetrics()
+        m.checkpoints = 2
+        m.blocked_seconds["local"] = 0.5
+        d = m.as_dict()
+        assert d["checkpoints"] == 2
+        assert d["blocked_seconds"]["local"] == 0.5
+        assert d["total_blocked"] == pytest.approx(0.5)
 
 
 class TestCheckpointerIntegration:

@@ -79,6 +79,41 @@ class TestDraining:
         assert local.locked("app") == []
 
 
+class TestBackpressure:
+    def test_slow_writer_stalls_producer(self, tmp_path):
+        # A bounded 1-slot frame queue, a writer throttled far below the
+        # compressor's rate, and an incompressible payload: the compressor
+        # must fill the queue, block, and be counted as stalled.
+        import numpy as np
+
+        local = LocalStore(tmp_path / "nvm", capacity=4)
+        io = IOStore(tmp_path / "pfs", throttle_bps=200_000)
+        blob = np.random.default_rng(0).integers(0, 256, 262_144, np.uint8).tobytes()
+        put(local, 1, {0: blob})
+        with NDPDrainDaemon(
+            "app", local, io, codec=GZIP, block_size=65536,
+            queue_depth=1, poll_interval=0.002,
+        ) as d:
+            assert d.wait_idle(60)
+        stats = d.stats
+        assert stats.checkpoints_drained == 1
+        assert stats.stalls > 0
+        assert stats.stall_seconds > 0.0
+
+    def test_stage_accounting_consistent(self, stores, small_blob):
+        local, io = stores
+        put(local, 1, {0: small_blob})
+        with NDPDrainDaemon("app", local, io, codec=GZIP, poll_interval=0.002) as d:
+            assert d.wait_idle(10)
+        stats = d.stats
+        # The end-to-end drain stage is charged uncompressed bytes.
+        assert stats.drain.bytes == stats.bytes_in == len(small_blob)
+        assert stats.compress.bytes == stats.bytes_out
+        d = stats.as_dict()
+        assert d["stalls"] == 0
+        assert d["drain"]["bytes"] == len(small_blob)
+
+
 class TestPauseResume:
     def test_paused_daemon_does_not_drain(self, stores, small_blob):
         local, io = stores

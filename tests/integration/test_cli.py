@@ -69,3 +69,45 @@ class TestReport:
         assert "## Table 1" in body
         # Slow experiments excluded.
         assert "Table 2 (measured)" not in body
+
+
+class TestTrace:
+    def test_wraps_command_and_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import trace as obs_trace
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--out", str(out), "experiment", "table1"]) == 0
+        assert not obs_trace.enabled()  # disabled again on the way out
+        assert "trace:" in capsys.readouterr().err
+        # table1 is analytic-only; the file must exist and validate even
+        # if no instrumented path ran.
+        obs_trace.validate_file(out)
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_rejects_self_nesting(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "trace", "list"])
+
+
+class TestMetrics:
+    def test_prints_drift_tables(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "drift.json"
+        assert main(
+            ["metrics", "--steps", "2", "--no-breakdown", "--json", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "compress rate" in text
+        assert "drain rate" in text
+        assert "blocked local s/ckpt" in text
+        data = json.loads(out.read_text())
+        assert {"params", "compression", "reports", "metrics"} <= set(data)
+
+    def test_prometheus_export(self, capsys):
+        assert main(["metrics", "--steps", "2", "--no-breakdown", "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE ndp_bytes_in gauge" in text

@@ -1,0 +1,212 @@
+"""Structured tracing: spans, schema validation, JSONL export."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    """Every test starts and ends with tracing disabled."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null(self):
+        assert not trace.enabled()
+        assert trace.span("a", "b") is trace.NULL_SPAN
+        assert trace.span("c", "d", x=1) is trace.NULL_SPAN
+
+    def test_null_span_is_noop_context(self):
+        with trace.span("a", "b") as sp:
+            assert sp.set(foo=1) is sp
+
+    def test_emit_is_noop(self):
+        trace.emit("a", 0.0, 1.0, "b")  # must not raise
+
+    def test_get_tracer_none(self):
+        assert trace.get_tracer() is None
+
+
+class TestInMemory:
+    def test_span_records_core_fields(self):
+        tracer = trace.configure()
+        with trace.span("ckpt", "commit", label="ckpt-1", bytes=42):
+            pass
+        (rec,) = tracer.records
+        assert rec["lane"] == "ckpt"
+        assert rec["kind"] == "commit"
+        assert rec["label"] == "ckpt-1"
+        assert rec["end"] >= rec["start"]
+        assert rec["attrs"] == {"bytes": 42}
+        assert rec["pid"] == os.getpid()
+        trace.validate_record(rec)
+
+    def test_set_updates_attrs(self):
+        tracer = trace.configure()
+        with trace.span("a", "k") as sp:
+            sp.set(level="local", ckpt=3)
+        assert tracer.records[0]["attrs"] == {"level": "local", "ckpt": 3}
+
+    def test_nesting_records_parent(self):
+        tracer = trace.configure()
+        with trace.span("a", "outer"):
+            with trace.span("a", "inner"):
+                pass
+        inner, outer = tracer.records  # inner closes first
+        assert inner["kind"] == "inner"
+        assert inner["parent"] == outer["span"]
+        assert "parent" not in outer
+
+    def test_sibling_threads_do_not_nest(self):
+        tracer = trace.configure()
+        done = threading.Event()
+
+        def child():
+            with trace.span("t", "child"):
+                pass
+            done.set()
+
+        with trace.span("t", "parent"):
+            t = threading.Thread(target=child)
+            t.start()
+            t.join()
+        assert done.is_set()
+        child_rec = next(r for r in tracer.records if r["kind"] == "child")
+        assert "parent" not in child_rec
+
+    def test_emit_pre_timed(self):
+        tracer = trace.configure()
+        trace.emit("pool", 1.0, 3.5, "chunk", label="chunk-0", attrs={"size": 4})
+        (rec,) = tracer.records
+        assert rec["start"] == 1.0 and rec["end"] == 3.5
+        trace.validate_record(rec)
+
+    def test_exception_still_records(self):
+        tracer = trace.configure()
+        with pytest.raises(RuntimeError):
+            with trace.span("a", "boom"):
+                raise RuntimeError("x")
+        assert tracer.records[0]["kind"] == "boom"
+
+    def test_counts_and_summary(self):
+        tracer = trace.configure()
+        for _ in range(3):
+            with trace.span("a", "k"):
+                pass
+        assert tracer.counts == {"k": 3}
+        assert tracer.total == 3
+        assert "3 spans" in tracer.summary()
+
+    def test_configure_replaces(self):
+        t1 = trace.configure()
+        t2 = trace.configure()
+        assert trace.get_tracer() is t2 is not t1
+
+
+class TestFileSink:
+    def test_jsonl_lines_validate(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.span("ckpt", "commit", ckpt=1):
+            pass
+        trace.emit("pool", 0.0, 1.0, "chunk")
+        trace.disable()
+        assert trace.validate_file(path) == 2
+        recs = list(trace.iter_file(path))
+        assert [r["kind"] for r in recs] == ["commit", "chunk"]
+
+    def test_file_sink_keeps_no_records_by_default(self, tmp_path):
+        tracer = trace.configure(tmp_path / "t.jsonl")
+        with trace.span("a", "k"):
+            pass
+        assert tracer.records == []
+        assert tracer.total == 1
+
+    def test_callable_sink(self):
+        got = []
+        trace.configure(got.append)
+        with trace.span("a", "k"):
+            pass
+        assert got[0]["kind"] == "k"
+
+    def test_env_var_autoconfigures_subprocess(self, tmp_path):
+        out = tmp_path / "env.jsonl"
+        env = dict(os.environ, REPRO_TRACE=str(out))
+        env["PYTHONPATH"] = "src"
+        subprocess.run(
+            [sys.executable, "-c",
+             "from repro.obs import trace\n"
+             "with trace.span('x', 'envtest'):\n"
+             "    pass\n"],
+            check=True, env=env, cwd=os.getcwd(),
+        )
+        assert trace.validate_file(out) == 1
+        assert next(trace.iter_file(out))["kind"] == "envtest"
+
+
+class TestValidation:
+    def _good(self):
+        return {"lane": "a", "start": 0.0, "end": 1.0, "kind": "k", "label": ""}
+
+    def test_good_record_passes(self):
+        assert trace.validate_record(self._good()) is not None
+
+    def test_missing_field(self):
+        rec = self._good()
+        del rec["kind"]
+        with pytest.raises(trace.TraceSchemaError, match="kind"):
+            trace.validate_record(rec)
+
+    def test_bad_types(self):
+        rec = self._good()
+        rec["start"] = "0"
+        with pytest.raises(trace.TraceSchemaError, match="start"):
+            trace.validate_record(rec)
+
+    def test_end_before_start(self):
+        rec = self._good()
+        rec["end"] = -1.0
+        with pytest.raises(trace.TraceSchemaError, match="precedes"):
+            trace.validate_record(rec)
+
+    def test_empty_kind(self):
+        rec = self._good()
+        rec["kind"] = ""
+        with pytest.raises(trace.TraceSchemaError, match="non-empty"):
+            trace.validate_record(rec)
+
+    def test_unknown_field(self):
+        rec = self._good()
+        rec["bogus"] = 1
+        with pytest.raises(trace.TraceSchemaError, match="bogus"):
+            trace.validate_record(rec)
+
+    def test_optional_field_type_checked(self):
+        rec = self._good()
+        rec["attrs"] = "not a dict"
+        with pytest.raises(trace.TraceSchemaError, match="attrs"):
+            trace.validate_record(rec)
+
+    def test_not_a_dict(self):
+        with pytest.raises(trace.TraceSchemaError):
+            trace.validate_record([1, 2])
+
+    def test_validate_file_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(self._good()) + "\n{not json\n")
+        with pytest.raises(trace.TraceSchemaError, match="line 2"):
+            trace.validate_file(path)
+
+    def test_validate_file_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(self._good()) + "\n\n")
+        assert trace.validate_file(path) == 1

@@ -87,3 +87,41 @@ class TestExport:
         assert rows[1]["lane"] == "NDP"
         assert float(rows[1]["start"]) == 2.25
         assert rows[1]["label"] == "c3"
+
+    def test_csv_header_matches_obs_schema(self, tmp_path):
+        from repro.obs.trace import SPAN_FIELDS
+        from repro.simulation.trace import write_csv
+
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 1, "compute")
+        path = tmp_path / "t.csv"
+        write_csv(tr, path)
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(SPAN_FIELDS)
+
+    def test_records_validate_against_obs_schema(self):
+        from repro.obs.trace import validate_record
+        from repro.simulation.trace import spans_to_records
+
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0, 10, "compute", "a")
+        tr.emit("NDP", 2, 8, "drain")
+        for rec in spans_to_records(tr):
+            validate_record(rec)
+
+    def test_records_to_spans_round_trip(self):
+        from repro.simulation.trace import records_to_spans, spans_to_records
+
+        tr = TimelineRecorder()
+        tr.emit("HOST", 0.0, 10.5, "compute", "a")
+        tr.emit("NDP", 2.25, 8.0, "drain")
+        rebuilt = records_to_spans(spans_to_records(tr))
+        assert rebuilt.spans == tr.spans
+        assert rebuilt.lanes() == tr.lanes()
+
+    def test_records_to_spans_rejects_bad_record(self):
+        from repro.obs.trace import TraceSchemaError
+        from repro.simulation.trace import records_to_spans
+
+        with pytest.raises(TraceSchemaError):
+            records_to_spans([{"lane": "HOST", "start": 0}])

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validate a JSON-lines trace file against the repro span schema.
+
+Every line must be a JSON object carrying the five core span fields
+(``lane``, ``start``, ``end``, ``kind``, ``label``) with well-typed
+values and ``end >= start``; the optional runtime fields (``attrs``,
+``span``, ``parent``, ``pid``, ``thread``) are type-checked too, and
+unknown fields are rejected.  Both live-runtime traces (``repro trace``,
+``REPRO_TRACE=...``) and exported simulator timelines conform.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace.py TRACE.jsonl [--min-records N]
+
+Exit status 0 when the file validates (and holds at least
+``--min-records`` records), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.trace import TraceSchemaError, validate_file  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSON-lines trace file")
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless the file holds at least N valid records",
+    )
+    args = parser.parse_args(argv)
+    try:
+        count = validate_file(args.path)
+    except OSError as exc:
+        print(f"check_trace: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except TraceSchemaError as exc:
+        print(f"check_trace: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if count < args.min_records:
+        print(
+            f"check_trace: {args.path}: only {count} records "
+            f"(need >= {args.min_records})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_trace: {args.path}: {count} records OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
