@@ -4,7 +4,7 @@
 PY      ?= python
 PYTEST   = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test test-fast smoke bench-parallel bench-runtime bench-obs metrics-demo report
+.PHONY: test test-fast smoke bench-parallel bench-runtime bench-obs bench-sim metrics-demo report
 
 ## Full test suite (tier-1 gate).
 test:
@@ -23,6 +23,8 @@ smoke:
 		--seeds 4 --mttis 3 -o /tmp/bench_parallel_smoke.json
 	PYTHONPATH=src $(PY) benchmarks/record_runtime.py \
 		--quick -o /tmp/bench_runtime_smoke.json
+	PYTHONPATH=src $(PY) benchmarks/record_fastpath.py \
+		--quick -o /tmp/bench_fastpath_smoke.json
 
 ## Full-size pool speedup recording (writes BENCH_parallel_pool.json).
 bench-parallel:
@@ -46,6 +48,17 @@ bench-obs:
 		PYTHONPATH=src $(PY) benchmarks/record_obs.py --check; \
 	else \
 		PYTHONPATH=src $(PY) benchmarks/record_obs.py; \
+	fi
+
+## Vectorized fastpath engine vs the event-driven simulator: records
+## BENCH_sim_fastpath.json (>=10x single-worker floor) on first run;
+## afterwards fails if the speedup regresses more than 40% vs the
+## recording or ever falls below the 10x floor.
+bench-sim:
+	@if [ -f BENCH_sim_fastpath.json ]; then \
+		PYTHONPATH=src $(PY) benchmarks/record_fastpath.py --check; \
+	else \
+		PYTHONPATH=src $(PY) benchmarks/record_fastpath.py; \
 	fi
 
 ## Run the calibrated C/R demo and print measured-vs-model drift tables.

@@ -7,6 +7,7 @@ Usage::
     python -m repro experiment table2 -o source=paper
     python -m repro experiment figure8 --json fig8.json
     python -m repro experiment validation --jobs 4 --no-cache
+    python -m repro experiment validation --engine des
     python -m repro all --skip-slow
     python -m repro report -o report.md --skip-slow
     python -m repro calibrate
@@ -47,11 +48,12 @@ SLOW_EXPERIMENTS = (
 
 
 def _runtime_kwargs(name: str, args: argparse.Namespace) -> dict[str, object]:
-    """Batch-runtime options (``--jobs``/``--no-cache``) an experiment accepts.
+    """Batch-runtime options (``--jobs``/``--no-cache``/``--engine``) an
+    experiment accepts.
 
-    Experiments opt in by taking ``jobs``/``cache`` keyword parameters
-    (the Monte-Carlo ones do); everything else runs untouched, so the
-    flags are safe to pass globally.
+    Experiments opt in by taking ``jobs``/``cache``/``engine`` keyword
+    parameters (the Monte-Carlo ones do); everything else runs untouched,
+    so the flags are safe to pass globally.
     """
     import inspect
 
@@ -67,6 +69,9 @@ def _runtime_kwargs(name: str, args: argparse.Namespace) -> dict[str, object]:
         from .simulation.pool import ResultCache
 
         out["cache"] = ResultCache.default()
+    engine = getattr(args, "engine", None)
+    if engine is not None and "engine" in accepted:
+        out["engine"] = engine
     return out
 
 
@@ -81,6 +86,12 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="skip the on-disk simulation result cache",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["des", "fast"],
+        help="simulation engine for Monte-Carlo experiments: the vectorized "
+        "batch fastpath (default where supported) or the event-level DES",
     )
 
 

@@ -33,7 +33,13 @@ from .model import (
     single_level,
 )
 from .ndp_sizing import NDPSizing, select_utility, size_ndp, sizing_table
-from .optimizer import optimal_host, optimal_local_interval, optimal_ratio, sweep_ratio
+from .optimizer import (
+    clear_cache,
+    optimal_host,
+    optimal_local_interval,
+    optimal_ratio,
+    sweep_ratio,
+)
 from .projection import (
     EXASCALE,
     TITAN,
@@ -78,6 +84,7 @@ __all__ = [
     "optimal_host",
     "optimal_local_interval",
     "sweep_ratio",
+    "clear_cache",
     "MachineSpec",
     "TITAN",
     "EXASCALE",

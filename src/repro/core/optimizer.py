@@ -23,7 +23,40 @@ __all__ = [
     "optimal_host",
     "optimal_local_interval",
     "golden_section_max",
+    "clear_cache",
 ]
+
+#: Shared memo of host-model evaluations, keyed by the full scenario
+#: (params, ratio, compression, accounting).  :func:`sweep_ratio`,
+#: :func:`optimal_ratio` and :func:`optimal_host` all consult it, so the
+#: fig4 -> fig5 pipeline — which sweeps ratios and then re-brackets the
+#: optimum over the very same scenarios — evaluates each ratio once.
+#: All key parts are frozen dataclasses of scalars, hence hashable.
+_MEMO: dict[tuple, ModelResult] = {}
+
+#: Memo size cap: one full fig5 matrix is a few thousand entries; wipe
+#: wholesale well before memory could matter (re-evaluation is cheap).
+_MEMO_MAX = 65536
+
+
+def _evaluate(
+    params: CRParameters,
+    ratio: int,
+    compression: CompressionSpec,
+    rerun_accounting: str,
+) -> ModelResult:
+    key = (params, int(ratio), compression, rerun_accounting)
+    result = _MEMO.get(key)
+    if result is None:
+        if len(_MEMO) >= _MEMO_MAX:
+            _MEMO.clear()
+        result = _MEMO[key] = multilevel_host(params, ratio, compression, rerun_accounting)
+    return result
+
+
+def clear_cache() -> None:
+    """Drop every memoized host-model evaluation (for tests/benchmarks)."""
+    _MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -45,9 +78,13 @@ def sweep_ratio(
     compression: CompressionSpec = NO_COMPRESSION,
     rerun_accounting: str = "paper",
 ) -> list[RatioSweepPoint]:
-    """Evaluate *Local + I/O-Host* at each ratio (Figure 4's x-axis)."""
+    """Evaluate *Local + I/O-Host* at each ratio (Figure 4's x-axis).
+
+    Evaluations go through the shared memo, so a sweep followed by
+    :func:`optimal_ratio` on the same scenario never re-evaluates a ratio.
+    """
     return [
-        RatioSweepPoint(r, multilevel_host(params, r, compression, rerun_accounting))
+        RatioSweepPoint(r, _evaluate(params, r, compression, rerun_accounting))
         for r in ratios
     ]
 
@@ -65,18 +102,15 @@ def optimal_ratio(
     time.  We exploit unimodality with a doubling bracket followed by a
     ternary search, falling back to a linear scan of the final bracket, so
     the search is exact and cheap even when the optimum is large.
-    Evaluations are memoized: the bracket, ternary and scan phases revisit
-    ratios, and each model evaluation walks the full failure/rerun terms.
+    Evaluations go through the module-level memo shared with
+    :func:`sweep_ratio`/:func:`optimal_host`: the bracket, ternary and
+    scan phases revisit ratios, and the fig4 -> fig5 pipeline revisits
+    whole scenarios; each model evaluation walks the full failure/rerun
+    terms exactly once per scenario (reset via :func:`clear_cache`).
     """
-    cache: dict[int, float] = {}
 
     def eff(r: int) -> float:
-        e = cache.get(r)
-        if e is None:
-            e = cache[r] = multilevel_host(
-                params, r, compression, rerun_accounting
-            ).efficiency
-        return e
+        return _evaluate(params, r, compression, rerun_accounting).efficiency
 
     # Doubling bracket: find hi with eff(hi) <= eff(hi/2).
     lo, hi = 1, 2
@@ -103,7 +137,7 @@ def optimal_host(
 ) -> ModelResult:
     """*Local + I/O-Host* evaluated at its empirically optimal ratio."""
     r = optimal_ratio(params, compression, rerun_accounting)
-    return multilevel_host(params, r, compression, rerun_accounting)
+    return _evaluate(params, r, compression, rerun_accounting)
 
 
 def optimal_local_interval(

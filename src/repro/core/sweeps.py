@@ -22,7 +22,12 @@ import numpy as np
 from .configs import NO_COMPRESSION, CompressionSpec
 from .daly import daly_interval
 
-__all__ = ["SweepGrid", "ndp_efficiency_grid", "host_efficiency_grid"]
+__all__ = [
+    "SweepGrid",
+    "ndp_efficiency_grid",
+    "host_efficiency_grid",
+    "host_breakdown_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -31,9 +36,13 @@ class SweepGrid:
 
     Every field accepts a scalar or a numpy array; arrays broadcast
     against each other under normal numpy rules.  Semantics match
-    :class:`~repro.core.configs.CRParameters` (``local_interval=None``
-    behaviour — Daly-optimal per element — is the only supported mode, as
-    sweeps vary the inputs the fixed interval was derived from).
+    :class:`~repro.core.configs.CRParameters`: ``local_interval=None``
+    (the default) selects the Daly-optimal compute interval per element,
+    while an explicit value (scalar or array) pins ``tau`` the way a
+    fixed ``CRParameters.local_interval`` does — the figure-4/5 harness
+    sweeps ratios at the paper's fixed 150 s interval.
+    ``restart_overhead`` is the fixed per-recovery overhead added to both
+    restore legs (default 0, matching ``CRParameters``).
     """
 
     mtti: np.ndarray | float
@@ -41,6 +50,8 @@ class SweepGrid:
     local_bandwidth: np.ndarray | float
     io_bandwidth: np.ndarray | float
     p_local: np.ndarray | float
+    local_interval: np.ndarray | float | None = None
+    restart_overhead: np.ndarray | float = 0.0
 
     def derived(self) -> tuple[np.ndarray, ...]:
         """(mtti, delta_l, tau, cycle, p) as broadcast arrays."""
@@ -48,7 +59,12 @@ class SweepGrid:
         size = np.asarray(self.checkpoint_size, dtype=float)
         bw_l = np.asarray(self.local_bandwidth, dtype=float)
         delta_l = size / bw_l
-        tau = np.asarray(daly_interval(delta_l, mtti), dtype=float)
+        if self.local_interval is None:
+            tau = np.asarray(daly_interval(delta_l, mtti), dtype=float)
+        else:
+            tau = np.asarray(self.local_interval, dtype=float)
+            if np.any(tau <= 0):
+                raise ValueError("local_interval must be positive")
         cycle = tau + delta_l
         p = np.asarray(self.p_local, dtype=float)
         return mtti, delta_l, tau, cycle, p
@@ -92,7 +108,8 @@ def ndp_efficiency_grid(
     elif rerun_accounting != "paper":
         raise ValueError(f"unknown rerun_accounting: {rerun_accounting!r}")
 
-    restore = p * delta_l + (1.0 - p) * t_restore
+    r0 = np.asarray(grid.restart_overhead, dtype=float)
+    restore = p * (delta_l + r0) + (1.0 - p) * (t_restore + r0)
     cost = restore + p * rerun_local + (1.0 - p) * rerun_io
     f = cost / mtti
     k = 1.0 + delta_l / tau
@@ -125,12 +142,79 @@ def host_efficiency_grid(
     elif rerun_accounting != "paper":
         raise ValueError(f"unknown rerun_accounting: {rerun_accounting!r}")
 
-    restore = p * delta_l + (1.0 - p) * t_restore
+    r0 = np.asarray(grid.restart_overhead, dtype=float)
+    restore = p * (delta_l + r0) + (1.0 - p) * (t_restore + r0)
     cost = restore + p * rerun_local + (1.0 - p) * rerun_io
     f = cost / mtti
     k = 1.0 + delta_l / tau + t_commit / (n * tau)
     eff = np.where(f < 1.0, (1.0 - f) / k, 0.0)
     return np.maximum(eff, 0.0)
+
+
+def host_breakdown_grid(
+    grid: SweepGrid,
+    ratio: np.ndarray | int,
+    compression: CompressionSpec = NO_COMPRESSION,
+    rerun_accounting: str = "paper",
+) -> dict[str, np.ndarray]:
+    """Seven-way overhead breakdown for *Local + I/O-Host* over the grid.
+
+    Vectorization of :func:`repro.core.model.multilevel_host` including
+    the :class:`~repro.core.breakdown.OverheadBreakdown` assembly — the
+    arithmetic mirrors the scalar ``_assemble`` operation for operation,
+    so each element is bit-identical to the scalar model's breakdown (the
+    figure-4 harness relies on that to swap per-ratio model calls for one
+    numpy pass).  Returns a dict with the seven component arrays (keys of
+    ``OverheadBreakdown.component_names()``) plus ``"efficiency"``, all
+    broadcast to the common shape of the grid and ``ratio``.
+
+    Infeasible elements (expected per-failure cost >= MTTI) follow the
+    scalar convention: zero compute/checkpoint fractions and the restore/
+    rerun terms normalized by the per-failure cost.
+    """
+    mtti, delta_l, tau, cycle, p = grid.derived()
+    t_commit, t_restore = _io_times(grid, compression)
+    n = np.asarray(ratio, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("ratio must be >= 1")
+    period = n * cycle + t_commit
+
+    rerun_local = (n * cycle * (cycle / 2.0) + t_commit * (t_commit / 2.0)) / period
+    rerun_io = period / 2.0
+    if rerun_accounting == "staleness":
+        rerun_io = rerun_io + t_commit + delta_l
+    elif rerun_accounting != "paper":
+        raise ValueError(f"unknown rerun_accounting: {rerun_accounting!r}")
+
+    r0 = np.asarray(grid.restart_overhead, dtype=float)
+    restore_local = p * (delta_l + r0)
+    restore_io = (1.0 - p) * (t_restore + r0)
+    rerun_local = p * rerun_local
+    rerun_io = (1.0 - p) * rerun_io
+
+    k = 1.0 + delta_l / tau + t_commit / (n * tau)
+    cost = restore_local + restore_io + rerun_local + rerun_io
+    f = cost / mtti
+    feasible = f < 1.0
+    # Mirror _assemble exactly: compute = 1 / (k / (1 - f)), guarded
+    # against the infeasible elements where 1 - f is <= 0; there the
+    # restore/rerun fractions are normalized by the per-failure cost
+    # instead of the MTTI, exactly as the scalar zero-breakdown does.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        compute = np.where(feasible, 1.0 / (k / (1.0 - f)), 0.0)
+    denom = np.where(feasible, mtti, cost)
+    out = {
+        "efficiency": np.maximum(compute, 0.0),
+        "compute": np.maximum(compute, 0.0),
+        "checkpoint_local": np.where(feasible, (delta_l / tau) * compute, 0.0),
+        "checkpoint_io": np.where(feasible, (t_commit / (n * tau)) * compute, 0.0),
+        "restore_local": restore_local / denom,
+        "restore_io": restore_io / denom,
+        "rerun_local": rerun_local / denom,
+        "rerun_io": rerun_io / denom,
+    }
+    shape = np.broadcast_shapes(*(a.shape for a in out.values()))
+    return {key: np.broadcast_to(arr, shape) for key, arr in out.items()}
 
 
 def optimal_host_grid(

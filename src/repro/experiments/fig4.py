@@ -4,17 +4,39 @@ Sweeps the ratio for the *Local + I/O-Host* configuration and reports the
 four overhead components both normalized to compute time (Fig. 4a) and as
 a percentage of total execution time (Fig. 4b), exhibiting the
 checkpoint-time vs rerun-time trade-off and the interior optimum.
+
+The sweep evaluates every ratio in **one vectorized pass** over
+:func:`repro.core.sweeps.host_breakdown_grid`, whose arithmetic mirrors
+the scalar model operation for operation — the rows are bit-identical to
+the historical per-ratio :func:`repro.core.optimizer.sweep_ratio` loop
+(regression-tested in ``tests/experiments/test_fig45_grid.py``).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..core.breakdown import OverheadBreakdown
 from ..core.configs import CRParameters, paper_parameters
-from ..core.optimizer import sweep_ratio
+from ..core.sweeps import SweepGrid, host_breakdown_grid
 from .common import ExperimentResult, TextTable
 
 __all__ = ["run", "DEFAULT_RATIOS"]
 
 DEFAULT_RATIOS = (1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+
+
+def _grid_of(params: CRParameters) -> SweepGrid:
+    """The one-element scenario grid matching ``params`` exactly."""
+    return SweepGrid(
+        mtti=params.mtti,
+        checkpoint_size=params.checkpoint_size,
+        local_bandwidth=params.local_bandwidth,
+        io_bandwidth=params.io_bandwidth,
+        p_local=params.p_local_recovery,
+        local_interval=params.local_interval,
+        restart_overhead=params.restart_overhead,
+    )
 
 
 def run(
@@ -26,7 +48,7 @@ def run(
     params = (paper_parameters() if params is None else params).with_(
         p_local_recovery=p_local
     )
-    points = sweep_ratio(params, list(ratios))
+    cols = host_breakdown_grid(_grid_of(params), np.asarray(ratios, dtype=float))
     table = TextTable(
         [
             "ratio",
@@ -40,12 +62,17 @@ def run(
         ]
     )
     rows = []
-    best = max(points, key=lambda pt: pt.efficiency)
-    for pt in points:
-        b = pt.result.breakdown
+    best_i = int(np.argmax(cols["efficiency"]))
+    for i, ratio in enumerate(ratios):
+        b = OverheadBreakdown(
+            **{
+                name: float(cols[name][i])
+                for name in OverheadBreakdown.component_names()
+            }
+        )
         table.add_row(
             [
-                pt.ratio,
+                ratio,
                 f"{b.compute:7.1%}",
                 f"{b.checkpoint_local:7.2%}",
                 f"{b.checkpoint_io:7.2%}",
@@ -55,9 +82,10 @@ def run(
                 f"{b.overhead:7.1%}",
             ]
         )
-        rows.append({"ratio": pt.ratio, **b.as_dict()})
+        rows.append({"ratio": ratio, **b.as_dict()})
+    best_eff = float(cols["efficiency"][best_i])
     note = (
-        f"\nOptimum at ratio {best.ratio}: progress rate {best.efficiency:.1%} "
+        f"\nOptimum at ratio {ratios[best_i]}: progress rate {best_eff:.1%} "
         "(checkpoint-I/O cost falls with the ratio, rerun-I/O cost rises; "
         "the total overhead has an interior minimum)"
     )
@@ -67,5 +95,5 @@ def run(
         f"(Local + I/O-Host, p_local={p_local:.0%})",
         rows=rows,
         text=table.render() + note,
-        headline={"optimal_ratio": best.ratio, "optimal_efficiency": best.efficiency},
+        headline={"optimal_ratio": ratios[best_i], "optimal_efficiency": best_eff},
     )

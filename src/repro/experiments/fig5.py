@@ -4,19 +4,30 @@ For *Local + I/O-Host* the optimal ratio is found empirically per
 (probability of local recovery, compression factor); for *Local +
 I/O-NDP* the ratio is fixed by drain bandwidth and depends only on the
 compression factor (Section 6.2's observation).
+
+The host optima come from :func:`repro.core.sweeps.optimal_host_grid`:
+one vectorized argmax over every (p_local, ratio) pair per compression
+factor, instead of a bracketed scalar search per cell.  The results are
+identical to the scalar :func:`repro.core.optimizer.optimal_ratio` path
+(regression-tested in ``tests/experiments/test_fig45_grid.py``).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..compression.study import paper_factor
 from ..core.configs import NO_COMPRESSION, paper_parameters
 from ..core.model import ndp_io_interval
-from ..core.optimizer import optimal_ratio
+from ..core.sweeps import SweepGrid, optimal_host_grid
 from .common import FIG6_APPS, ExperimentResult, TextTable, fig6_compression
 
 __all__ = ["run", "DEFAULT_P_LOCALS"]
 
 DEFAULT_P_LOCALS = (0.20, 0.40, 0.60, 0.80, 0.96)
+
+#: Ratio search ceiling, matching the scalar optimizer's default bracket.
+_MAX_RATIO = 2000
 
 
 def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
@@ -28,6 +39,15 @@ def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
     )
     factors["average (73%)"] = 0.728
 
+    grid = SweepGrid(
+        mtti=params.mtti,
+        checkpoint_size=params.checkpoint_size,
+        local_bandwidth=params.local_bandwidth,
+        io_bandwidth=params.io_bandwidth,
+        p_local=np.asarray(p_locals, dtype=float),
+        local_interval=params.local_interval,
+        restart_overhead=params.restart_overhead,
+    )
     table = TextTable(
         ["compression factor"]
         + [f"Host p_local={p:.0%}" for p in p_locals]
@@ -35,11 +55,9 @@ def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
     )
     rows = []
     for label, cf in factors.items():
-        host_ratios = []
-        for p in p_locals:
-            pp = params.with_(p_local_recovery=p)
-            comp = fig6_compression(cf, "host") if cf > 0 else NO_COMPRESSION
-            host_ratios.append(optimal_ratio(pp, comp))
+        comp = fig6_compression(cf, "host") if cf > 0 else NO_COMPRESSION
+        best_ratios, _ = optimal_host_grid(grid, comp, max_ratio=_MAX_RATIO)
+        host_ratios = [int(r) for r in best_ratios]
         ndp_comp = fig6_compression(cf, "ndp") if cf > 0 else NO_COMPRESSION
         ndp_ratio, _, _ = ndp_io_interval(params, ndp_comp)
         table.add_row([label] + host_ratios + [ndp_ratio])

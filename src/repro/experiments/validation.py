@@ -58,6 +58,7 @@ def run(
     params: CRParameters | None = None,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    engine: str = "fast",
 ) -> ExperimentResult:
     """Compare simulated and modeled efficiency for each case.
 
@@ -65,6 +66,12 @@ def run(
     ``jobs`` fans the per-case simulations out over the batch pool
     (``None`` = one worker per core) and ``cache`` consults/fills the
     on-disk result cache — neither changes any reported number.
+
+    ``engine`` selects the simulation engine: the vectorized
+    :mod:`~repro.simulation.fastpath` batch engine by default (it draws
+    from the same named RNG streams as the DES, so host/io-only/local-only
+    numbers are bit-identical and ndp agrees to Monte-Carlo noise), or
+    ``"des"`` to fall back to the event-level oracle.
     """
     base = paper_parameters() if params is None else params
     table = TextTable(["case", "regime", "model eff", "sim eff", "abs diff", "failures"])
@@ -80,6 +87,7 @@ def run(
                 compression=case.compression,
                 work=default_work(p, mttis),
                 seed=seed,
+                engine=engine,
             )
             for case, p in zip(cases, case_params)
         ],

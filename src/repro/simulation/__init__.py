@@ -10,6 +10,7 @@ from .bandwidth import SharedBandwidth, Transfer
 from .batch import MCResult, PairedComparison, compare_strategies, mc_run
 from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, simulate_cluster
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .fastpath import simulate_batch, simulate_fast, unsupported_reason
 from .pool import (
     ChunkTiming,
     ResultCache,
@@ -20,7 +21,7 @@ from .pool import (
     run_simulations,
 )
 from .rng import StreamFactory, exponential_interarrivals
-from .simulator import STRATEGIES, CRSimulation, SimConfig, default_work, simulate
+from .simulator import ENGINES, STRATEGIES, CRSimulation, SimConfig, default_work, simulate
 from .stats import SimulationResult, TimeAccounting
 from .storage import CheckpointRecord, NVMBuffer
 from .trace import Span, TimelineRecorder, render_ascii
@@ -55,8 +56,12 @@ __all__ = [
     "SimConfig",
     "CRSimulation",
     "simulate",
+    "simulate_batch",
+    "simulate_fast",
+    "unsupported_reason",
     "default_work",
     "STRATEGIES",
+    "ENGINES",
     "SimulationResult",
     "TimeAccounting",
     "CheckpointRecord",

@@ -95,6 +95,7 @@ def mc_run(
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
     timings: list[ChunkTiming] | None = None,
+    engine: str | None = None,
 ) -> MCResult:
     """Run ``config`` once per seed; summarize efficiency.
 
@@ -109,9 +110,16 @@ def mc_run(
     count, including both edge behaviors above.  ``cache`` is an optional
     :class:`~repro.simulation.pool.ResultCache` consulted per seed;
     ``progress``/``timings`` expose the pool's observability hooks.
+
+    ``engine`` overrides ``config.engine`` for the whole batch
+    (``"fast"`` runs each worker chunk as one vectorized
+    :mod:`~repro.simulation.fastpath` batch; ``"des"`` forces the
+    event-level oracle; ``None`` keeps whatever the config carries).
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine is not None:
+        config = replace(config, engine=engine)
     results = run_simulations(
         [replace(config, seed=s) for s in seeds],
         jobs=jobs,
@@ -164,6 +172,7 @@ def compare_strategies(
     jobs: int | None = 1,
     cache: ResultCache | None = None,
     progress: Callable[[int, int], None] | None = None,
+    engine: str | None = None,
 ) -> PairedComparison:
     """Paired comparison: same seed => same failure sequence for both.
 
@@ -176,10 +185,15 @@ def compare_strategies(
     ``jobs``/``cache``/``progress`` are forwarded to the batch pool; the
     2N runs (both configs, every seed) execute in one fan-out and the
     per-seed pairing is reassembled afterwards, bit-identical to the
-    serial loop.
+    serial loop.  ``engine`` overrides both configs' engine choice (same
+    semantics as :func:`mc_run`); pairing is preserved because the fast
+    engine draws from the identical named RNG streams as the DES.
     """
     if len(seeds) < 2:
         raise ValueError("a paired comparison needs at least 2 seeds")
+    if engine is not None:
+        config_a = replace(config_a, engine=engine)
+        config_b = replace(config_b, engine=engine)
     metric = transform or (lambda r: r.efficiency)
     configs = [replace(cfg, seed=s) for s in seeds for cfg in (config_a, config_b)]
     results = run_simulations(configs, jobs=jobs, cache=cache, progress=progress)

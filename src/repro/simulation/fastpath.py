@@ -1,0 +1,676 @@
+"""Vectorized renewal-segment Monte-Carlo engine for the C/R simulator.
+
+The discrete-event simulator (:mod:`repro.simulation.simulator`) walks one
+event at a time through a schedule that is *deterministic between
+failures*: compute intervals, local commits and I/O pushes repeat with a
+fixed super-period, and the NDP drain advances at a fixed rate whenever it
+is unpaused.  This module exploits that renewal structure: instead of
+yielding through every event, it advances **a whole batch of trajectories
+failure-to-failure in closed form** with numpy, inverting the piecewise-
+periodic timeline arithmetically to find each trajectory's position,
+accounting charges and checkpoint state at its next failure instant.
+
+Exactness contract (the DES stays the reference oracle):
+
+* ``host``, ``io-only`` and ``local-only`` are reproduced *exactly* —
+  every failure lands on the same schedule, consumes the same RNG draws
+  and produces the same seven-way accounting, up to float-association
+  noise (closed-form ``p0 + k*tau`` versus the DES's sequential adds).
+* ``ndp`` uses the drain-rate bound ``min(io_bw/(1-factor),
+  compress_rate)`` with the pause-during-local cadence, tracked in the
+  *unpaused-time* coordinate, so drain completions and the resulting
+  I/O snapshots match the DES cadence.  One documented corner differs:
+  when the newest checkpoint is already drained the DES may re-drain an
+  older *stale* record (see ``NVMBuffer.newest_undrained``); the fast
+  engine treats the drain as idle instead.  Stale drains only arise in
+  transients where the drain outruns production and almost never
+  complete before being superseded, so the divergence is confined to a
+  sub-percent fraction of seeds and vanishes in distribution (the
+  matched-seed suite in ``tests/simulation/test_fastpath.py`` pins the
+  agreement with paired confidence intervals).
+
+RNG stream compatibility: each trajectory draws from the same named
+:class:`~repro.simulation.rng.StreamFactory` streams as the DES
+(``"failures"`` for interarrivals, ``"recovery"`` for level draws), in
+blocks — numpy ``Generator`` draws of size ``n`` consume the stream
+identically to ``n`` scalar draws, so a fast-engine run sees *the same
+failure times and the same recovery decisions* as the DES run with the
+same seed.
+
+Configurations the closed form cannot represent fall back to the DES per
+config (and are counted on the ``fastpath_fallbacks_total`` metric):
+timeline tracing, an explicit partner level, and ``ndp`` with an NVM
+buffer of fewer than two checkpoint slots (where host writes can stall
+behind the drain lock).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.breakdown import OverheadBreakdown
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .rng import StreamFactory
+from .simulator import CRSimulation, SimConfig
+from .stats import SimulationResult
+
+__all__ = ["simulate_fast", "simulate_batch", "unsupported_reason"]
+
+_COMPONENTS = OverheadBreakdown.component_names()
+_I_COMPUTE = _COMPONENTS.index("compute")
+_I_CKPT_L = _COMPONENTS.index("checkpoint_local")
+_I_CKPT_IO = _COMPONENTS.index("checkpoint_io")
+_I_REST_L = _COMPONENTS.index("restore_local")
+_I_REST_IO = _COMPONENTS.index("restore_io")
+_I_RERUN_L = _COMPONENTS.index("rerun_local")
+_I_RERUN_IO = _COMPONENTS.index("rerun_io")
+
+_RUNNING, _RESTORING, _DONE = 0, 1, 2
+
+#: RNG draws buffered per trajectory per refill (a refill consumes the
+#: underlying stream exactly like that many scalar draws would).
+_BLOCK = 128
+
+#: Hard ceiling on outer iterations (each live trajectory advances at
+#: least one failure-or-completion window per iteration; a run needs
+#: roughly ``2.2 * failures`` of them).
+_MAX_ITER = 2_000_000
+
+_BATCHES = obs_metrics.REGISTRY.counter(
+    "fastpath_batches_total", "vectorized trajectory batches executed"
+)
+_TRAJECTORIES = obs_metrics.REGISTRY.counter(
+    "fastpath_trajectories_total", "trajectories simulated by the fast engine"
+)
+_FALLBACKS = obs_metrics.REGISTRY.counter(
+    "fastpath_fallbacks_total", "configs the fast engine handed back to the DES"
+)
+
+
+def unsupported_reason(config: SimConfig) -> str | None:
+    """Why ``config`` needs the event-level DES, or ``None`` if fast-capable."""
+    if config.trace is not None:
+        return "timeline tracing records individual events"
+    if config.partner_every:
+        return "explicit partner level interleaves extra RNG draws"
+    if config.strategy == "ndp" and config.nvm_capacity < 3:
+        # With one slot locked by the drain, a 2-slot buffer evicts the
+        # newest *completed* checkpoint to admit the next write, so local
+        # recovery can land on the old locked record (and a single slot
+        # can stall the host outright) — event-level dynamics the closed
+        # form does not model.
+        return "NVM buffer too small: eviction races the drain lock"
+    return None
+
+
+# -- batched engine ---------------------------------------------------------------
+
+
+class _FastBatch:
+    """One vectorized batch: trajectories sharing strategy/pause/replay mode.
+
+    Every per-scenario quantity (MTTI, work target, commit times, ratio,
+    Weibull shape, ...) is a per-trajectory array, so heterogeneous
+    configs batch together as long as the *schedule shape* matches.
+    """
+
+    def __init__(self, configs: Sequence[SimConfig]):
+        cfg0 = configs[0]
+        self.strategy = cfg0.strategy
+        self.pause = cfg0.pause_ndp_during_local
+        self.is_ndp = self.strategy == "ndp"
+        self.has_push = self.strategy == "host"
+        self.io_write = self.strategy == "io-only"
+        self.has_local_level = self.strategy != "io-only"
+        self.draws_recovery = self.strategy in ("host", "ndp")
+        if cfg0.failure_times is not None:
+            # Shared replay schedule (part of the batch group key).
+            self.times: np.ndarray | None = np.append(
+                np.asarray(cfg0.failure_times, dtype=float), np.inf
+            )
+        else:
+            self.times = None
+
+        B = self.B = len(configs)
+        p = [c.params for c in configs]
+        self.mtti = np.array([x.mtti for x in p])
+        self.W = np.array([c.work for c in configs])
+        self.tau = np.array([x.tau for x in p])
+        self.delta_l = np.array([x.local_commit_time for x in p])
+        self.delta_io = np.array(
+            [x.io_commit_time(c.compression) for x, c in zip(p, configs)]
+        )
+        self.restore_l = np.array(
+            [x.local_restore_time + x.restart_overhead for x in p]
+        )
+        self.restore_io = np.array(
+            [x.io_restore_time(c.compression) + x.restart_overhead for x, c in zip(p, configs)]
+        )
+        self.p_local = np.array([x.p_local_recovery for x in p])
+        self.ratio = np.array([c.ratio for c in configs], dtype=np.int64)
+        self.shape = np.array([c.failure_shape for c in configs])
+        # Drain wall time for one checkpoint while unpaused — the
+        # min(io_bw/(1-f), compress_rate) bound expressed as seconds.
+        self.t_raw = np.array(
+            [
+                max(
+                    c.compression.compressed_size(x.checkpoint_size) / x.io_bandwidth,
+                    x.checkpoint_size / c.compression.compress_rate,
+                )
+                for x, c in zip(p, configs)
+            ]
+        )
+        # Per-cycle commit charge: io-only commits straight to I/O.
+        self.delta_c = self.delta_io if self.io_write else self.delta_l
+        self.cycle = self.tau + self.delta_c
+        self.commit_cat = _I_CKPT_IO if self.io_write else _I_CKPT_L
+
+        # Trajectory state.
+        self.t = np.zeros(B)
+        self.pos = np.zeros(B)
+        self.R = np.zeros(B)  # positions below this are re-execution
+        self.attr_io = np.zeros(B, dtype=bool)  # rerun attributed to I/O level?
+        self.c = np.zeros(B, dtype=np.int64)  # checkpoint counter
+        self.state = np.zeros(B, dtype=np.int8)
+        self.acct = np.zeros((B, len(_COMPONENTS)))
+        self.L = np.full(B, -1.0)  # newest completed local ckpt position
+        self.S = np.full(B, -1.0)  # newest completed I/O snapshot position
+        self.next_fail = np.zeros(B)
+        self.decide_mask = np.zeros(B, dtype=bool)
+
+        # Counters mirrored onto SimulationResult.
+        self.failures = np.zeros(B, dtype=np.int64)
+        self.rec_l = np.zeros(B, dtype=np.int64)
+        self.rec_io = np.zeros(B, dtype=np.int64)
+        self.io_ck = np.zeros(B, dtype=np.int64)
+        self.loc_ck = np.zeros(B, dtype=np.int64)
+
+        # In-flight restore (state == _RESTORING).
+        self.rest_rem = np.zeros(B)
+        self.rest_cat_io = np.zeros(B, dtype=bool)
+        self.rollback = np.zeros(B)
+
+        # NDP drain state: busy flag, unpaused-seconds remaining, the
+        # position being drained, and the newest completed-but-undrained
+        # checkpoint position carried across windows (-1 = none).
+        self.dr_busy = np.zeros(B, dtype=bool)
+        self.dr_rho = np.zeros(B)
+        self.dr_q = np.full(B, -1.0)
+        self.dr_nu = np.full(B, -1.0)
+
+        # Named per-seed streams — identical to the DES's.
+        streams = [StreamFactory(c.seed) for c in configs]
+        self._rng_fail = [s.get("failures") for s in streams]
+        self._rng_rec = [s.get("recovery") for s in streams]
+        self._fail_buf = np.zeros((B, _BLOCK))
+        self._fail_ptr = np.full(B, _BLOCK, dtype=np.int64)
+        self._rec_buf = np.zeros((B, _BLOCK))
+        self._rec_ptr = np.full(B, _BLOCK, dtype=np.int64)
+        self._times_ptr = np.zeros(B, dtype=np.int64)
+
+    # -- RNG plumbing ------------------------------------------------------------
+
+    def _fail_draws(self, idx: np.ndarray) -> np.ndarray:
+        """One failure-interarrival draw per trajectory in ``idx``."""
+        need = idx[self._fail_ptr[idx] >= _BLOCK]
+        for i in need:
+            rng = self._rng_fail[i]
+            shape = self.shape[i]
+            if shape == 1.0:
+                self._fail_buf[i] = rng.exponential(self.mtti[i], size=_BLOCK)
+            else:
+                scale = self.mtti[i] / math.gamma(1.0 + 1.0 / shape)
+                self._fail_buf[i] = rng.weibull(shape, size=_BLOCK) * scale
+            self._fail_ptr[i] = 0
+        out = self._fail_buf[idx, self._fail_ptr[idx]]
+        self._fail_ptr[idx] += 1
+        return out
+
+    def _rec_draws(self, idx: np.ndarray) -> np.ndarray:
+        """One recovery-level uniform per trajectory in ``idx``."""
+        need = idx[self._rec_ptr[idx] >= _BLOCK]
+        for i in need:
+            self._rec_buf[i] = self._rng_rec[i].random(_BLOCK)
+            self._rec_ptr[i] = 0
+        out = self._rec_buf[idx, self._rec_ptr[idx]]
+        self._rec_ptr[idx] += 1
+        return out
+
+    def _set_next_fail(self, idx: np.ndarray) -> None:
+        if self.times is not None:
+            ptr = np.minimum(self._times_ptr[idx], len(self.times) - 1)
+            self.next_fail[idx] = np.maximum(self.t[idx], self.times[ptr])
+            self._times_ptr[idx] += 1
+        else:
+            self.next_fail[idx] = self.t[idx] + self._fail_draws(idx)
+
+    # -- NDP drain arithmetic ------------------------------------------------------
+
+    def _drain_window(
+        self,
+        idx: np.ndarray,
+        D: np.ndarray,
+        producing: bool,
+        p0: np.ndarray,
+        n_wr: np.ndarray,
+    ) -> None:
+        """Advance the drain through one window of length ``D`` per row.
+
+        ``producing`` windows follow the compute/commit cadence (new
+        writes promote an idle drain; with ``pause_ndp_during_local`` the
+        drain clock stops during writes); restore windows are pure
+        unpaused time with no production.  ``p0`` is the window-start
+        position, ``n_wr`` the number of local writes the segment can
+        complete (promotion cap).
+        """
+        busy = self.dr_busy[idx].copy()
+        rho = self.dr_rho[idx].copy()
+        q = self.dr_q[idx].copy()
+        nu = self.dr_nu[idx].copy()
+        tau = self.tau[idx]
+        cyc = self.cycle[idx]
+        t_raw = self.t_raw[idx]
+        paused_writes = self.pause and producing
+
+        if paused_writes:
+            jD = np.floor(D / cyc)
+            U_end = jD * tau + np.minimum(D - jD * cyc, tau)
+        else:
+            U_end = D.astype(float).copy()
+        t_cur = np.zeros(len(idx))
+        u_cur = np.zeros(len(idx))
+        io_add = np.zeros(len(idx), dtype=np.int64)
+        active = np.ones(len(idx), dtype=bool)
+
+        while active.any():
+            idle = active & ~busy
+            if producing and idle.any():
+                nxt = np.floor(t_cur / cyc).astype(np.int64) + 1
+                t_w = nxt * cyc
+                can = idle & (nxt <= n_wr) & (t_w < D)
+                if can.any():
+                    busy[can] = True
+                    q[can] = p0[can] + nxt[can] * tau[can]
+                    rho[can] = t_raw[can]
+                    t_cur[can] = t_w[can]
+                    u_cur[can] = nxt[can] * tau[can] if paused_writes else t_w[can]
+                active &= ~(idle & ~can)
+            elif idle.any():
+                active &= ~idle
+            b = active & busy
+            if not b.any():
+                break
+            u_comp = u_cur + rho
+            fits = b & (u_comp < U_end)
+            nofit = b & ~fits
+            if nofit.any():
+                rho[nofit] -= U_end[nofit] - u_cur[nofit]
+                active[nofit] = False
+            if not fits.any():
+                continue
+            if paused_writes:
+                j = np.floor(u_comp / tau)
+                off = u_comp - j * tau
+                t_c = np.where(
+                    off > 0.0,
+                    j * cyc + off,
+                    np.maximum((j - 1.0) * cyc + tau, 0.0),
+                )
+            else:
+                t_c = u_comp
+            # One drain finishes: record the I/O snapshot and either take
+            # the newest completed-but-undrained checkpoint or go idle.
+            self.S[idx[fits]] = q[fits]
+            io_add[fits] += 1
+            if producing:
+                k_c = np.minimum(np.floor(t_c / cyc).astype(np.int64), n_wr)
+            else:
+                k_c = np.zeros(len(idx), dtype=np.int64)
+            cand = np.where(k_c >= 1, p0 + k_c * tau, -1.0)
+            cand = np.maximum(cand, nu)
+            newer = fits & (cand > q)
+            q[newer] = cand[newer]
+            rho[newer] = t_raw[newer]
+            stop = fits & ~newer
+            busy[stop] = False
+            rho[stop] = 0.0
+            nu[fits] = -1.0
+            t_cur[fits] = t_c[fits]
+            u_cur[fits] = u_comp[fits]
+
+        self.io_ck[idx] += io_add
+        self.dr_busy[idx] = busy
+        self.dr_rho[idx] = rho
+        self.dr_q[idx] = q
+        self.dr_nu[idx] = nu
+
+    def _drain_close_window(self, idx: np.ndarray, cand_end: np.ndarray) -> None:
+        """End-of-window ν bookkeeping: the newest undrained checkpoint.
+
+        ``cand_end`` is the newest write completed inside the window
+        (-1 if none).  An idle drain has, by construction, consumed every
+        eligible checkpoint, so ν only survives on busy rows and only
+        while it is ahead of the drain position.
+        """
+        nu = np.maximum(self.dr_nu[idx], cand_end)
+        keep = self.dr_busy[idx] & (nu > self.dr_q[idx])
+        self.dr_nu[idx] = np.where(keep, nu, -1.0)
+
+    # -- one restore window --------------------------------------------------------
+
+    def _step_restoring(self) -> None:
+        idx = np.nonzero(self.state == _RESTORING)[0]
+        if idx.size == 0:
+            return
+        rem = self.rest_rem[idx]
+        nf = self.next_fail[idx]
+        interrupted = nf < self.t[idx] + rem
+        dur = np.where(interrupted, nf - self.t[idx], rem)
+        cat = np.where(self.rest_cat_io[idx], _I_REST_IO, _I_REST_L)
+        np.add.at(self.acct, (idx, cat), dur)
+        if self.is_ndp:
+            # The drain runs unpaused during local restores; I/O-path
+            # restores already aborted it at decision time (busy=False).
+            self._drain_window(
+                idx, dur, producing=False, p0=self.pos[idx],
+                n_wr=np.zeros(idx.size, dtype=np.int64),
+            )
+            self._drain_close_window(idx, np.full(idx.size, -1.0))
+        self.t[idx] = np.where(interrupted, nf, self.t[idx] + rem)
+        comp = idx[~interrupted]
+        if comp.size:
+            # Mirrors the tail of CRSimulation._recover: the failure
+            # position (unchanged through interrupted restores) extends
+            # the rerun region, then the rollback lands.
+            self.R[comp] = np.maximum(self.R[comp], self.pos[comp])
+            self.pos[comp] = self.rollback[comp]
+            self.attr_io[comp] = self.rest_cat_io[comp]
+            self.rec_io[comp[self.rest_cat_io[comp]]] += 1
+            self.rec_l[comp[~self.rest_cat_io[comp]]] += 1
+            self.state[comp] = _RUNNING
+        self.decide_mask[idx[interrupted]] = True
+
+    # -- one running window --------------------------------------------------------
+
+    def _layout(
+        self, dt: np.ndarray, sub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Invert the running timeline at offset ``dt`` from segment start.
+
+        Returns ``(k, in_write, in_push, off, off_push)``: completed local
+        writes, whether the instant lands inside a write / an I/O push,
+        the offset into the current cycle and into the current push.
+        """
+        cyc = self.cycle[sub]
+        if not self.has_push:
+            jj = np.floor(dt / cyc)
+            off = np.maximum(dt - jj * cyc, 0.0)
+            k = jj.astype(np.int64)
+            zero = np.zeros(len(sub))
+            return k, off >= self.tau[sub], np.zeros(len(sub), dtype=bool), off, zero
+        r = self.ratio[sub]
+        d_io = self.delta_io[sub]
+        b = r - self.c[sub] % r  # checkpoints until (and including) first push
+        head_cycles = b * cyc
+        period = r * cyc + d_io
+        lt_head_c = dt < head_cycles
+        lt_head = dt < head_cycles + d_io
+        dt2 = np.maximum(dt - (head_cycles + d_io), 0.0)
+        qper = np.floor(dt2 / period)
+        rem = dt2 - qper * period
+        in_per_c = rem < r * cyc
+        j_head = np.floor(dt / cyc)
+        j_rem = np.floor(rem / cyc)
+        jj = np.where(
+            lt_head_c,
+            j_head,
+            np.where(lt_head, b, b + qper * r + np.where(in_per_c, j_rem, r)),
+        )
+        in_push = (~lt_head_c & lt_head) | (~lt_head & ~in_per_c)
+        off = np.maximum(
+            np.where(lt_head_c, dt - j_head * cyc, rem - j_rem * cyc), 0.0
+        )
+        off_push = np.maximum(
+            np.where(lt_head & ~lt_head_c, dt - head_cycles, rem - r * cyc), 0.0
+        )
+        in_write = ~in_push & (off >= self.tau[sub])
+        return jj.astype(np.int64), in_write, in_push, off, np.where(in_push, off_push, 0.0)
+
+    def _charge_running(
+        self,
+        sub: np.ndarray,
+        compute_adv: np.ndarray,
+        commit: np.ndarray,
+        push: np.ndarray,
+    ) -> None:
+        """Charge one running window's compute/rerun/commit/push seconds."""
+        p0 = self.pos[sub]
+        rerun = np.clip(np.minimum(self.R[sub], p0 + compute_adv) - p0, 0.0, None)
+        cat = np.where(self.attr_io[sub], _I_RERUN_IO, _I_RERUN_L)
+        np.add.at(self.acct, (sub, cat), rerun)
+        self.acct[sub, _I_COMPUTE] += compute_adv - rerun
+        self.acct[sub, self.commit_cat] += commit
+        if self.has_push:
+            self.acct[sub, _I_CKPT_IO] += push
+
+    def _step_running(self) -> None:
+        idx = np.nonzero(self.state == _RUNNING)[0]
+        if idx.size == 0:
+            return
+        tau = self.tau[idx]
+        d_c = self.delta_c[idx]
+        p0 = self.pos[idx].copy()
+        w_rem = self.W[idx] - p0
+        # Intervals to finish the work; the epsilon guards exact multiples
+        # of tau against one-ulp float drift.
+        n_int = np.maximum(np.ceil(w_rem / tau - 1e-9).astype(np.int64), 1)
+        n_ck = n_int - 1
+        c0 = self.c[idx]
+        if self.has_push:
+            n_push = (c0 + n_ck) // self.ratio[idx] - c0 // self.ratio[idx]
+            T_done = w_rem + n_ck * d_c + n_push * self.delta_io[idx]
+        else:
+            n_push = np.zeros(idx.size, dtype=np.int64)
+            T_done = w_rem + n_ck * d_c
+        dt_f = self.next_fail[idx] - self.t[idx]
+        done = dt_f >= T_done
+
+        dsub = idx[done]
+        if dsub.size:
+            sel = done
+            self._charge_running(
+                dsub,
+                w_rem[sel],
+                n_ck[sel] * d_c[sel],
+                n_push[sel] * self.delta_io[idx][sel] if self.has_push else n_push[sel],
+            )
+            if self.io_write:
+                self.io_ck[dsub] += n_ck[sel]
+            else:
+                self.loc_ck[dsub] += n_ck[sel]
+                self.io_ck[dsub] += n_push[sel]
+            self.c[dsub] += n_ck[sel]
+            if self.is_ndp:
+                self._drain_window(
+                    dsub, T_done[sel], producing=True, p0=p0[sel], n_wr=n_ck[sel]
+                )
+            self.t[dsub] += T_done[sel]
+            self.pos[dsub] = self.W[dsub]
+            self.state[dsub] = _DONE
+
+        fsub = idx[~done]
+        if fsub.size:
+            sel = ~done
+            dt = dt_f[sel]
+            k, in_write, in_push, off, off_push = self._layout(dt, fsub)
+            tau_f = tau[sel]
+            compute_adv = k * tau_f + np.where(
+                in_write, tau_f, np.where(in_push, 0.0, np.minimum(off, tau_f))
+            )
+            commit = k * d_c[sel] + np.where(in_write, off - tau_f, 0.0)
+            if self.has_push:
+                r_f = self.ratio[fsub]
+                c0_f = c0[sel]
+                n_push_done = (c0_f + k) // r_f - c0_f // r_f - in_push
+                push = n_push_done * self.delta_io[fsub] + off_push
+            else:
+                n_push_done = np.zeros(fsub.size, dtype=np.int64)
+                push = np.zeros(fsub.size)
+            self._charge_running(fsub, compute_adv, commit, push)
+            p0_f = p0[sel]
+            if self.io_write:
+                self.io_ck[fsub] += k
+                got = k >= 1
+                self.S[fsub[got]] = (p0_f + k * tau_f)[got]
+            else:
+                self.loc_ck[fsub] += k
+                got = k >= 1
+                self.L[fsub[got]] = (p0_f + k * tau_f)[got]
+                if self.has_push:
+                    self.io_ck[fsub] += n_push_done
+                    pushed = n_push_done >= 1
+                    last_mult = (c0_f // r_f + n_push_done) * r_f
+                    self.S[fsub[pushed]] = (p0_f + (last_mult - c0_f) * tau_f)[pushed]
+            self.c[fsub] += k
+            if self.is_ndp:
+                self._drain_window(
+                    fsub, dt, producing=True, p0=p0_f, n_wr=n_ck[sel]
+                )
+                self._drain_close_window(
+                    fsub, np.where(k >= 1, p0_f + k * tau_f, -1.0)
+                )
+            self.pos[fsub] = p0_f + compute_adv
+            self.t[fsub] = self.next_fail[fsub]
+            self.decide_mask[fsub] = True
+
+    # -- recovery decision ---------------------------------------------------------
+
+    def _decide(self, idx: np.ndarray) -> None:
+        """Pick each failed trajectory's recovery level (same draws as DES)."""
+        self.failures[idx] += 1
+        use_local = np.zeros(idx.size, dtype=bool)
+        if self.has_local_level:
+            has_local = self.L[idx] >= 0.0
+            if self.strategy == "local-only":
+                use_local = has_local
+            else:
+                dsub = idx[has_local]
+                if dsub.size:
+                    u = self._rec_draws(dsub)
+                    use_local[has_local] = u < self.p_local[dsub]
+        usub = idx[use_local]
+        isub = idx[~use_local]
+        if usub.size:
+            self.rollback[usub] = self.L[usub]
+            self.rest_rem[usub] = self.restore_l[usub]
+            self.rest_cat_io[usub] = False
+        if isub.size:
+            # NVM contents are lost at decision time; any in-flight drain
+            # aborts (CRSimulation._nvm_lost).
+            if self.has_local_level:
+                self.L[isub] = -1.0
+            if self.is_ndp:
+                self.dr_busy[isub] = False
+                self.dr_rho[isub] = 0.0
+                self.dr_q[isub] = -1.0
+                self.dr_nu[isub] = -1.0
+            has_s = self.S[isub] >= 0.0
+            self.rollback[isub] = np.where(has_s, self.S[isub], 0.0)
+            self.rest_rem[isub] = np.where(has_s, self.restore_io[isub], 0.0)
+            self.rest_cat_io[isub] = True
+        self.state[idx] = _RESTORING
+        self._set_next_fail(idx)
+
+    # -- driver --------------------------------------------------------------------
+
+    def run(self) -> list[SimulationResult]:
+        self._set_next_fail(np.arange(self.B))
+        for _ in range(_MAX_ITER):
+            if not (self.state != _DONE).any():
+                break
+            self.decide_mask[:] = False
+            self._step_restoring()
+            self._step_running()
+            pending = np.nonzero(self.decide_mask)[0]
+            if pending.size:
+                self._decide(pending)
+        else:  # pragma: no cover - pathological configs only
+            raise RuntimeError(
+                "fastpath did not converge; the scenario makes essentially "
+                "no forward progress (use the DES engine to inspect it)"
+            )
+        totals = self.acct.sum(axis=1)
+        out = []
+        for i in range(self.B):
+            frac = self.acct[i] / totals[i]
+            out.append(
+                SimulationResult(
+                    work=float(self.W[i]),
+                    wall_time=float(self.t[i]),
+                    efficiency=float(self.W[i] / self.t[i]),
+                    breakdown=OverheadBreakdown(**dict(zip(_COMPONENTS, map(float, frac)))),
+                    failures=int(self.failures[i]),
+                    recoveries_local=int(self.rec_l[i]),
+                    recoveries_io=int(self.rec_io[i]),
+                    io_checkpoints=int(self.io_ck[i]),
+                    local_checkpoints=int(self.loc_ck[i]),
+                    host_stall_time=0.0,
+                )
+            )
+        return out
+
+
+# -- public entry points ----------------------------------------------------------
+
+
+def _group_key(config: SimConfig) -> tuple:
+    return (config.strategy, config.pause_ndp_during_local, config.failure_times)
+
+
+def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
+    """Simulate every config, batching compatible ones into numpy passes.
+
+    Configs the closed form cannot represent (see
+    :func:`unsupported_reason`) run on the event-level DES individually;
+    everything else is grouped by schedule shape and advanced together.
+    Results come back in input order and are bit-for-bit independent of
+    the batch composition (each trajectory owns its seed's streams).
+    """
+    configs = list(configs)
+    results: list[SimulationResult | None] = [None] * len(configs)
+    groups: dict[tuple, list[int]] = {}
+    for i, cfg in enumerate(configs):
+        if unsupported_reason(cfg) is not None:
+            _FALLBACKS.inc()
+            results[i] = CRSimulation(cfg).run()
+        else:
+            groups.setdefault(_group_key(cfg), []).append(i)
+    for members in groups.values():
+        t0 = time.perf_counter()
+        batch = _FastBatch([configs[i] for i in members])
+        for i, res in zip(members, batch.run()):
+            results[i] = res
+        _BATCHES.inc()
+        _TRAJECTORIES.inc(len(members))
+        if obs_trace.enabled():
+            end = time.monotonic()
+            obs_trace.emit(
+                "fastpath",
+                end - (time.perf_counter() - t0),
+                end,
+                "batch",
+                label=f"{batch.strategy}x{len(members)}",
+                attrs={"size": len(members), "strategy": batch.strategy},
+            )
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def simulate_fast(config: SimConfig) -> SimulationResult:
+    """Run one config on the fast engine (DES fallback if unsupported)."""
+    return simulate_batch([config])[0]

@@ -59,7 +59,10 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached result (simulator semantics change).
-CACHE_SCHEMA = 1
+#: 2: ``SimConfig`` grew the ``engine`` field (DES vs vectorized fastpath);
+#: the field lands in the hash automatically, but pre-engine entries were
+#: keyed without it and must not be served for either engine.
+CACHE_SCHEMA = 2
 
 #: Upper bound on seeds per chunk: small enough that progress callbacks
 #: stay responsive, large enough to amortize pickling and IPC.
@@ -243,9 +246,23 @@ class ChunkTiming:
 def _simulate_chunk(
     chunk: list[tuple[int, SimConfig]],
 ) -> tuple[list[tuple[int, SimulationResult]], float, int]:
-    """Worker entry point: run one chunk, report wall time and pid."""
+    """Worker entry point: run one chunk, report wall time and pid.
+
+    Fast-engine configs in the chunk execute as **one** vectorized
+    :func:`~repro.simulation.fastpath.simulate_batch` call — that is where
+    the batch engine's speedup comes from — while DES configs run through
+    the per-config :func:`simulate` loop.  Results are re-keyed by their
+    original indices, so the split is invisible to the caller.
+    """
     t0 = time.perf_counter()
-    out = [(i, simulate(cfg)) for i, cfg in chunk]
+    fast = [(i, cfg) for i, cfg in chunk if cfg.engine == "fast"]
+    slow = [(i, cfg) for i, cfg in chunk if cfg.engine != "fast"]
+    out = [(i, simulate(cfg)) for i, cfg in slow]
+    if fast:
+        from .fastpath import simulate_batch
+
+        out.extend(zip((i for i, _ in fast), simulate_batch([c for _, c in fast])))
+    out.sort(key=lambda pair: pair[0])
     return out, time.perf_counter() - t0, os.getpid()
 
 

@@ -42,9 +42,13 @@ from .stats import SimulationResult, TimeAccounting
 from .storage import CheckpointRecord, NVMBuffer
 from .trace import TimelineRecorder
 
-__all__ = ["SimConfig", "CRSimulation", "simulate", "STRATEGIES"]
+__all__ = ["SimConfig", "CRSimulation", "simulate", "STRATEGIES", "ENGINES"]
 
 STRATEGIES = ("host", "ndp", "io-only", "local-only")
+
+#: Simulation engines: the event-level DES (reference oracle) and the
+#: vectorized renewal-segment fast path (:mod:`repro.simulation.fastpath`).
+ENGINES = ("des", "fast")
 
 _PAUSE = "pause"
 _ABORT = "abort"
@@ -99,6 +103,13 @@ class SimConfig:
         replaced by an exact replay — for reproducing recorded failure
         logs or constructing adversarial schedules.  ``failure_shape`` is
         ignored.
+    engine:
+        ``"des"`` (default) walks the event-level simulator; ``"fast"``
+        advances the trajectory failure-to-failure in closed form on the
+        vectorized :mod:`~repro.simulation.fastpath` engine, drawing from
+        the same named RNG streams.  Configs the fast engine cannot
+        represent (tracing, partner level, single-slot NVM under
+        ``ndp``) transparently fall back to the DES.
     trace:
         Optional :class:`TimelineRecorder` for Figure-3-style timelines.
     """
@@ -116,11 +127,14 @@ class SimConfig:
     partner_bandwidth: float = 50e9
     p_partner_recovery: float = 0.0
     failure_times: Optional[tuple[float, ...]] = None
+    engine: str = "des"
     trace: Optional[TimelineRecorder] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {STRATEGIES}: {self.strategy!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}: {self.engine!r}")
         if self.ratio < 1:
             raise ValueError("ratio must be >= 1")
         if self.work <= 0:
@@ -597,7 +611,11 @@ class CRSimulation:
 
 
 def simulate(config: SimConfig) -> SimulationResult:
-    """Run one :class:`CRSimulation` to completion."""
+    """Run one simulation to completion on the config's engine."""
+    if config.engine == "fast":
+        from .fastpath import simulate_fast  # local import: avoids a cycle
+
+        return simulate_fast(config)
     return CRSimulation(config).run()
 
 

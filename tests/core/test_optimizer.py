@@ -105,3 +105,80 @@ class TestOptimalRatioProperty:
         assert multilevel_host(p, best, spec).efficiency == pytest.approx(
             scan_eff, rel=1e-12
         )
+
+
+class TestSharedMemo:
+    """sweep_ratio/optimal_ratio/optimal_host share one scenario memo, so
+    the fig4 -> fig5 pipeline never re-evaluates a bracketed ratio."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.core import optimizer
+
+        optimizer.clear_cache()
+        yield
+        optimizer.clear_cache()
+
+    @pytest.fixture
+    def counted(self, monkeypatch):
+        from repro.core import optimizer
+
+        calls: list[int] = []
+        real = optimizer.multilevel_host
+
+        def counting(params, ratio, *a, **kw):
+            calls.append(ratio)
+            return real(params, ratio, *a, **kw)
+
+        monkeypatch.setattr(optimizer, "multilevel_host", counting)
+        return calls
+
+    def test_sweep_then_optimal_reuses_evaluations(self, counted):
+        from repro.core import optimizer
+
+        p = paper_parameters().with_(p_local_recovery=0.85)
+        optimizer.sweep_ratio(p, range(1, 65))
+        assert len(counted) == 64
+        # A repeated sweep and the bracketed search both hit the memo:
+        # every ratio the optimizer probes was already swept.
+        optimizer.sweep_ratio(p, range(1, 65))
+        assert len(counted) == 64
+        best = optimizer.optimal_ratio(p, max_ratio=64)
+        assert len(counted) == 64
+        assert 1 <= best <= 64
+
+    def test_clear_cache_forces_reevaluation(self, counted):
+        from repro.core import optimizer
+
+        p = paper_parameters()
+        optimizer.sweep_ratio(p, [8])
+        optimizer.sweep_ratio(p, [8])
+        assert len(counted) == 1
+        optimizer.clear_cache()
+        optimizer.sweep_ratio(p, [8])
+        assert len(counted) == 2
+
+    def test_distinct_scenarios_not_conflated(self, counted):
+        from repro.core import optimizer
+
+        p = paper_parameters()
+        a = optimizer.sweep_ratio(p, [8])[0]
+        b = optimizer.sweep_ratio(p, [8], HOST_GZIP1)[0]
+        c = optimizer.sweep_ratio(p, [8], rerun_accounting="staleness")[0]
+        d = optimizer.sweep_ratio(p.with_(p_local_recovery=0.5), [8])[0]
+        assert len(counted) == 4
+        assert len({x.efficiency for x in (a, b, c, d)}) == 4
+
+    def test_memoized_results_equal_direct_model(self):
+        from repro.core import optimizer
+
+        p = paper_parameters()
+        pt = optimizer.sweep_ratio(p, [12])[0]
+        again = optimizer.sweep_ratio(p, [12])[0]
+        assert pt.result is again.result  # served from the memo
+        assert pt.result == multilevel_host(p, 12)
+
+    def test_clear_cache_exported_from_core(self):
+        from repro.core import clear_cache
+
+        clear_cache()

@@ -10,6 +10,7 @@ from repro.core.model import multilevel_host, multilevel_ndp
 from repro.core.optimizer import optimal_ratio
 from repro.core.sweeps import (
     SweepGrid,
+    host_breakdown_grid,
     host_efficiency_grid,
     ndp_efficiency_grid,
     optimal_host_grid,
@@ -213,3 +214,148 @@ class TestMonotonicityProperties:
         grid = grid_of(1800.0, 112e9, p=np.linspace(0.05, 0.99, 20))
         effs = ndp_efficiency_grid(grid, NDP_GZIP1)
         assert np.all(np.diff(effs) >= -1e-12)
+
+
+class TestFixedIntervalAndRestartOverhead:
+    """The figure-4/5 harness pins tau and adds a per-recovery restart
+    overhead; both SweepGrid fields must reproduce the scalar model."""
+
+    def test_fixed_interval_matches_scalar(self):
+        params = CRParameters(
+            mtti=1800.0,
+            checkpoint_size=112e9,
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            local_interval=150.0,
+            p_local_recovery=0.85,
+        )
+        grid = SweepGrid(
+            mtti=1800.0,
+            checkpoint_size=112e9,
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            p_local=0.85,
+            local_interval=150.0,
+        )
+        for ratio in (1, 8, 40):
+            assert float(host_efficiency_grid(grid, ratio)) == pytest.approx(
+                multilevel_host(params, ratio).efficiency, rel=1e-12
+            )
+        assert float(ndp_efficiency_grid(grid)) == pytest.approx(
+            multilevel_ndp(params).efficiency, rel=1e-12
+        )
+
+    def test_restart_overhead_matches_scalar(self):
+        params = CRParameters(
+            mtti=1800.0,
+            checkpoint_size=112e9,
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            local_interval=None,
+            p_local_recovery=0.85,
+            restart_overhead=30.0,
+        )
+        grid = grid_of(1800.0, 112e9)
+        grid = SweepGrid(**{**grid.__dict__, "restart_overhead": 30.0})
+        assert float(host_efficiency_grid(grid, 8, NDP_GZIP1)) == pytest.approx(
+            multilevel_host(params, 8, NDP_GZIP1).efficiency, rel=1e-12
+        )
+        assert float(ndp_efficiency_grid(grid, NDP_GZIP1)) == pytest.approx(
+            multilevel_ndp(params, NDP_GZIP1).efficiency, rel=1e-12
+        )
+
+    def test_rejects_nonpositive_interval(self):
+        grid = SweepGrid(
+            mtti=1800.0,
+            checkpoint_size=112e9,
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            p_local=0.85,
+            local_interval=0.0,
+        )
+        with pytest.raises(ValueError):
+            host_efficiency_grid(grid, 8)
+
+
+class TestHostBreakdownGrid:
+    """host_breakdown_grid must be *bit-identical* to the scalar model's
+    OverheadBreakdown — figure 4 swaps its per-ratio loop for this."""
+
+    def scalar(self, ratio, comp=NO_COMPRESSION, accounting="paper", **kw):
+        params = CRParameters(
+            mtti=kw.get("mtti", 1800.0),
+            checkpoint_size=kw.get("size", 112e9),
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            local_interval=kw.get("interval"),
+            p_local_recovery=kw.get("p", 0.85),
+            restart_overhead=kw.get("r0", 0.0),
+        )
+        return multilevel_host(params, ratio, comp, accounting)
+
+    def grid(self, **kw):
+        return SweepGrid(
+            mtti=kw.get("mtti", 1800.0),
+            checkpoint_size=kw.get("size", 112e9),
+            local_bandwidth=15e9,
+            io_bandwidth=100e6,
+            p_local=kw.get("p", 0.85),
+            local_interval=kw.get("interval"),
+            restart_overhead=kw.get("r0", 0.0),
+        )
+
+    @pytest.mark.parametrize("accounting", ["paper", "staleness"])
+    @pytest.mark.parametrize(
+        "comp", [NO_COMPRESSION, NDP_GZIP1, CUSTOM_SPEC], ids=["raw", "gzip", "custom"]
+    )
+    def test_bit_identical_to_scalar(self, comp, accounting):
+        ratios = np.array([1.0, 2.0, 8.0, 64.0, 256.0])
+        cols = host_breakdown_grid(
+            self.grid(interval=150.0, r0=30.0), ratios, comp, accounting
+        )
+        for i, r in enumerate(ratios):
+            res = self.scalar(int(r), comp, accounting, interval=150.0, r0=30.0)
+            assert float(cols["efficiency"][i]) == res.efficiency
+            for name in res.breakdown.component_names():
+                assert float(cols[name][i]) == getattr(res.breakdown, name), name
+
+    def test_daly_interval_bit_identical(self):
+        cols = host_breakdown_grid(self.grid(), np.array([12.0]))
+        res = self.scalar(12)
+        assert float(cols["efficiency"][0]) == res.efficiency
+        for name in res.breakdown.component_names():
+            assert float(cols[name][0]) == getattr(res.breakdown, name), name
+
+    def test_infeasible_element_matches_scalar_zero_breakdown(self):
+        # 30 s MTTI against a 112 GB checkpoint: per-failure cost >= MTTI.
+        cols = host_breakdown_grid(self.grid(mtti=30.0), np.array([8.0]))
+        res = self.scalar(8, mtti=30.0)
+        assert res.efficiency == 0.0
+        assert float(cols["efficiency"][0]) == 0.0
+        assert float(cols["compute"][0]) == 0.0
+        assert float(cols["checkpoint_local"][0]) == 0.0
+        assert float(cols["checkpoint_io"][0]) == 0.0
+        for name in res.breakdown.component_names():
+            assert float(cols[name][0]) == getattr(res.breakdown, name), name
+
+    def test_broadcast_shape_covers_grid_and_ratio_axes(self):
+        ratios = np.arange(1.0, 9.0).reshape(-1, 1)
+        cols = host_breakdown_grid(self.grid(p=np.linspace(0.2, 0.96, 5)), ratios)
+        for arr in cols.values():
+            assert arr.shape == (8, 5)
+
+    @given(
+        mtti=st.floats(min_value=300.0, max_value=36000.0),
+        size=st.floats(min_value=1e9, max_value=500e9),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        ratio=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_components_sum_to_one_when_feasible(
+        self, mtti, size, p, ratio
+    ):
+        cols = host_breakdown_grid(self.grid(mtti=mtti, size=size, p=p), float(ratio))
+        res = self.scalar(ratio, mtti=mtti, size=size, p=p)
+        assert float(cols["efficiency"]) == res.efficiency
+        for name in res.breakdown.component_names():
+            assert float(cols[name]) == getattr(res.breakdown, name), name

@@ -1,0 +1,71 @@
+"""Figures 4/5 on the vectorized grid must reproduce the scalar sweep.
+
+Both experiment modules were rewired from per-ratio scalar model calls to
+one numpy pass (:func:`repro.core.sweeps.host_breakdown_grid` for fig4,
+:func:`repro.core.sweeps.optimal_host_grid` for fig5).  Their docstrings
+promise the rows are unchanged; this suite holds them to it by rebuilding
+each row through the historical scalar path.
+"""
+
+import pytest
+
+from repro.core.configs import NO_COMPRESSION, paper_parameters
+from repro.core.optimizer import clear_cache, optimal_ratio, sweep_ratio
+from repro.experiments import fig4, fig5
+from repro.experiments.common import fig6_compression
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    # The scalar reference path and the experiments share the optimizer
+    # memo; clear it so neither masks a divergence in the other.
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFig4RowsUnchanged:
+    def test_rows_match_scalar_sweep_bit_exactly(self):
+        result = fig4.run()
+        params = paper_parameters().with_(p_local_recovery=0.85)
+        points = sweep_ratio(params, fig4.DEFAULT_RATIOS)
+        assert len(result.rows) == len(points)
+        for row, pt in zip(result.rows, points):
+            assert row["ratio"] == pt.ratio
+            scalar = pt.result.breakdown.as_dict()
+            for name, value in scalar.items():
+                assert row[name] == value, name
+
+    def test_headline_matches_scalar_argmax(self):
+        result = fig4.run()
+        params = paper_parameters().with_(p_local_recovery=0.85)
+        points = sweep_ratio(params, fig4.DEFAULT_RATIOS)
+        best = max(points, key=lambda pt: pt.result.efficiency)
+        assert result.headline["optimal_ratio"] == best.ratio
+        assert result.headline["optimal_efficiency"] == best.result.efficiency
+
+    def test_custom_p_local_also_matches(self):
+        result = fig4.run(p_local=0.4)
+        params = paper_parameters().with_(p_local_recovery=0.4)
+        for row, pt in zip(result.rows, sweep_ratio(params, fig4.DEFAULT_RATIOS)):
+            assert row["compute"] == pt.result.breakdown.compute
+
+
+class TestFig5RatiosUnchanged:
+    def test_host_cells_match_scalar_optimizer(self):
+        result = fig5.run()
+        params = paper_parameters()
+        for row in result.rows:
+            cf = row["factor"]
+            comp = fig6_compression(cf, "host") if cf > 0 else NO_COMPRESSION
+            for p, got in row["host_ratios"].items():
+                want = optimal_ratio(params.with_(p_local_recovery=p), comp)
+                assert got == want, (cf, p)
+
+    def test_subset_of_p_locals(self):
+        result = fig5.run(p_locals=(0.3, 0.9))
+        assert set(result.rows[0]["host_ratios"]) == {0.3, 0.9}
+        params = paper_parameters()
+        row = result.rows[0]  # no compression
+        for p, got in row["host_ratios"].items():
+            assert got == optimal_ratio(params.with_(p_local_recovery=p))
