@@ -50,10 +50,11 @@ bench-obs:
 		PYTHONPATH=src $(PY) benchmarks/record_obs.py; \
 	fi
 
-## Vectorized fastpath engine vs the event-driven simulator: records
-## BENCH_sim_fastpath.json (>=10x single-worker floor) on first run;
-## afterwards fails if the speedup regresses more than 40% vs the
-## recording or ever falls below the 10x floor.
+## Vectorized fastpath engine vs the baselines: records
+## BENCH_sim_fastpath.json on first run (batch vs DES, >=8x floor; the
+## fig6-fig9 grid through one simulate_grid pass vs a per-config loop,
+## >=10x floor; zero DES fallbacks); afterwards fails if either speedup
+## regresses more than 40% vs the recording or falls below its floor.
 bench-sim:
 	@if [ -f BENCH_sim_fastpath.json ]; then \
 		PYTHONPATH=src $(PY) benchmarks/record_fastpath.py --check; \

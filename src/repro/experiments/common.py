@@ -20,12 +20,14 @@ from ..core.configs import (
 )
 from ..core.model import ModelResult, multilevel_ndp
 from ..core.optimizer import optimal_host
+from ..simulation import SimConfig
 
 __all__ = [
     "TextTable",
     "ExperimentResult",
     "SENSITIVITY_CONFIGS",
     "sensitivity_result",
+    "sensitivity_sim_config",
     "FIG6_APPS",
     "fig6_compression",
 ]
@@ -120,6 +122,25 @@ def sensitivity_result(
     if mode == "host":
         return optimal_host(p, compression, rerun_accounting)
     return multilevel_ndp(p, compression, rerun_accounting)
+
+
+def sensitivity_sim_config(
+    label: str, params: CRParameters, work: float
+) -> SimConfig:
+    """The simulator config mirroring :func:`sensitivity_result`.
+
+    Same parameter substitution (local bandwidth from the label, Daly
+    interval); host modes carry the analytically optimal I/O ratio so
+    the simulation validates the same operating point the model reports.
+    """
+    bw, mode, compression = SENSITIVITY_CONFIGS[label]
+    p = params.with_(local_bandwidth=bw, local_interval=None)
+    if mode == "host":
+        ratio = optimal_host(p, compression).ratio
+        return SimConfig(
+            params=p, strategy="host", ratio=ratio, compression=compression, work=work
+        )
+    return SimConfig(params=p, strategy="ndp", compression=compression, work=work)
 
 
 #: The three mini-apps Figure 6 shows individually (plus the average).

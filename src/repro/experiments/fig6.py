@@ -17,9 +17,10 @@ from ..compression.study import paper_factor
 from ..core.configs import NO_COMPRESSION, paper_parameters
 from ..core.model import io_only, multilevel_ndp
 from ..core.optimizer import optimal_host
+from ..simulation import ResultCache, SimConfig, default_work, simulate_grid
 from .common import FIG6_APPS, ExperimentResult, TextTable, fig6_compression
 
-__all__ = ["run", "DEFAULT_P_LOCALS"]
+__all__ = ["run", "sim_configs", "DEFAULT_P_LOCALS"]
 
 DEFAULT_P_LOCALS = (0.20, 0.40, 0.60, 0.80)
 
@@ -27,11 +28,98 @@ DEFAULT_P_LOCALS = (0.20, 0.40, 0.60, 0.80)
 PAPER_REFERENCE = {"avg_host_compression": 0.51, "avg_ndp_compression": 0.78}
 
 
-def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
-    """Evaluate every Figure 6 bar; returns per-app and average results."""
-    params = paper_parameters()
+def _cases() -> dict[str, float]:
     cases = {app: paper_factor(app) for app in FIG6_APPS}
     cases["average"] = 0.728
+    return cases
+
+
+def sim_configs(
+    p_locals: tuple[float, ...] = DEFAULT_P_LOCALS, mttis: float = 50.0
+):
+    """Every Figure 6 bar as a simulator config.
+
+    Shape (rows x apps), matching :func:`run`'s row order: I/O Only
+    (plain, compressed), then per ``p_local`` the host/NDP multilevel
+    pairs.  Host bars carry the analytically optimal ratio so the
+    simulation validates the operating point the model reports.
+    """
+    params = paper_parameters()
+    work = default_work(params, mttis)
+    cases = _cases()
+
+    def per_case(build):
+        return [build(cf) for cf in cases.values()]
+
+    grid = [
+        per_case(
+            lambda cf: SimConfig(
+                params=params, strategy="io-only", compression=NO_COMPRESSION, work=work
+            )
+        ),
+        per_case(
+            lambda cf: SimConfig(
+                params=params,
+                strategy="io-only",
+                compression=fig6_compression(cf, "host"),
+                work=work,
+            )
+        ),
+    ]
+    for p in p_locals:
+        pp = params.with_(p_local_recovery=p)
+        grid.append(
+            per_case(
+                lambda cf, pp=pp: SimConfig(
+                    params=pp,
+                    strategy="host",
+                    ratio=optimal_host(pp, NO_COMPRESSION).ratio,
+                    compression=NO_COMPRESSION,
+                    work=work,
+                )
+            )
+        )
+        grid.append(
+            per_case(
+                lambda cf, pp=pp: SimConfig(
+                    params=pp,
+                    strategy="host",
+                    ratio=optimal_host(pp, fig6_compression(cf, "host")).ratio,
+                    compression=fig6_compression(cf, "host"),
+                    work=work,
+                )
+            )
+        )
+        grid.append(
+            per_case(
+                lambda cf, pp=pp: SimConfig(
+                    params=pp, strategy="ndp", compression=NO_COMPRESSION, work=work
+                )
+            )
+        )
+        grid.append(
+            per_case(
+                lambda cf, pp=pp: SimConfig(
+                    params=pp,
+                    strategy="ndp",
+                    compression=fig6_compression(cf, "ndp"),
+                    work=work,
+                )
+            )
+        )
+    return grid
+
+
+def run(
+    p_locals: tuple[float, ...] = DEFAULT_P_LOCALS,
+    simulate_seeds: int = 0,
+    simulate_mttis: float = 50.0,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> ExperimentResult:
+    """Evaluate every Figure 6 bar; returns per-app and average results."""
+    params = paper_parameters()
+    cases = _cases()
 
     table = TextTable(
         ["config"] + [f"{app} ({cf:.0%})" for app, cf in cases.items()]
@@ -86,10 +174,32 @@ def run(p_locals: tuple[float, ...] = DEFAULT_P_LOCALS) -> ExperimentResult:
         f"\n  multilevel + compression (NDP) : {ndp_avg:6.1%}   (paper: 78%)"
         f"\n  speedup from NDP offload       : {ndp_avg / host_avg - 1:6.1%}"
     )
+    text = table.render() + note
+    if simulate_seeds:
+        grid = simulate_grid(
+            sim_configs(p_locals, simulate_mttis),
+            seeds=range(simulate_seeds),
+            jobs=jobs,
+            cache=cache,
+        )
+        sim_table = TextTable(
+            ["config"] + [f"{app} ({cf:.0%})" for app, cf in cases.items()]
+        )
+        for i, row in enumerate(rows):
+            for j, app in enumerate(cases):
+                row[f"sim_{app}"] = float(grid.efficiency[i, j])
+            sim_table.add_row(
+                [row["config"]]
+                + [f"{grid.efficiency[i, j]:6.1%}" for j in range(len(cases))]
+            )
+        text += (
+            f"\n\nSimulated (fast engine, {simulate_seeds} seeds x "
+            f"{simulate_mttis:.0f} MTTIs per cell):\n" + sim_table.render()
+        )
     return ExperimentResult(
         experiment="figure6",
         title="Figure 6: progress-rate comparison across C/R configurations",
         rows=rows,
-        text=table.render() + note,
+        text=text,
         headline={"avg_host_compression": host_avg, "avg_ndp_compression": ndp_avg},
     )

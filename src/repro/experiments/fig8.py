@@ -5,15 +5,27 @@ fixed 30-minute MTTI; the five configurations are the sensitivity set
 (host+compression at 15 GB/s NVM, NDP with/without compression at 15 and
 2 GB/s NVM).  Key claims reproduced: NDP's advantage grows with checkpoint
 size, and a 2 GB/s NVM with NDP matches or beats a 15 GB/s NVM without it.
+
+``simulate_seeds > 0`` overlays Monte-Carlo validation: the whole
+(size x configuration) plane goes through one
+:func:`~repro.simulation.simulate_grid` pass on the fast engine instead
+of a per-config loop.
 """
 
 from __future__ import annotations
 
 from ..core.configs import paper_parameters
 from ..core.units import gb
-from .common import SENSITIVITY_CONFIGS, ExperimentResult, TextTable, sensitivity_result
+from ..simulation import ResultCache, default_work, simulate_grid
+from .common import (
+    SENSITIVITY_CONFIGS,
+    ExperimentResult,
+    TextTable,
+    sensitivity_result,
+    sensitivity_sim_config,
+)
 
-__all__ = ["run", "DEFAULT_FRACTIONS"]
+__all__ = ["run", "sim_configs", "DEFAULT_FRACTIONS"]
 
 DEFAULT_FRACTIONS = (0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80)
 
@@ -26,10 +38,31 @@ PAPER_REFERENCE = {
 }
 
 
+def sim_configs(
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    node_memory_gb: float = 140.0,
+    p_local: float = 0.85,
+    mttis: float = 50.0,
+):
+    """The figure's (size x configuration) grid as simulator configs."""
+    base = paper_parameters().with_(p_local_recovery=p_local)
+    labels = list(SENSITIVITY_CONFIGS)
+    grid = []
+    for frac in fractions:
+        params = base.with_(checkpoint_size=gb(node_memory_gb * frac))
+        work = default_work(params, mttis)
+        grid.append([sensitivity_sim_config(lab, params, work) for lab in labels])
+    return grid
+
+
 def run(
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     node_memory_gb: float = 140.0,
     p_local: float = 0.85,
+    simulate_seeds: int = 0,
+    simulate_mttis: float = 50.0,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Sweep checkpoint size for the five sensitivity configurations."""
     base = paper_parameters().with_(p_local_recovery=p_local)
@@ -54,11 +87,31 @@ def run(
         f"{fractions[-1]:.0%}.  A 2 GB/s NVM with NDP matches or beats a "
         f"15 GB/s NVM with host-side compression."
     )
+    text = table.render() + note
+    if simulate_seeds:
+        grid = simulate_grid(
+            sim_configs(fractions, node_memory_gb, p_local, simulate_mttis),
+            seeds=range(simulate_seeds),
+            jobs=jobs,
+            cache=cache,
+        )
+        sim_table = TextTable(["ckpt size"] + labels)
+        for i, (frac, row) in enumerate(zip(fractions, rows)):
+            for j, lab in enumerate(labels):
+                row[f"sim {lab}"] = float(grid.efficiency[i, j])
+            sim_table.add_row(
+                [f"{node_memory_gb * frac:5.0f} GB ({frac:.0%})"]
+                + [f"{grid.efficiency[i, j]:6.1%}" for j in range(len(labels))]
+            )
+        text += (
+            f"\n\nSimulated (fast engine, {simulate_seeds} seeds x "
+            f"{simulate_mttis:.0f} MTTIs per cell):\n" + sim_table.render()
+        )
     return ExperimentResult(
         experiment="figure8",
         title="Figure 8: progress rate vs checkpoint size (MTTI 30 min)",
         rows=rows,
-        text=table.render() + note,
+        text=text,
         headline={
             "nc15_at_80pct": last["L-15GBps + I/O-NC"],
             "hc15_at_80pct": last["L-15GBps + I/O-HC"],

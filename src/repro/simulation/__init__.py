@@ -11,6 +11,7 @@ from .batch import MCResult, PairedComparison, compare_strategies, mc_run
 from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, simulate_cluster
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .fastpath import simulate_batch, simulate_fast, unsupported_reason
+from .grid import GridResult, simulate_grid
 from .pool import (
     ChunkTiming,
     ResultCache,
@@ -59,6 +60,8 @@ __all__ = [
     "simulate_batch",
     "simulate_fast",
     "unsupported_reason",
+    "GridResult",
+    "simulate_grid",
     "default_work",
     "STRATEGIES",
     "ENGINES",

@@ -2,32 +2,46 @@
 
 The discrete-event simulator (:mod:`repro.simulation.simulator`) walks one
 event at a time through a schedule that is *deterministic between
-failures*: compute intervals, local commits and I/O pushes repeat with a
-fixed super-period, and the NDP drain advances at a fixed rate whenever it
-is unpaused.  This module exploits that renewal structure: instead of
-yielding through every event, it advances **a whole batch of trajectories
-failure-to-failure in closed form** with numpy, inverting the piecewise-
-periodic timeline arithmetically to find each trajectory's position,
-accounting charges and checkpoint state at its next failure instant.
+failures*: compute intervals, local commits, partner copies and I/O pushes
+repeat with a fixed super-period, and the NDP drain advances at a fixed
+rate whenever it is unpaused.  This module exploits that renewal
+structure: instead of yielding through every event, it advances **a whole
+batch of trajectories failure-to-failure** with numpy.
 
-Exactness contract (the DES stays the reference oracle):
+Two vectorized paths share the batch state:
 
-* ``host``, ``io-only`` and ``local-only`` are reproduced *exactly* —
-  every failure lands on the same schedule, consumes the same RNG draws
-  and produces the same seven-way accounting, up to float-association
-  noise (closed-form ``p0 + k*tau`` versus the DES's sequential adds).
-* ``ndp`` uses the drain-rate bound ``min(io_bw/(1-factor),
-  compress_rate)`` with the pause-during-local cadence, tracked in the
-  *unpaused-time* coordinate, so drain completions and the resulting
-  I/O snapshots match the DES cadence.  One documented corner differs:
-  when the newest checkpoint is already drained the DES may re-drain an
-  older *stale* record (see ``NVMBuffer.newest_undrained``); the fast
-  engine treats the drain as idle instead.  Stale drains only arise in
-  transients where the drain outruns production and almost never
-  complete before being superseded, so the divergence is confined to a
-  sub-percent fraction of seeds and vanishes in distribution (the
-  matched-seed suite in ``tests/simulation/test_fastpath.py`` pins the
-  agreement with paired confidence intervals).
+* a **closed form** for ``host``, ``io-only`` and ``local-only`` without a
+  partner level: the piecewise-periodic timeline is inverted
+  arithmetically to find each trajectory's position, accounting charges
+  and checkpoint state at its next failure instant.  Dead NVM slots left
+  by interrupted writes are tracked with a per-trajectory counter so the
+  FIFO eviction of the newest completed checkpoint (the small-buffer
+  corner) reproduces the DES at every ``nvm_capacity`` >= 1.
+* an **exact segment walker** for ``ndp`` and for any strategy with an
+  explicit partner level: the NVM circular buffer is modeled per slot
+  (in-flight / completed / drain-locked / on-I/O), mirroring
+  :class:`~repro.simulation.storage.NVMBuffer` — admission evicts the
+  oldest unlocked slot, the drain always locks the newest undrained
+  record (so *stale drains* of older records, and the resulting
+  regressing I/O snapshots, happen exactly as in the DES), and a full
+  buffer of locked slots stalls the host, charging real
+  ``host_stall_time``.  Partner copies consume the ``"recovery"`` stream
+  in DES order (the local draw first, the conditional partner draw
+  second).  Segments are still advanced for the whole batch at once; the
+  walker is vectorized over trajectories, not over events.
+
+Exactness contract (the DES stays the reference oracle): ``host``,
+``io-only``, ``local-only`` and every partner-level config are reproduced
+*exactly* — every failure lands on the same schedule, consumes the same
+RNG draws and produces the same seven-way accounting, up to
+float-association noise (closed-form ``p0 + k*tau`` versus the DES's
+sequential adds).  ``ndp`` follows the same op-for-op schedule; the only
+freedom left is sub-ulp association in the drain-progress arithmetic
+(the walker subtracts per segment where the DES subtracts per contiguous
+unpaused span), which can flip a comparison only when a failure lands
+within one ulp of a drain boundary — the matched-seed suite in
+``tests/simulation/test_fastpath.py`` pins >= 80% bit-exact seeds and
+paired-CI agreement on the rest.
 
 RNG stream compatibility: each trajectory draws from the same named
 :class:`~repro.simulation.rng.StreamFactory` streams as the DES
@@ -37,11 +51,10 @@ identically to ``n`` scalar draws, so a fast-engine run sees *the same
 failure times and the same recovery decisions* as the DES run with the
 same seed.
 
-Configurations the closed form cannot represent fall back to the DES per
-config (and are counted on the ``fastpath_fallbacks_total`` metric):
-timeline tracing, an explicit partner level, and ``ndp`` with an NVM
-buffer of fewer than two checkpoint slots (where host writes can stall
-behind the drain lock).
+The only configuration that still needs the event-level DES is timeline
+tracing (``config.trace``), which by definition records individual
+events; those fall back per config and are counted on the
+``fastpath_fallbacks_total`` metric.
 """
 
 from __future__ import annotations
@@ -72,13 +85,23 @@ _I_RERUN_IO = _COMPONENTS.index("rerun_io")
 
 _RUNNING, _RESTORING, _DONE = 0, 1, 2
 
+# Restore categories (mirrors CRSimulation._recover's three paths).
+_R_LOCAL, _R_PARTNER, _R_IO = 0, 1, 2
+
+# NVM slot states in the exact walker's per-slot ring model.
+_S_EMPTY, _S_INFLIGHT, _S_COMPLETED, _S_LOCKED, _S_ONIO = 0, 1, 2, 3, 4
+
+# Walker phases: the host's position inside one checkpoint cycle.
+_P_COMPUTE, _P_STALL, _P_WRITE, _P_PARTNER, _P_PUSH = 0, 1, 2, 3, 4
+
 #: RNG draws buffered per trajectory per refill (a refill consumes the
 #: underlying stream exactly like that many scalar draws would).
 _BLOCK = 128
 
-#: Hard ceiling on outer iterations (each live trajectory advances at
-#: least one failure-or-completion window per iteration; a run needs
-#: roughly ``2.2 * failures`` of them).
+#: Hard ceiling on outer iterations.  Closed-form batches advance one
+#: failure-or-completion window per iteration (roughly ``2.2 * failures``
+#: needed); exact-walker batches advance one cycle micro-segment per
+#: iteration (a few tens per window).
 _MAX_ITER = 2_000_000
 
 _BATCHES = obs_metrics.REGISTRY.counter(
@@ -96,16 +119,19 @@ def unsupported_reason(config: SimConfig) -> str | None:
     """Why ``config`` needs the event-level DES, or ``None`` if fast-capable."""
     if config.trace is not None:
         return "timeline tracing records individual events"
-    if config.partner_every:
-        return "explicit partner level interleaves extra RNG draws"
-    if config.strategy == "ndp" and config.nvm_capacity < 3:
-        # With one slot locked by the drain, a 2-slot buffer evicts the
-        # newest *completed* checkpoint to admit the next write, so local
-        # recovery can land on the old locked record (and a single slot
-        # can stall the host outright) — event-level dynamics the closed
-        # form does not model.
-        return "NVM buffer too small: eviction races the drain lock"
     return None
+
+
+def _needs_exact(config: SimConfig) -> bool:
+    """Whether ``config`` takes the per-slot segment walker.
+
+    ``ndp`` always does (drain locks, stalls and stale drains live in the
+    ring); a partner level does for every strategy that has one (the
+    partner copy breaks the uniform cycle the closed form inverts).
+    """
+    return config.strategy == "ndp" or (
+        config.partner_every > 0 and config.strategy != "io-only"
+    )
 
 
 # -- batched engine ---------------------------------------------------------------
@@ -117,6 +143,8 @@ class _FastBatch:
     Every per-scenario quantity (MTTI, work target, commit times, ratio,
     Weibull shape, ...) is a per-trajectory array, so heterogeneous
     configs batch together as long as the *schedule shape* matches.
+    Exact-walker batches additionally share the NVM capacity (the ring
+    arrays have a common slot dimension).
     """
 
     def __init__(self, configs: Sequence[SimConfig]):
@@ -127,7 +155,7 @@ class _FastBatch:
         self.has_push = self.strategy == "host"
         self.io_write = self.strategy == "io-only"
         self.has_local_level = self.strategy != "io-only"
-        self.draws_recovery = self.strategy in ("host", "ndp")
+        self.exact = _needs_exact(cfg0)
         if cfg0.failure_times is not None:
             # Shared replay schedule (part of the batch group key).
             self.times: np.ndarray | None = np.append(
@@ -154,6 +182,7 @@ class _FastBatch:
         self.p_local = np.array([x.p_local_recovery for x in p])
         self.ratio = np.array([c.ratio for c in configs], dtype=np.int64)
         self.shape = np.array([c.failure_shape for c in configs])
+        self.cap_arr = np.array([c.nvm_capacity for c in configs], dtype=np.int64)
         # Drain wall time for one checkpoint while unpaused — the
         # min(io_bw/(1-f), compress_rate) bound expressed as seconds.
         self.t_raw = np.array(
@@ -165,6 +194,13 @@ class _FastBatch:
                 for x, c in zip(p, configs)
             ]
         )
+        # Partner level (walker-only; 0 disables per trajectory).
+        self.partner_every = np.array([c.partner_every for c in configs], dtype=np.int64)
+        self.delta_partner = np.array(
+            [x.checkpoint_size / c.partner_bandwidth for x, c in zip(p, configs)]
+        )
+        self.p_partner = np.array([c.p_partner_recovery for c in configs])
+        self.has_partner = bool((self.partner_every > 0).any())
         # Per-cycle commit charge: io-only commits straight to I/O.
         self.delta_c = self.delta_io if self.io_write else self.delta_l
         self.cycle = self.tau + self.delta_c
@@ -180,28 +216,46 @@ class _FastBatch:
         self.acct = np.zeros((B, len(_COMPONENTS)))
         self.L = np.full(B, -1.0)  # newest completed local ckpt position
         self.S = np.full(B, -1.0)  # newest completed I/O snapshot position
+        self.partner_snap = np.full(B, -1.0)  # newest partner copy position
         self.next_fail = np.zeros(B)
         self.decide_mask = np.zeros(B, dtype=bool)
+        # Dead NVM slots newer than the newest completed checkpoint
+        # (closed form only): an interrupted write leaves its record in
+        # the buffer forever, so ``cap - 1`` consecutive dead writes push
+        # the newest completed record out of the FIFO at the next admit.
+        self.n_dead = np.zeros(B, dtype=np.int64)
 
         # Counters mirrored onto SimulationResult.
         self.failures = np.zeros(B, dtype=np.int64)
         self.rec_l = np.zeros(B, dtype=np.int64)
+        self.rec_p = np.zeros(B, dtype=np.int64)
         self.rec_io = np.zeros(B, dtype=np.int64)
         self.io_ck = np.zeros(B, dtype=np.int64)
         self.loc_ck = np.zeros(B, dtype=np.int64)
+        self.partner_ck = np.zeros(B, dtype=np.int64)
+        self.stall = np.zeros(B)
 
         # In-flight restore (state == _RESTORING).
         self.rest_rem = np.zeros(B)
-        self.rest_cat_io = np.zeros(B, dtype=bool)
+        self.rest_cat = np.zeros(B, dtype=np.int8)
         self.rollback = np.zeros(B)
 
-        # NDP drain state: busy flag, unpaused-seconds remaining, the
-        # position being drained, and the newest completed-but-undrained
-        # checkpoint position carried across windows (-1 = none).
+        # Exact walker: the NVM ring, one row of slots per trajectory
+        # (oldest first, slots >= ring_n empty), plus the drain's target
+        # slot and its remaining unpaused wall seconds.  The walker's
+        # cycle phase persists across driver iterations so every row
+        # advances one micro-segment per step (no stragglers).
+        if self.exact:
+            self.cap = cfg0.nvm_capacity
+            self.ring_pos = np.zeros((B, self.cap))
+            self.ring_state = np.zeros((B, self.cap), dtype=np.int8)
+            self.ring_n = np.zeros(B, dtype=np.int64)
+            self.ph = np.zeros(B, dtype=np.int8)
+            self.comp_rem = np.minimum(self.tau, self.W)
+            self.seg_rem = np.zeros(B)
         self.dr_busy = np.zeros(B, dtype=bool)
         self.dr_rho = np.zeros(B)
-        self.dr_q = np.full(B, -1.0)
-        self.dr_nu = np.full(B, -1.0)
+        self.dr_slot = np.full(B, -1, dtype=np.int64)
 
         # Named per-seed streams — identical to the DES's.
         streams = [StreamFactory(c.seed) for c in configs]
@@ -249,117 +303,90 @@ class _FastBatch:
         else:
             self.next_fail[idx] = self.t[idx] + self._fail_draws(idx)
 
-    # -- NDP drain arithmetic ------------------------------------------------------
+    # -- the per-slot NVM ring (exact walker) --------------------------------------
 
-    def _drain_window(
-        self,
-        idx: np.ndarray,
-        D: np.ndarray,
-        producing: bool,
-        p0: np.ndarray,
-        n_wr: np.ndarray,
-    ) -> None:
-        """Advance the drain through one window of length ``D`` per row.
+    def _ring_admit(self, g: np.ndarray) -> None:
+        """Admit a new in-flight record at the current position.
 
-        ``producing`` windows follow the compute/commit cadence (new
-        writes promote an idle drain; with ``pause_ndp_during_local`` the
-        drain clock stops during writes); restore windows are pure
-        unpaused time with no production.  ``p0`` is the window-start
-        position, ``n_wr`` the number of local writes the segment can
-        complete (promotion cap).
+        Mirrors :meth:`NVMBuffer.admit`: a full buffer evicts the oldest
+        unlocked record (callers have already checked ``can_accept``).
         """
-        busy = self.dr_busy[idx].copy()
-        rho = self.dr_rho[idx].copy()
-        q = self.dr_q[idx].copy()
-        nu = self.dr_nu[idx].copy()
-        tau = self.tau[idx]
-        cyc = self.cycle[idx]
-        t_raw = self.t_raw[idx]
-        paused_writes = self.pause and producing
+        C = self.cap
+        full = self.ring_n[g] >= C
+        f = g[full]
+        if f.size:
+            j = np.argmax(self.ring_state[f] != _S_LOCKED, axis=1)
+            cols = np.arange(C)[None, :]
+            src = np.minimum(cols + (cols >= j[:, None]), C - 1)
+            self.ring_pos[f] = np.take_along_axis(self.ring_pos[f], src, axis=1)
+            self.ring_state[f] = np.take_along_axis(self.ring_state[f], src, axis=1)
+            self.dr_slot[f] = self.dr_slot[f] - (self.dr_slot[f] > j)
+            self.ring_n[f] = C - 1
+        slot = self.ring_n[g]
+        self.ring_pos[g, slot] = self.pos[g]
+        self.ring_state[g, slot] = _S_INFLIGHT
+        self.ring_n[g] = slot + 1
 
-        if paused_writes:
-            jD = np.floor(D / cyc)
-            U_end = jD * tau + np.minimum(D - jD * cyc, tau)
-        else:
-            U_end = D.astype(float).copy()
-        t_cur = np.zeros(len(idx))
-        u_cur = np.zeros(len(idx))
-        io_add = np.zeros(len(idx), dtype=np.int64)
-        active = np.ones(len(idx), dtype=bool)
+    def _drain_pick(self, g: np.ndarray) -> None:
+        """Lock the newest undrained completed record, or go idle.
 
-        while active.any():
-            idle = active & ~busy
-            if producing and idle.any():
-                nxt = np.floor(t_cur / cyc).astype(np.int64) + 1
-                t_w = nxt * cyc
-                can = idle & (nxt <= n_wr) & (t_w < D)
-                if can.any():
-                    busy[can] = True
-                    q[can] = p0[can] + nxt[can] * tau[can]
-                    rho[can] = t_raw[can]
-                    t_cur[can] = t_w[can]
-                    u_cur[can] = nxt[can] * tau[can] if paused_writes else t_w[can]
-                active &= ~(idle & ~can)
-            elif idle.any():
-                active &= ~idle
-            b = active & busy
-            if not b.any():
+        Mirrors :meth:`NVMBuffer.newest_undrained` — when only *older*
+        completed records remain, the drain locks one of those (a stale
+        drain) and the eventual I/O snapshot regresses, exactly as in the
+        DES.
+        """
+        if g.size == 0:
+            return
+        mask = self.ring_state[g] == _S_COMPLETED
+        has = mask.any(axis=1)
+        j = self.cap - 1 - np.argmax(mask[:, ::-1], axis=1)
+        h = g[has]
+        jh = j[has]
+        self.dr_slot[h] = jh
+        self.ring_state[h, jh] = _S_LOCKED
+        self.dr_rho[h] = self.t_raw[h]
+        self.dr_busy[h] = True
+        nh = g[~has]
+        self.dr_busy[nh] = False
+        self.dr_rho[nh] = 0.0
+        self.dr_slot[nh] = -1
+
+    def _drain_advance(self, g: np.ndarray, dur: np.ndarray) -> None:
+        """Advance the drain by ``dur`` unpaused wall seconds per row.
+
+        Completions land first (a drain finishing exactly at a window end
+        is processed before the host resumes — the stall path relies on
+        it), record the I/O snapshot, and re-pick from the ring.
+        """
+        if not self.is_ndp or g.size == 0:
+            return
+        rem = np.asarray(dur, dtype=float).copy()
+        while True:
+            fin = self.dr_busy[g] & (self.dr_rho[g] <= rem)
+            if not fin.any():
                 break
-            u_comp = u_cur + rho
-            fits = b & (u_comp < U_end)
-            nofit = b & ~fits
-            if nofit.any():
-                rho[nofit] -= U_end[nofit] - u_cur[nofit]
-                active[nofit] = False
-            if not fits.any():
-                continue
-            if paused_writes:
-                j = np.floor(u_comp / tau)
-                off = u_comp - j * tau
-                t_c = np.where(
-                    off > 0.0,
-                    j * cyc + off,
-                    np.maximum((j - 1.0) * cyc + tau, 0.0),
-                )
-            else:
-                t_c = u_comp
-            # One drain finishes: record the I/O snapshot and either take
-            # the newest completed-but-undrained checkpoint or go idle.
-            self.S[idx[fits]] = q[fits]
-            io_add[fits] += 1
-            if producing:
-                k_c = np.minimum(np.floor(t_c / cyc).astype(np.int64), n_wr)
-            else:
-                k_c = np.zeros(len(idx), dtype=np.int64)
-            cand = np.where(k_c >= 1, p0 + k_c * tau, -1.0)
-            cand = np.maximum(cand, nu)
-            newer = fits & (cand > q)
-            q[newer] = cand[newer]
-            rho[newer] = t_raw[newer]
-            stop = fits & ~newer
-            busy[stop] = False
-            rho[stop] = 0.0
-            nu[fits] = -1.0
-            t_cur[fits] = t_c[fits]
-            u_cur[fits] = u_comp[fits]
+            f = g[fin]
+            rem[fin] -= self.dr_rho[f]
+            slots = self.dr_slot[f]
+            self.ring_state[f, slots] = _S_ONIO
+            self.S[f] = self.ring_pos[f, slots]
+            self.io_ck[f] += 1
+            self._drain_pick(f)
+        busy = self.dr_busy[g]
+        gb = g[busy]
+        self.dr_rho[gb] = self.dr_rho[gb] - rem[busy]
 
-        self.io_ck[idx] += io_add
-        self.dr_busy[idx] = busy
-        self.dr_rho[idx] = rho
-        self.dr_q[idx] = q
-        self.dr_nu[idx] = nu
-
-    def _drain_close_window(self, idx: np.ndarray, cand_end: np.ndarray) -> None:
-        """End-of-window ν bookkeeping: the newest undrained checkpoint.
-
-        ``cand_end`` is the newest write completed inside the window
-        (-1 if none).  An idle drain has, by construction, consumed every
-        eligible checkpoint, so ν only survives on busy rows and only
-        while it is ahead of the drain position.
-        """
-        nu = np.maximum(self.dr_nu[idx], cand_end)
-        keep = self.dr_busy[idx] & (nu > self.dr_q[idx])
-        self.dr_nu[idx] = np.where(keep, nu, -1.0)
+    def _nvm_lost(self, g: np.ndarray) -> None:
+        """Drop NVM contents and abort any in-flight drain (DES `_nvm_lost`)."""
+        if self.has_local_level:
+            self.L[g] = -1.0
+            self.n_dead[g] = 0
+        if self.exact:
+            self.ring_n[g] = 0
+            self.ring_state[g] = _S_EMPTY
+        self.dr_busy[g] = False
+        self.dr_rho[g] = 0.0
+        self.dr_slot[g] = -1
 
     # -- one restore window --------------------------------------------------------
 
@@ -371,31 +398,40 @@ class _FastBatch:
         nf = self.next_fail[idx]
         interrupted = nf < self.t[idx] + rem
         dur = np.where(interrupted, nf - self.t[idx], rem)
-        cat = np.where(self.rest_cat_io[idx], _I_REST_IO, _I_REST_L)
-        np.add.at(self.acct, (idx, cat), dur)
-        if self.is_ndp:
-            # The drain runs unpaused during local restores; I/O-path
-            # restores already aborted it at decision time (busy=False).
-            self._drain_window(
-                idx, dur, producing=False, p0=self.pos[idx],
-                n_wr=np.zeros(idx.size, dtype=np.int64),
-            )
-            self._drain_close_window(idx, np.full(idx.size, -1.0))
+        # Partner restores are charged to restore_local like the DES
+        # (the paper lumps partner with the locally-saved level).
+        cat = np.where(self.rest_cat[idx] == _R_IO, _I_REST_IO, _I_REST_L)
+        self.acct[idx, cat] += dur
+        # The drain runs unpaused during local restores; partner and I/O
+        # recoveries aborted it at decision time, so advancing is a no-op.
+        self._drain_advance(idx, dur)
         self.t[idx] = np.where(interrupted, nf, self.t[idx] + rem)
         comp = idx[~interrupted]
         if comp.size:
             # Mirrors the tail of CRSimulation._recover: the failure
             # position (unchanged through interrupted restores) extends
-            # the rerun region, then the rollback lands.
+            # the rerun region, then the rollback lands, then a partner
+            # snapshot ahead of the new position is invalidated.
             self.R[comp] = np.maximum(self.R[comp], self.pos[comp])
+            cat_c = self.rest_cat[comp]
             self.pos[comp] = self.rollback[comp]
-            self.attr_io[comp] = self.rest_cat_io[comp]
-            self.rec_io[comp[self.rest_cat_io[comp]]] += 1
-            self.rec_l[comp[~self.rest_cat_io[comp]]] += 1
+            self.attr_io[comp] = cat_c == _R_IO
+            self.rec_l[comp[cat_c == _R_LOCAL]] += 1
+            self.rec_p[comp[cat_c == _R_PARTNER]] += 1
+            self.rec_io[comp[cat_c == _R_IO]] += 1
+            if self.has_partner:
+                stale = comp[self.partner_snap[comp] > self.pos[comp]]
+                self.partner_snap[stale] = -1.0
             self.state[comp] = _RUNNING
+            if self.exact:
+                # the host loop restarts at a fresh compute interval
+                self.ph[comp] = _P_COMPUTE
+                self.comp_rem[comp] = np.minimum(
+                    self.tau[comp], self.W[comp] - self.pos[comp]
+                )
         self.decide_mask[idx[interrupted]] = True
 
-    # -- one running window --------------------------------------------------------
+    # -- one running window: closed form -------------------------------------------
 
     def _layout(
         self, dt: np.ndarray, sub: np.ndarray
@@ -495,10 +531,6 @@ class _FastBatch:
                 self.loc_ck[dsub] += n_ck[sel]
                 self.io_ck[dsub] += n_push[sel]
             self.c[dsub] += n_ck[sel]
-            if self.is_ndp:
-                self._drain_window(
-                    dsub, T_done[sel], producing=True, p0=p0[sel], n_wr=n_ck[sel]
-                )
             self.t[dsub] += T_done[sel]
             self.pos[dsub] = self.W[dsub]
             self.state[dsub] = _DONE
@@ -532,30 +564,201 @@ class _FastBatch:
                 got = k >= 1
                 self.L[fsub[got]] = (p0_f + k * tau_f)[got]
                 if self.has_push:
+                    r_f = self.ratio[fsub]
+                    c0_f = c0[sel]
                     self.io_ck[fsub] += n_push_done
                     pushed = n_push_done >= 1
                     last_mult = (c0_f // r_f + n_push_done) * r_f
                     self.S[fsub[pushed]] = (p0_f + (last_mult - c0_f) * tau_f)[pushed]
+                # Dead-slot bookkeeping: an interrupted write's record
+                # occupies a slot forever; once ``cap - 1`` dead records
+                # sit above the newest completed one, this admit evicted
+                # it, so local recovery has nothing to land on.
+                nd = np.where(got, 0, self.n_dead[fsub])
+                evict = in_write & (nd >= self.cap_arr[fsub] - 1) & (self.L[fsub] >= 0.0)
+                self.L[fsub[evict]] = -1.0
+                self.n_dead[fsub] = nd + in_write
             self.c[fsub] += k
-            if self.is_ndp:
-                self._drain_window(
-                    fsub, dt, producing=True, p0=p0_f, n_wr=n_ck[sel]
-                )
-                self._drain_close_window(
-                    fsub, np.where(k >= 1, p0_f + k * tau_f, -1.0)
-                )
             self.pos[fsub] = p0_f + compute_adv
             self.t[fsub] = self.next_fail[fsub]
             self.decide_mask[fsub] = True
 
+    # -- one running window: exact segment walker ------------------------------------
+
+    def _to_next(self, g: np.ndarray, *, partner: bool, push: bool) -> None:
+        """Route rows leaving a completed segment to their next phase."""
+        if partner and self.has_partner and g.size:
+            due = (self.partner_every[g] > 0) & (
+                self.c[g] % np.maximum(self.partner_every[g], 1) == 0
+            )
+            pg = g[due]
+            self.ph[pg] = _P_PARTNER
+            self.seg_rem[pg] = self.delta_partner[pg]
+            g = g[~due]
+        if push and self.has_push and g.size:
+            due = self.c[g] % self.ratio[g] == 0
+            hg = g[due]
+            self.ph[hg] = _P_PUSH
+            self.seg_rem[hg] = self.delta_io[hg]
+            g = g[~due]
+        self.ph[g] = _P_COMPUTE
+        self.comp_rem[g] = np.minimum(self.tau[g], self.W[g] - self.pos[g])
+
+    def _live(self, phase: int) -> np.ndarray:
+        """Running rows in ``phase`` that have not failed this step."""
+        return np.nonzero(
+            (self.state == _RUNNING) & ~self.decide_mask & (self.ph == phase)
+        )[0]
+
+    def _step_running_exact(self) -> None:
+        """Advance every running trajectory by one cycle micro-segment.
+
+        Mirrors ``CRSimulation._host`` op for op: compute chunks split at
+        the rerun boundary, the stall-admit-write sequence against the
+        per-slot ring, then the partner copy and the host I/O push when
+        due.  Phase state persists on the batch, so each driver iteration
+        moves all rows one segment — a failed row is retired to
+        ``_decide`` the same iteration, a finished one to ``_DONE``.
+        """
+        # -- compute chunks (CRSimulation._compute_interval) --------
+        g = self._live(_P_COMPUTE)
+        if g.size:
+            run = g[self.comp_rem[g] > 1e-12]
+            if run.size:
+                pos = self.pos[run]
+                in_rerun = pos < self.R[run]
+                chunk = np.where(
+                    in_rerun,
+                    np.minimum(self.comp_rem[run], self.R[run] - pos),
+                    self.comp_rem[run],
+                )
+                failed = self.next_fail[run] < self.t[run] + chunk
+                adv = np.where(failed, self.next_fail[run] - self.t[run], chunk)
+                cat = np.where(
+                    in_rerun,
+                    np.where(self.attr_io[run], _I_RERUN_IO, _I_RERUN_L),
+                    _I_COMPUTE,
+                )
+                self.acct[run, cat] += adv
+                self._drain_advance(run, adv)
+                self.pos[run] = pos + adv
+                self.t[run] = self.t[run] + adv
+                self.comp_rem[run] -= adv
+                self.decide_mask[run[failed]] = True
+            # Interval exhausted (including just now): finish the run or
+            # enter the local write — same pass, so a full compute/write
+            # cycle costs one driver iteration.
+            g = self._live(_P_COMPUTE)
+            over = g[self.comp_rem[g] <= 1e-12]
+            if over.size:
+                fin = self.pos[over] >= self.W[over]
+                self.state[over[fin]] = _DONE
+                self.ph[over[~fin]] = _P_STALL
+
+        # -- admission gate (CRSimulation._checkpoint_local head) ----
+        g = self._live(_P_STALL)
+        if g.size:
+            if self.cap > 1:
+                # at most one slot is ever drain-locked, so a buffer with
+                # two or more slots always has a free or evictable one
+                can = np.ones(g.size, dtype=bool)
+            else:
+                can = (self.ring_n[g] < self.cap) | (
+                    self.ring_state[g] != _S_LOCKED
+                ).any(axis=1)
+            gc = g[can]
+            if gc.size:
+                self._ring_admit(gc)
+                self.ph[gc] = _P_WRITE
+                self.seg_rem[gc] = self.delta_l[gc]
+            gs = g[~can]
+            if gs.size:
+                # Every slot is drain-locked: the host blocks until the
+                # in-flight drain finishes (its completion is processed
+                # first), charging a stall; survivors re-check the gate.
+                rho = self.dr_rho[gs]
+                failed = self.next_fail[gs] < self.t[gs] + rho
+                dur = np.where(failed, self.next_fail[gs] - self.t[gs], rho)
+                self.stall[gs] += dur
+                self.acct[gs, _I_CKPT_L] += dur
+                self._drain_advance(gs, dur)
+                self.t[gs] = self.t[gs] + dur
+                self.decide_mask[gs[failed]] = True
+
+        # -- the local write (or its death by interrupt) -------------
+        g = self._live(_P_WRITE)
+        if g.size:
+            d = self.seg_rem[g]
+            failed = self.next_fail[g] < self.t[g] + d
+            dur = np.where(failed, self.next_fail[g] - self.t[g], d)
+            self.acct[g, _I_CKPT_L] += dur
+            if not self.pause:
+                self._drain_advance(g, dur)
+            self.t[g] = self.t[g] + dur
+            # an interrupted write's record stays in-flight (dead)
+            self.decide_mask[g[failed]] = True
+            go = g[~failed]
+            if go.size:
+                self.ring_state[go, self.ring_n[go] - 1] = _S_COMPLETED
+                self.c[go] += 1
+                self.loc_ck[go] += 1
+                if self.is_ndp:
+                    # doorbell: an idle drain locks the new record
+                    self._drain_pick(go[~self.dr_busy[go]])
+                self._to_next(go, partner=True, push=True)
+
+        # -- the partner copy (CRSimulation._checkpoint_partner) -----
+        g = self._live(_P_PARTNER) if self.has_partner else np.empty(0, dtype=np.int64)
+        if g.size:
+            d = self.seg_rem[g]
+            failed = self.next_fail[g] < self.t[g] + d
+            dur = np.where(failed, self.next_fail[g] - self.t[g], d)
+            self.acct[g, _I_CKPT_L] += dur
+            self._drain_advance(g, dur)
+            self.t[g] = self.t[g] + dur
+            self.decide_mask[g[failed]] = True
+            go = g[~failed]
+            if go.size:
+                self.partner_snap[go] = self.pos[go]
+                self.partner_ck[go] += 1
+                self._to_next(go, partner=False, push=True)
+
+        # -- the host I/O push (host strategy; no drain exists) ------
+        g = self._live(_P_PUSH) if self.has_push else np.empty(0, dtype=np.int64)
+        if g.size:
+            d = self.seg_rem[g]
+            failed = self.next_fail[g] < self.t[g] + d
+            dur = np.where(failed, self.next_fail[g] - self.t[g], d)
+            self.acct[g, _I_CKPT_IO] += dur
+            self.t[g] = self.t[g] + dur
+            self.decide_mask[g[failed]] = True
+            go = g[~failed]
+            if go.size:
+                self.S[go] = self.pos[go]
+                self.io_ck[go] += 1
+                self._to_next(go, partner=False, push=False)
+
     # -- recovery decision ---------------------------------------------------------
 
     def _decide(self, idx: np.ndarray) -> None:
-        """Pick each failed trajectory's recovery level (same draws as DES)."""
+        """Pick each failed trajectory's recovery level (same draws as DES).
+
+        Draw order per trajectory matches ``CRSimulation._recover``: the
+        local uniform only when a completed local record exists (and the
+        strategy draws at all), then the partner uniform only when local
+        lost out and a partner snapshot exists.
+        """
         self.failures[idx] += 1
+        if self.exact:
+            mask = self.ring_state[idx] >= _S_COMPLETED
+            has_local = mask.any(axis=1)
+            j = self.cap - 1 - np.argmax(mask[:, ::-1], axis=1)
+            lpos = np.where(has_local, self.ring_pos[idx, j], -1.0)
+        else:
+            lpos = self.L[idx]
+            has_local = lpos >= 0.0
         use_local = np.zeros(idx.size, dtype=bool)
         if self.has_local_level:
-            has_local = self.L[idx] >= 0.0
             if self.strategy == "local-only":
                 use_local = has_local
             else:
@@ -563,26 +766,38 @@ class _FastBatch:
                 if dsub.size:
                     u = self._rec_draws(dsub)
                     use_local[has_local] = u < self.p_local[dsub]
+        use_partner = np.zeros(idx.size, dtype=bool)
+        if self.has_partner:
+            elig = (
+                ~use_local
+                & (self.partner_every[idx] > 0)
+                & (self.partner_snap[idx] >= 0.0)
+            )
+            esub = idx[elig]
+            if esub.size:
+                u2 = self._rec_draws(esub)
+                use_partner[elig] = u2 < self.p_partner[esub]
         usub = idx[use_local]
-        isub = idx[~use_local]
         if usub.size:
-            self.rollback[usub] = self.L[usub]
+            self.rollback[usub] = lpos[use_local]
             self.rest_rem[usub] = self.restore_l[usub]
-            self.rest_cat_io[usub] = False
+            self.rest_cat[usub] = _R_LOCAL
+        psub = idx[use_partner]
+        if psub.size:
+            # NVM contents are lost; the restore streams from the partner
+            # over the interconnect (charged like a local restore).
+            self._nvm_lost(psub)
+            self.rollback[psub] = self.partner_snap[psub]
+            self.rest_rem[psub] = self.delta_partner[psub]
+            self.rest_cat[psub] = _R_PARTNER
+        io = ~use_local & ~use_partner
+        isub = idx[io]
         if isub.size:
-            # NVM contents are lost at decision time; any in-flight drain
-            # aborts (CRSimulation._nvm_lost).
-            if self.has_local_level:
-                self.L[isub] = -1.0
-            if self.is_ndp:
-                self.dr_busy[isub] = False
-                self.dr_rho[isub] = 0.0
-                self.dr_q[isub] = -1.0
-                self.dr_nu[isub] = -1.0
+            self._nvm_lost(isub)
             has_s = self.S[isub] >= 0.0
             self.rollback[isub] = np.where(has_s, self.S[isub], 0.0)
             self.rest_rem[isub] = np.where(has_s, self.restore_io[isub], 0.0)
-            self.rest_cat_io[isub] = True
+            self.rest_cat[isub] = _R_IO
         self.state[idx] = _RESTORING
         self._set_next_fail(idx)
 
@@ -590,12 +805,13 @@ class _FastBatch:
 
     def run(self) -> list[SimulationResult]:
         self._set_next_fail(np.arange(self.B))
+        step_running = self._step_running_exact if self.exact else self._step_running
         for _ in range(_MAX_ITER):
             if not (self.state != _DONE).any():
                 break
             self.decide_mask[:] = False
             self._step_restoring()
-            self._step_running()
+            step_running()
             pending = np.nonzero(self.decide_mask)[0]
             if pending.size:
                 self._decide(pending)
@@ -607,19 +823,28 @@ class _FastBatch:
         totals = self.acct.sum(axis=1)
         out = []
         for i in range(self.B):
+            # Failure behavior on degenerate state matches the DES run()
+            # argument order: the efficiency division raises
+            # ZeroDivisionError on a zero wall time first, then an empty
+            # accounting raises like TimeAccounting.breakdown.
+            efficiency = float(self.W[i]) / float(self.t[i])
+            if totals[i] <= 0.0:
+                raise ValueError("no time accounted yet")
             frac = self.acct[i] / totals[i]
             out.append(
                 SimulationResult(
                     work=float(self.W[i]),
                     wall_time=float(self.t[i]),
-                    efficiency=float(self.W[i] / self.t[i]),
+                    efficiency=efficiency,
                     breakdown=OverheadBreakdown(**dict(zip(_COMPONENTS, map(float, frac)))),
                     failures=int(self.failures[i]),
                     recoveries_local=int(self.rec_l[i]),
                     recoveries_io=int(self.rec_io[i]),
+                    recoveries_partner=int(self.rec_p[i]),
                     io_checkpoints=int(self.io_ck[i]),
                     local_checkpoints=int(self.loc_ck[i]),
-                    host_stall_time=0.0,
+                    partner_checkpoints=int(self.partner_ck[i]),
+                    host_stall_time=float(self.stall[i]),
                 )
             )
         return out
@@ -629,13 +854,20 @@ class _FastBatch:
 
 
 def _group_key(config: SimConfig) -> tuple:
-    return (config.strategy, config.pause_ndp_during_local, config.failure_times)
+    exact = _needs_exact(config)
+    return (
+        config.strategy,
+        config.pause_ndp_during_local,
+        config.failure_times,
+        exact,
+        config.nvm_capacity if exact else None,
+    )
 
 
 def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
     """Simulate every config, batching compatible ones into numpy passes.
 
-    Configs the closed form cannot represent (see
+    Configs the fast engine cannot represent (timeline tracing, see
     :func:`unsupported_reason`) run on the event-level DES individually;
     everything else is grouped by schedule shape and advanced together.
     Results come back in input order and are bit-for-bit independent of
@@ -651,18 +883,17 @@ def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
         else:
             groups.setdefault(_group_key(cfg), []).append(i)
     for members in groups.values():
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         batch = _FastBatch([configs[i] for i in members])
         for i, res in zip(members, batch.run()):
             results[i] = res
         _BATCHES.inc()
         _TRAJECTORIES.inc(len(members))
         if obs_trace.enabled():
-            end = time.monotonic()
             obs_trace.emit(
                 "fastpath",
-                end - (time.perf_counter() - t0),
-                end,
+                t0,
+                time.monotonic(),
                 "batch",
                 label=f"{batch.strategy}x{len(members)}",
                 attrs={"size": len(members), "strategy": batch.strategy},

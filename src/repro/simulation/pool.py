@@ -62,7 +62,10 @@ __all__ = [
 #: 2: ``SimConfig`` grew the ``engine`` field (DES vs vectorized fastpath);
 #: the field lands in the hash automatically, but pre-engine entries were
 #: keyed without it and must not be served for either engine.
-CACHE_SCHEMA = 2
+#: 3: the fast engine became exact (per-slot NVM ring, partner charging,
+#: real ``host_stall_time``); ``engine="fast"`` results recorded under
+#: schema 2 came from the approximate closed form and must not be served.
+CACHE_SCHEMA = 3
 
 #: Upper bound on seeds per chunk: small enough that progress callbacks
 #: stay responsive, large enough to amortize pickling and IPC.

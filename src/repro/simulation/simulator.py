@@ -105,11 +105,13 @@ class SimConfig:
         ignored.
     engine:
         ``"des"`` (default) walks the event-level simulator; ``"fast"``
-        advances the trajectory failure-to-failure in closed form on the
-        vectorized :mod:`~repro.simulation.fastpath` engine, drawing from
-        the same named RNG streams.  Configs the fast engine cannot
-        represent (tracing, partner level, single-slot NVM under
-        ``ndp``) transparently fall back to the DES.
+        advances the trajectory failure-to-failure on the vectorized
+        :mod:`~repro.simulation.fastpath` engine, drawing from the same
+        named RNG streams.  The fast engine models the NVM ring
+        per-slot and charges partner copies in closed form, so every
+        strategy, capacity, and partner cadence is supported; only
+        timeline tracing (which records individual events) transparently
+        falls back to the DES.
     trace:
         Optional :class:`TimelineRecorder` for Figure-3-style timelines.
     """

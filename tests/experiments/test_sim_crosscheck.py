@@ -1,0 +1,94 @@
+"""The figure experiments' simulation overlays: one grid pass, no fallbacks.
+
+ISSUE 6 rewired fig6-fig9 and the heatmap off one-config-at-a-time
+simulation loops: each experiment builds its whole strategy x parameter
+grid and sends it through a single :func:`~repro.simulation.simulate_grid`
+pass.  These tests pin the wiring (overlay keys appear, defaults stay
+analytic-only), the consistency of the overlay with the analytic model
+at moderate statistics, and the acceptance gate that the standard
+experiment grids never fall back to the DES.
+"""
+
+import pytest
+
+from repro.experiments import fig6, fig7, fig8, fig9, heatmap
+from repro.simulation import simulate_grid, unsupported_reason
+from repro.simulation.fastpath import _FALLBACKS
+
+QUICK = dict(simulate_seeds=2, simulate_mttis=5.0)
+
+
+class TestDefaultsStayAnalytic:
+    """simulate_seeds=0 (the default) must not touch the simulator."""
+
+    @pytest.mark.parametrize("mod", [fig6, fig7, fig8, fig9], ids=lambda m: m.__name__)
+    def test_no_sim_keys(self, mod):
+        res = mod.run()
+        assert all("sim" not in str(k) for row in res.rows for k in row)
+        assert "Simulated" not in res.text
+
+
+class TestOverlayWiring:
+    def test_fig8_overlay(self):
+        res = fig8.run(fractions=(0.1, 0.4), **QUICK)
+        for row in res.rows:
+            for lab in ("L-15GBps + I/O-NC", "L-2GBps + I/O-NC"):
+                assert 0.0 < row[f"sim {lab}"] <= 1.0
+        assert "Simulated" in res.text
+
+    def test_fig9_overlay(self):
+        res = fig9.run(mttis_min=(30, 90), **QUICK)
+        assert all(f"sim {lab}" in row for row in res.rows for lab in ("L-15GBps + I/O-N",))
+
+    def test_fig7_overlay(self):
+        res = fig7.run(**QUICK)
+        for row in res.rows:
+            assert 0.0 < row["sim_efficiency"] <= 1.0
+            assert 0.0 <= row["sim_rerun_io"] < 1.0
+
+    def test_fig6_overlay(self):
+        res = fig6.run(p_locals=(0.4,), **QUICK)
+        assert all("sim_average" in row for row in res.rows)
+
+    def test_heatmap_overlay(self):
+        res = heatmap.run(resolution=4, **QUICK)
+        assert "sim_mean_abs_gap" in res.headline
+        assert all("sim_advantage" in row for row in res.rows)
+
+
+class TestModelAgreement:
+    """At moderate statistics the simulated overlay tracks the model."""
+
+    def test_fig9_sim_tracks_model(self):
+        res = fig9.run(mttis_min=(30, 150), simulate_seeds=8, simulate_mttis=40.0)
+        for row in res.rows:
+            for lab in ("L-15GBps + I/O-NC", "L-15GBps + I/O-HC"):
+                assert row[f"sim {lab}"] == pytest.approx(row[lab], abs=0.08), lab
+
+
+class TestNoFallbacks:
+    """Acceptance gate: the standard experiment grids never hit the DES."""
+
+    def test_grids_supported_and_fallback_free(self):
+        flat = []
+        for grid in (
+            fig6.sim_configs(),
+            fig7.sim_configs(),
+            fig8.sim_configs(),
+            fig9.sim_configs(),
+        ):
+            stack = [grid]
+            while stack:
+                item = stack.pop()
+                if isinstance(item, list):
+                    stack.extend(item)
+                else:
+                    flat.append(item)
+        assert len(flat) >= 100  # the fig6-fig9 set is a real grid
+        for config in flat:
+            assert unsupported_reason(config) is None, config
+
+    def test_fallback_counter_untouched_by_grid_run(self):
+        before = _FALLBACKS.value()
+        simulate_grid(fig7.sim_configs(mttis=2.0), seeds=(0,))
+        assert _FALLBACKS.value() == before
