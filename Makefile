@@ -4,7 +4,7 @@
 PY      ?= python
 PYTEST   = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test test-fast smoke bench-parallel bench-runtime bench-obs bench-sim metrics-demo report
+.PHONY: test test-fast smoke bench-parallel bench-runtime bench-obs bench-sim bench-service serve-smoke metrics-demo report
 
 ## Full test suite (tier-1 gate).
 test:
@@ -61,6 +61,24 @@ bench-sim:
 	else \
 		PYTHONPATH=src $(PY) benchmarks/record_fastpath.py; \
 	fi
+
+## Capacity-planning service under zipfian load: records
+## BENCH_service.json on first run (batched+coalesced throughput vs
+## naive one-request-one-simulate dispatch, >=3x floor, byte-identity
+## verified); afterwards fails if the speedup regresses more than 40%
+## vs the recording or falls below the floor.
+bench-service:
+	@if [ -f BENCH_service.json ]; then \
+		PYTHONPATH=src $(PY) benchmarks/record_service.py --check; \
+	else \
+		PYTHONPATH=src $(PY) benchmarks/record_service.py; \
+	fi
+
+## Boot the service, fire a mixed request burst (simulate/sweep/optimize
+## across concurrent clients), verify byte-identity vs serial simulate
+## and that the /metrics counters moved.
+serve-smoke:
+	PYTHONPATH=src $(PY) benchmarks/record_service.py --smoke
 
 ## Run the calibrated C/R demo and print measured-vs-model drift tables.
 metrics-demo:

@@ -1,0 +1,389 @@
+#!/usr/bin/env python
+"""Record (or check) BENCH_service.json: service throughput under load.
+
+A closed-loop load generator drives the capacity-planning service with a
+zipfian config distribution — the "millions of users" traffic shape,
+where a few popular scenarios dominate and a long tail of variants
+trickles in — and measures two server configurations on the *same*
+workload:
+
+* **naive** — one-request-one-simulate dispatch: coalescing off,
+  batching off (``max_batch=1``), no shared result cache.  This is what
+  "every client pays full price" costs even with the process already
+  warm.
+* **service** — coalescing + micro-batching + the shared cache (cold at
+  start, so every hit reported was earned within the run).
+
+Recorded: requests/s, p50/p99 latency, coalesce rate, cache hit rate,
+mean fused fast-batch size, and the speedup.  The regression gate
+(``make bench-service``) re-measures and fails if the speedup drops
+below the hard floor (3x full mode, 1.5x ``--quick``) or regresses more
+than the tolerance vs the recording.
+
+Modes::
+
+    python benchmarks/record_service.py               # record full-size
+    python benchmarks/record_service.py --check       # regression gate
+    python benchmarks/record_service.py --quick       # tiny CI variant
+    python benchmarks/record_service.py --smoke       # boot + mixed burst
+
+Determinism note: besides the throughput numbers, the generator asserts
+that every distinct config's response bytes are identical across the
+whole run (coalesced, batched, cached or not) *and* equal to a serial
+in-process evaluation — the service-level determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import BackgroundServer, ServiceClient, ServiceConfig  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    canonical_dumps,
+    config_from_json,
+    result_to_json,
+)
+from repro.simulation import ResultCache, simulate  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Hard speedup floors (batched+coalesced vs naive) by mode.
+FLOOR_FULL = 3.0
+FLOOR_QUICK = 1.5
+#: --check fails if the speedup falls below tolerance * recorded value.
+TOLERANCE = 0.6
+
+
+def zipf_indices(n_items: int, n_draws: int, *, s: float = 1.1, seed: int = 7) -> list[int]:
+    """``n_draws`` zipfian draws over ``range(n_items)`` (rank-frequency
+    exponent ``s``), deterministic in ``seed``.
+
+    Hand-rolled inverse-CDF sampling over the finite harmonic weights so
+    the workload is reproducible byte-for-byte across runs and machines.
+    """
+    import random
+
+    weights = [1.0 / (rank + 1) ** s for rank in range(n_items)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_draws):
+        u = rng.random()
+        lo, hi = 0, n_items - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo)
+    return out
+
+
+def build_corpus(n_configs: int, work_mttis: float) -> list[dict]:
+    """``n_configs`` distinct simulate-request bodies (the config corpus).
+
+    Cheap-to-simulate scenarios (short MTTI, small checkpoints, modest
+    work targets) so the benchmark measures *service* overheads and
+    batching wins, not raw engine time.
+    """
+    corpus: list[dict] = []
+    strategies = ("ndp", "host", "io-only", "local-only")
+    for i in range(n_configs):
+        corpus.append(
+            {
+                "params": {
+                    "mtti": 600.0 + 60.0 * (i % 7),
+                    "checkpoint_size": 1e9 * (1 + i % 5),
+                    "local_interval": 100.0 + 10.0 * (i % 3),
+                },
+                "strategy": strategies[i % len(strategies)],
+                "ratio": 1 + (i % 4) if strategies[i % len(strategies)] == "host" else 1,
+                "compression": ("ndp-gzip1", "host-gzip1", "none")[i % 3],
+                "work_mttis": work_mttis,
+                "seed": i % 11,
+            }
+        )
+    return corpus
+
+
+class LoadResult:
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.responses: dict[int, bytes] = {}
+        self.errors: list[str] = []
+        self.lock = threading.Lock()
+
+
+def run_load(
+    port: int, corpus: list[dict], schedule: list[int], n_clients: int
+) -> tuple[LoadResult, float]:
+    """Drive ``schedule`` (a list of corpus indices) through ``n_clients``
+    closed-loop clients; returns per-request latencies and wall time."""
+    result = LoadResult()
+    shards = [schedule[i::n_clients] for i in range(n_clients)]
+
+    def client_loop(shard: list[int]) -> None:
+        with ServiceClient("127.0.0.1", port, timeout=300.0) as client:
+            for idx in shard:
+                t0 = time.perf_counter()
+                try:
+                    raw = client.post_raw("/v1/simulate", corpus[idx])
+                except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                    with result.lock:
+                        result.errors.append(f"config {idx}: {exc}")
+                    continue
+                dt = time.perf_counter() - t0
+                with result.lock:
+                    result.latencies.append(dt)
+                    prev = result.responses.setdefault(idx, raw)
+                    if prev != raw:
+                        result.errors.append(
+                            f"config {idx}: non-deterministic response bytes"
+                        )
+
+    threads = [
+        threading.Thread(target=client_loop, args=(shard,), daemon=True)
+        for shard in shards
+        if shard
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return result, time.perf_counter() - t0
+
+
+def verify_byte_identity(corpus: list[dict], responses: dict[int, bytes]) -> int:
+    """Every recorded response must equal a serial in-process evaluation."""
+    checked = 0
+    for idx, raw in sorted(responses.items()):
+        cfg = config_from_json(corpus[idx])
+        expected = canonical_dumps({"result": result_to_json(simulate(cfg))})
+        if raw != expected:
+            raise SystemExit(
+                f"BYTE-IDENTITY VIOLATION: config {idx} service response "
+                "differs from serial simulate()"
+            )
+        checked += 1
+    return checked
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    k = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[k]
+
+
+def measure(
+    corpus: list[dict],
+    schedule: list[int],
+    n_clients: int,
+    *,
+    naive: bool,
+    cache_dir: Path | None,
+) -> dict:
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    config = ServiceConfig(
+        port=0,
+        jobs=1,
+        cache=None if naive else cache,
+        batch_window=0.0 if naive else 0.002,
+        max_batch=1 if naive else 512,
+        max_inflight=2,
+        coalesce=not naive,
+    )
+    with BackgroundServer(config) as bg:
+        load, wall = run_load(bg.port, corpus, schedule, n_clients)
+        with ServiceClient("127.0.0.1", bg.port) as client:
+            stats = client.stats()
+    if load.errors:
+        raise SystemExit(
+            f"load generation errors ({len(load.errors)}): {load.errors[:5]}"
+        )
+    n = len(load.latencies)
+    coalesce = stats["coalesce"]
+    cache_stats = stats["cache"]
+    served = coalesce["primary"] + coalesce["coalesced"]
+    return {
+        "mode": "naive" if naive else "service",
+        "requests": n,
+        "wall_seconds": wall,
+        "requests_per_second": n / wall,
+        "p50_latency_ms": percentile(load.latencies, 0.50) * 1e3,
+        "p99_latency_ms": percentile(load.latencies, 0.99) * 1e3,
+        "mean_latency_ms": statistics.fmean(load.latencies) * 1e3,
+        "coalesce_rate": coalesce["coalesced"] / served if served else 0.0,
+        "cache_hit_rate": (
+            cache_stats["hits"] / (cache_stats["hits"] + cache_stats["misses"])
+            if cache_stats["hits"] + cache_stats["misses"]
+            else 0.0
+        ),
+        "mean_fused_batch": stats["batch"]["mean_fast_batch"],
+        "max_batch_seen": stats["batch"]["max_batch_seen"],
+        "responses": load.responses,
+    }
+
+
+def run_benchmark(quick: bool, tmp_cache: Path) -> dict:
+    if quick:
+        n_configs, n_requests, n_clients, work_mttis = 24, 160, 8, 5.0
+    else:
+        n_configs, n_requests, n_clients, work_mttis = 64, 640, 16, 10.0
+    corpus = build_corpus(n_configs, work_mttis)
+    schedule = zipf_indices(n_configs, n_requests)
+
+    print(
+        f"workload: {n_requests} requests over {n_configs} configs "
+        f"(zipfian), {n_clients} closed-loop clients, "
+        f"{work_mttis:.0f} MTTIs work each"
+    )
+    naive = measure(corpus, schedule, n_clients, naive=True, cache_dir=None)
+    print(
+        f"naive   : {naive['requests_per_second']:8.1f} req/s   "
+        f"p50 {naive['p50_latency_ms']:7.1f} ms   p99 {naive['p99_latency_ms']:7.1f} ms"
+    )
+    service = measure(
+        corpus, schedule, n_clients, naive=False, cache_dir=tmp_cache
+    )
+    print(
+        f"service : {service['requests_per_second']:8.1f} req/s   "
+        f"p50 {service['p50_latency_ms']:7.1f} ms   p99 {service['p99_latency_ms']:7.1f} ms   "
+        f"coalesce {service['coalesce_rate']:.0%}   cache {service['cache_hit_rate']:.0%}   "
+        f"fused batch {service['mean_fused_batch']:.1f}"
+    )
+
+    # Determinism: both modes answered every config identically, and
+    # identically to a serial in-process evaluation.
+    for idx, raw in service["responses"].items():
+        if idx in naive["responses"] and naive["responses"][idx] != raw:
+            raise SystemExit(
+                f"BYTE-IDENTITY VIOLATION: config {idx} differs naive vs service"
+            )
+    checked = verify_byte_identity(corpus, service["responses"])
+    print(f"byte-identity: {checked} distinct configs verified against serial simulate")
+
+    speedup = service["requests_per_second"] / naive["requests_per_second"]
+    print(f"speedup : {speedup:.2f}x (batched+coalesced vs naive dispatch)")
+    for side in (naive, service):
+        side.pop("responses")
+    return {
+        "benchmark": "service_throughput",
+        "quick": quick,
+        "workload": {
+            "n_configs": n_configs,
+            "n_requests": n_requests,
+            "n_clients": n_clients,
+            "work_mttis": work_mttis,
+            "zipf_s": 1.1,
+        },
+        "naive": naive,
+        "service": service,
+        "speedup": speedup,
+        "byte_identity_checked": checked,
+    }
+
+
+def smoke(port: int = 0) -> int:
+    """Boot a server, fire a mixed burst, check /metrics counters moved."""
+    corpus = build_corpus(8, 3.0)
+    with BackgroundServer(ServiceConfig(port=port, cache=None)) as bg:
+        with ServiceClient("127.0.0.1", bg.port) as client:
+            assert client.healthz() == {"status": "ok"}
+            schedule = zipf_indices(8, 24)
+            load, _wall = run_load(bg.port, corpus, schedule, n_clients=4)
+            if load.errors:
+                print(f"smoke errors: {load.errors[:3]}", file=sys.stderr)
+                return 1
+            client.sweep({"configs": corpus[:2], "seeds": [0, 1]})
+            client.optimize({"params": {"mtti": 1800.0}, "compression": "host-gzip1"})
+            text = client.metrics_text()
+            stats = client.stats()
+    checked = verify_byte_identity(corpus, load.responses)
+    required = [
+        "service_requests_total",
+        "service_batches_total",
+        "service_batched_requests_total",
+        "service_request_seconds",
+    ]
+    missing = [m for m in required if m not in text]
+    if missing:
+        print(f"smoke: /metrics missing {missing}", file=sys.stderr)
+        return 1
+    # Coalesced duplicates never reach the batcher, so submitted <=
+    # requests; but every request must be accounted for somewhere.
+    served = stats["coalesce"]["primary"] + stats["coalesce"]["coalesced"]
+    if stats["batch"]["submitted"] < 1 or served < len(schedule):
+        print("smoke: request accounting does not cover the burst", file=sys.stderr)
+        return 1
+    print(
+        f"serve-smoke ok: {stats['requests']} requests, "
+        f"{stats['batch']['batches']} batches, mean fused "
+        f"{stats['batch']['mean_fast_batch']:.1f}, {checked} configs byte-verified"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true", help="regression-gate mode")
+    ap.add_argument("--quick", action="store_true", help="tiny CI-sized workload")
+    ap.add_argument("--smoke", action="store_true", help="boot + burst + metrics check")
+    ap.add_argument("-o", "--output", type=Path, default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        record = run_benchmark(args.quick, Path(tmp) / "cache")
+
+    floor = FLOOR_QUICK if args.quick else FLOOR_FULL
+    if record["speedup"] < floor:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below the {floor}x floor",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.check and args.output.exists():
+        prior = json.loads(args.output.read_text())
+        bar = TOLERANCE * prior["speedup"]
+        if record["speedup"] < bar:
+            print(
+                f"FAIL: speedup {record['speedup']:.2f}x regressed below "
+                f"{TOLERANCE:.0%} of the recorded {prior['speedup']:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"ok: {record['speedup']:.2f}x vs recorded {prior['speedup']:.2f}x "
+            f"(floor {floor}x)"
+        )
+        return 0
+
+    args.output.write_text(json.dumps(record, indent=1))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

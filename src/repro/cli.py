@@ -13,6 +13,7 @@ Usage::
     python -m repro calibrate
     python -m repro trace --out run.jsonl experiment figure7
     python -m repro metrics --json drift.json
+    python -m repro serve --port 8077 --batch-window 0.002
 
 Options after ``-o``/``--override`` are ``key=value`` pairs forwarded to
 the experiment's ``run()`` (values parsed as Python literals when
@@ -250,6 +251,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+    from .simulation.pool import ResultCache
+
+    if args.jobs is not None and args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0 (0 = one per core): {args.jobs}")
+    cache = None if args.no_cache else ResultCache.default()
+    jobs = None if args.jobs == 0 else (args.jobs if args.jobs else 1)
+    serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=jobs,
+            cache=cache,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            coalesce=not args.no_coalesce,
+        )
+    )
+    return 0
+
+
 def _cmd_calibrate(_: argparse.Namespace) -> int:
     from .compression.study import paper_factor
     from .workloads.calibration import calibrate_precision, gzip1_factor
@@ -349,6 +373,51 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_me.add_argument("--json", metavar="PATH", help="also write the report as JSON")
     p_me.set_defaults(func=_cmd_metrics)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the capacity-planning HTTP service (simulate/sweep/optimize "
+        "with request coalescing and micro-batching; see docs/SERVICE.md)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_sv.add_argument("--port", type=int, default=8077, help="bind port (0 = any free)")
+    p_sv.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="pool workers per dispatched batch (0 = one per core; default 1, "
+        "inline in the dispatch thread)",
+    )
+    p_sv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="bounded micro-batching delay (default 2 ms)",
+    )
+    p_sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max simulate jobs fused per batch (1 disables fusion)",
+    )
+    p_sv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent batch dispatches (default 2)",
+    )
+    p_sv.add_argument(
+        "--no-cache", action="store_true", help="skip the shared on-disk result cache"
+    )
+    p_sv.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable identical-in-flight-request coalescing (benchmark baseline)",
+    )
+    p_sv.set_defaults(func=_cmd_serve)
 
     sub.add_parser(
         "calibrate", help="recompute proxy-app precision calibration"

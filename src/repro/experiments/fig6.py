@@ -114,7 +114,7 @@ def run(
     p_locals: tuple[float, ...] = DEFAULT_P_LOCALS,
     simulate_seeds: int = 0,
     simulate_mttis: float = 50.0,
-    jobs: int | None = 1,
+    jobs: int | None = None,
     cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Evaluate every Figure 6 bar; returns per-app and average results."""

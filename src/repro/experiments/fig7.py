@@ -66,7 +66,7 @@ def run(
     factor: float = 0.728,
     simulate_seeds: int = 0,
     simulate_mttis: float = 50.0,
-    jobs: int | None = 1,
+    jobs: int | None = None,
     cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Evaluate the four Figure 7 configurations."""

@@ -48,7 +48,7 @@ def run(
     p_local: float = 0.85,
     simulate_seeds: int = 0,
     simulate_mttis: float = 50.0,
-    jobs: int | None = 1,
+    jobs: int | None = None,
     cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Sweep MTTI for the five sensitivity configurations."""

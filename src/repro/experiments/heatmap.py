@@ -39,7 +39,7 @@ def run(
     p_local: float = 0.85,
     simulate_seeds: int = 0,
     simulate_mttis: float = 20.0,
-    jobs: int | None = 1,
+    jobs: int | None = None,
     cache: ResultCache | None = None,
 ) -> ExperimentResult:
     """Compute NDP-vs-host advantage over the (size, MTTI) plane.

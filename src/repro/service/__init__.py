@@ -1,0 +1,57 @@
+"""Capacity-planning service: a batching, coalescing API over the model.
+
+The simulation substrate (vectorized fast engine, worker pool, on-disk
+result cache, memoized optimizer) is built for throughput, but a fresh
+process per question pays full startup and shares nothing.  This package
+serves it instead: a long-lived asyncio HTTP/JSON server
+(:mod:`~repro.service.server`) where clients submit ``simulate`` /
+``sweep`` / ``optimize`` requests and the server squeezes the substrate:
+
+* **coalescing** (:mod:`~repro.service.coalescer`) — identical in-flight
+  configs (by :func:`~repro.simulation.pool.config_key`) attach to one
+  computation; every waiter receives the same result.
+* **micro-batching** (:mod:`~repro.service.batcher`) — a bounded-delay
+  batcher drains the request queue and fuses compatible fast-engine
+  configs into single :func:`~repro.simulation.fastpath.simulate_batch`
+  passes (via the existing worker pool), preserving the per-config
+  bit-identical determinism contract.
+* **shared state** — one process-wide
+  :class:`~repro.simulation.pool.ResultCache` and the memoized
+  ``core.optimizer._MEMO`` across all requests, plus ``/metrics``
+  (Prometheus text from :data:`repro.obs.metrics.REGISTRY`) and
+  ``/healthz``.
+
+Everything is stdlib: ``asyncio`` transports with hand-rolled HTTP/1.1
+framing, ``json`` bodies.  See ``docs/SERVICE.md`` for the API schema.
+"""
+
+from .batcher import Batcher, BatchStats
+from .client import ServiceClient, ServiceError
+from .coalescer import Coalescer
+from .protocol import (
+    ProtocolError,
+    canonical_dumps,
+    config_from_json,
+    model_result_to_json,
+    result_to_json,
+    sweep_rows_from_json,
+)
+from .server import BackgroundServer, ServiceConfig, ServiceServer, serve
+
+__all__ = [
+    "BackgroundServer",
+    "Batcher",
+    "BatchStats",
+    "Coalescer",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "canonical_dumps",
+    "config_from_json",
+    "model_result_to_json",
+    "result_to_json",
+    "serve",
+    "sweep_rows_from_json",
+]

@@ -1,0 +1,219 @@
+"""Bounded-delay micro-batching of simulate requests.
+
+The fast engine's throughput comes from batch size: one
+:func:`~repro.simulation.fastpath.simulate_batch` call over N compatible
+configs costs far less than N single-config calls (shared stream
+seeding, one vectorized driver loop).  A service receiving many small
+independent requests recreates exactly the workload shape that wastes
+it — unless requests are fused.
+
+:class:`Batcher` implements continuous micro-batching: submissions queue
+up; a drain task sleeps for a bounded ``window`` (the latency price of
+batching, default a few milliseconds), then drains up to ``max_batch``
+jobs and dispatches them to a thread-pool executor running the blocking
+batch runner (:func:`~repro.simulation.pool.run_simulations`, which
+fuses the fast-engine configs of each worker chunk into one
+``simulate_batch`` pass).  While a dispatch computes, new arrivals
+accumulate into the next batch — the same continuous-batching discipline
+VELOC's engine queue applies to checkpoint flushes.
+
+Two invariants the tests pin:
+
+* **Determinism** — batch composition never changes results: every
+  config owns its seed's RNG streams, so a fused response is
+  bit-identical to a serial one.
+* **Engine isolation** — DES-engine jobs are dispatched in a *separate*
+  group from fast-engine jobs, and inside the pool a chunk's DES configs
+  run through the per-config :func:`~repro.simulation.simulator.simulate`
+  loop; a DES request therefore never rides a fast-engine fused batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..obs import metrics as obs_metrics
+from ..simulation.simulator import SimConfig
+from ..simulation.stats import SimulationResult
+
+__all__ = ["Batcher", "BatchStats"]
+
+_BATCHES = obs_metrics.REGISTRY.counter(
+    "service_batches_total", "fused simulation batches dispatched, by engine"
+)
+_BATCHED = obs_metrics.REGISTRY.counter(
+    "service_batched_requests_total", "simulate jobs dispatched inside batches, by engine"
+)
+_QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
+    "service_queue_depth", "simulate jobs waiting for the next batch window"
+)
+_BATCH_SECONDS = obs_metrics.REGISTRY.histogram(
+    "service_batch_seconds", "wall seconds per dispatched batch"
+)
+
+
+@dataclass
+class BatchStats:
+    """Aggregate batching counters (the benchmark's raw material)."""
+
+    submitted: int = 0
+    batches: dict[str, int] = field(default_factory=lambda: {"fast": 0, "des": 0})
+    batched_jobs: dict[str, int] = field(default_factory=lambda: {"fast": 0, "des": 0})
+    max_batch_seen: int = 0
+
+    def mean_batch_size(self, engine: str = "fast") -> float:
+        """Mean jobs per dispatched batch for ``engine`` (0.0 if none)."""
+        n = self.batches.get(engine, 0)
+        return self.batched_jobs.get(engine, 0) / n if n else 0.0
+
+
+@dataclass
+class _Job:
+    config: SimConfig
+    future: asyncio.Future
+
+
+class Batcher:
+    """Queue + drain loop fusing submissions into batched runner calls.
+
+    Parameters
+    ----------
+    runner:
+        Blocking ``configs -> results`` callable (order-preserving), run
+        on the executor.  The server passes a closure over
+        :func:`~repro.simulation.pool.run_simulations` with its shared
+        cache.
+    window:
+        Bounded batching delay in seconds: the drain task sleeps this
+        long after waking so concurrent arrivals can join the batch.
+        ``0`` still yields to the event loop once, so requests that are
+        *already* queued fuse, but nothing waits for stragglers.
+    max_batch:
+        Jobs per dispatch, the fusion cap.  ``1`` disables fusion
+        entirely (the benchmark's naive baseline).
+    max_inflight:
+        Concurrent dispatches (executor threads).  While one batch
+        computes, the next accumulates — keep >= 2 so the queue never
+        idles behind a running batch.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[list[SimConfig]], Sequence[SimulationResult]],
+        *,
+        window: float = 0.002,
+        max_batch: int = 256,
+        max_inflight: int = 2,
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0: {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
+        self._runner = runner
+        self.window = window
+        self.max_batch = max_batch
+        self.stats = BatchStats()
+        self._queue: deque[_Job] = deque()
+        self._drainer: asyncio.Task | None = None
+        self._sem = asyncio.Semaphore(max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-batch"
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Stop accepting work and release the executor threads."""
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for the next batch window."""
+        return len(self._queue)
+
+    async def submit(self, config: SimConfig) -> SimulationResult:
+        """Queue one config; resolves with its simulation result.
+
+        Identical concurrent configs should be deduplicated *before*
+        submission (the server routes through the
+        :class:`~repro.service.coalescer.Coalescer`); the batcher fuses
+        *distinct* configs.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        job = _Job(config=config, future=loop.create_future())
+        self._queue.append(job)
+        self.stats.submitted += 1
+        _QUEUE_DEPTH.set(len(self._queue))
+        if self._drainer is None or self._drainer.done():
+            self._drainer = loop.create_task(self._drain_loop())
+        return await job.future
+
+    async def _drain_loop(self) -> None:
+        while self._queue and not self._closed:
+            if self.window > 0 and len(self._queue) < self.max_batch:
+                # Bounded delay so concurrent arrivals can fuse; skipped
+                # under backlog (a full batch is already waiting).
+                await asyncio.sleep(self.window)
+            else:
+                # Yield once: siblings already scheduled this tick get to
+                # enqueue and fuse, but nobody waits for future arrivals.
+                await asyncio.sleep(0)
+            jobs = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch, len(self._queue)))
+            ]
+            _QUEUE_DEPTH.set(len(self._queue))
+            if not jobs:
+                continue
+            # Engine isolation: DES jobs never share a dispatch with the
+            # fast-engine fusion group.
+            fast = [j for j in jobs if j.config.engine == "fast"]
+            des = [j for j in jobs if j.config.engine != "fast"]
+            for engine, group in (("fast", fast), ("des", des)):
+                if group:
+                    asyncio.get_running_loop().create_task(
+                        self._dispatch(engine, group)
+                    )
+
+    async def _dispatch(self, engine: str, jobs: list[_Job]) -> None:
+        loop = asyncio.get_running_loop()
+        async with self._sem:
+            t0 = loop.time()
+            configs = [j.config for j in jobs]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._runner, configs
+                )
+            except Exception as exc:  # runner failure fans out to all waiters
+                for job in jobs:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                return
+            finally:
+                _BATCH_SECONDS.observe(loop.time() - t0, engine=engine)
+                _BATCHES.inc(engine=engine)
+                _BATCHED.inc(len(jobs), engine=engine)
+                self.stats.batches[engine] = self.stats.batches.get(engine, 0) + 1
+                self.stats.batched_jobs[engine] = (
+                    self.stats.batched_jobs.get(engine, 0) + len(jobs)
+                )
+                self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(jobs))
+            if len(results) != len(jobs):  # pragma: no cover - defensive
+                exc = RuntimeError(
+                    f"runner returned {len(results)} results for {len(jobs)} configs"
+                )
+                for job in jobs:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                return
+            for job, result in zip(jobs, results):
+                if not job.future.done():
+                    job.future.set_result(result)

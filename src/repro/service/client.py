@@ -1,0 +1,100 @@
+"""Minimal blocking client for the capacity-planning service.
+
+A thin wrapper over :class:`http.client.HTTPConnection` (stdlib, keeps
+the connection alive across requests) used by the tests, the smoke
+target and the closed-loop load generator.  Each :class:`ServiceClient`
+owns one socket, so N concurrent clients = N threads each holding one
+connection — the classic closed-loop load model.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Non-200 response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One persistent connection to a service instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> bytes:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            resp = self._conn.getresponse()
+            data = resp.read()
+        except (http.client.HTTPException, OSError):
+            # One transparent reconnect: the server may have dropped an
+            # idle keep-alive connection between requests.
+            self._conn.close()
+            self._conn.request(method, path, body=payload, headers=headers)
+            resp = self._conn.getresponse()
+            data = resp.read()
+        if resp.status != 200:
+            try:
+                message = json.loads(data).get("error", data.decode("utf-8", "replace"))
+            except (ValueError, AttributeError):
+                message = data.decode("utf-8", "replace")
+            raise ServiceError(resp.status, message)
+        return data
+
+    # -- raw and typed entry points -------------------------------------------
+
+    def post_raw(self, path: str, body: dict) -> bytes:
+        """POST and return the raw response bytes (byte-identity tests)."""
+        return self._request("POST", path, body)
+
+    def get_raw(self, path: str) -> bytes:
+        """GET and return the raw response bytes."""
+        return self._request("GET", path)
+
+    def simulate(self, body: dict) -> dict:
+        """``POST /v1/simulate``; returns the parsed response object."""
+        return json.loads(self.post_raw("/v1/simulate", body))
+
+    def sweep(self, body: dict) -> dict:
+        """``POST /v1/sweep``."""
+        return json.loads(self.post_raw("/v1/sweep", body))
+
+    def optimize(self, body: dict) -> dict:
+        """``POST /v1/optimize``."""
+        return json.loads(self.post_raw("/v1/optimize", body))
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return json.loads(self.get_raw("/healthz"))
+
+    def stats(self) -> dict:
+        """``GET /stats`` — service counters."""
+        return json.loads(self.get_raw("/stats"))
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition."""
+        return self.get_raw("/metrics").decode("utf-8")

@@ -1,0 +1,93 @@
+"""In-flight request coalescing keyed by config hash.
+
+Under a skewed (zipfian) workload most concurrent requests ask the same
+question.  The coalescer makes the popular config cost one computation:
+the first submitter creates the in-flight entry and owns the work, every
+concurrent duplicate attaches to the same future, and all waiters
+receive the *same* result object.  Keys are
+:func:`~repro.simulation.pool.config_key` hashes, so "identical" means
+identical in the exact sense the on-disk result cache uses (every
+scenario knob, the seed, the engine, the cache schema version).
+
+Cancellation safety: waiters await a *shielded* view of the shared
+future, so a client disconnecting mid-flight cancels only its own wait —
+the computation keeps running and the remaining waiters are served.
+This is the semantics VELOC's engine queue gives concurrent checkpoint
+clients, applied to simulation requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["Coalescer"]
+
+T = TypeVar("T")
+
+_COALESCED = obs_metrics.REGISTRY.counter(
+    "service_coalesced_total",
+    "requests attached to an identical in-flight computation",
+)
+_PRIMARY = obs_metrics.REGISTRY.counter(
+    "service_coalesce_primary_total",
+    "requests that started a new in-flight computation",
+)
+
+
+class Coalescer:
+    """Deduplicate concurrent computations by key.
+
+    ``await coalescer.get(key, start)`` either attaches to the in-flight
+    computation registered under ``key`` or calls ``start()`` (which must
+    return an awaitable) and registers it.  The entry is removed when the
+    computation finishes, so *sequential* repeats recompute (that is the
+    result cache's job, not the coalescer's).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.primary = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def get(self, key: str, start: Callable[[], Awaitable[T]]) -> T:
+        """The result for ``key``, computing via ``start`` at most once
+        per in-flight window.
+
+        The primary waiter runs ``start()`` inside a task registered
+        under ``key``; duplicates share it.  Every waiter awaits through
+        :func:`asyncio.shield`, so cancelling one waiter never cancels
+        the shared computation or starves the others.  If the
+        computation itself fails, every waiter sees the same exception.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            _COALESCED.inc()
+            return await asyncio.shield(existing)
+
+        self.primary += 1
+        _PRIMARY.inc()
+        task = asyncio.ensure_future(start())
+        self._inflight[key] = task
+
+        def _cleanup(t: asyncio.Future) -> None:
+            self._inflight.pop(key, None)
+            # Retrieve the exception so an all-waiters-cancelled failure
+            # does not trip the event loop's "never retrieved" warning.
+            if not t.cancelled():
+                t.exception()
+
+        task.add_done_callback(_cleanup)
+        try:
+            return await asyncio.shield(task)
+        except asyncio.CancelledError:
+            # Only this waiter was cancelled; the shared task runs on for
+            # any coalesced waiters.  If nobody else is attached the
+            # result is simply dropped (the batcher may still cache it).
+            raise

@@ -1,0 +1,225 @@
+"""Request/response schema for the capacity-planning service.
+
+One place defines how JSON becomes typed scenario objects
+(:class:`~repro.core.configs.CRParameters`,
+:class:`~repro.core.configs.CompressionSpec`,
+:class:`~repro.simulation.simulator.SimConfig`) and how results go back
+out.  Two properties matter beyond ordinary parsing:
+
+* **Strictness** — unknown keys, wrong types and out-of-range values all
+  raise :class:`ProtocolError` (the server maps it to HTTP 400).  The
+  dataclasses' own ``__post_init__`` validation is reused rather than
+  duplicated; their ``ValueError`` messages pass through verbatim.
+* **Determinism** — :func:`canonical_dumps` renders every response with
+  sorted keys, compact separators and ``repr``-exact floats, so a
+  coalesced or batch-fused response is **byte-identical** to what a
+  serial, single-request evaluation of the same config would produce.
+  That is the service-level restatement of the pool's determinism
+  contract, and the equivalence tests assert it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+from ..core.configs import (
+    HOST_GZIP1,
+    NDP_GZIP1,
+    NO_COMPRESSION,
+    CompressionSpec,
+    CRParameters,
+)
+from ..core.model import ModelResult
+from ..simulation.simulator import SimConfig, default_work
+from ..simulation.stats import SimulationResult
+
+__all__ = [
+    "ProtocolError",
+    "COMPRESSION_PRESETS",
+    "canonical_dumps",
+    "compression_from_json",
+    "config_from_json",
+    "model_result_to_json",
+    "params_from_json",
+    "result_to_json",
+    "sweep_rows_from_json",
+]
+
+
+class ProtocolError(ValueError):
+    """Malformed request body (the server answers HTTP 400 with this)."""
+
+
+#: Named compression engines clients may reference instead of spelling
+#: out rates: the paper's host-side and NDP-side gzip(1) engines.
+COMPRESSION_PRESETS: dict[str, CompressionSpec] = {
+    "none": NO_COMPRESSION,
+    "host-gzip1": HOST_GZIP1,
+    "ndp-gzip1": NDP_GZIP1,
+}
+
+_PARAM_FIELDS = {f.name for f in dataclasses.fields(CRParameters)}
+_COMPRESSION_FIELDS = {f.name for f in dataclasses.fields(CompressionSpec)}
+#: SimConfig fields a request may set directly (``params``/``compression``
+#: arrive as nested objects; ``trace`` is a live in-process object and can
+#: never cross the wire; ``work`` competes with ``work_mttis``).
+_CONFIG_FIELDS = {
+    f.name for f in dataclasses.fields(SimConfig)
+} - {"params", "compression", "trace"}
+
+
+def _require_mapping(obj: Any, what: str) -> Mapping:
+    if not isinstance(obj, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def _reject_unknown(body: Mapping, allowed: set[str], what: str) -> None:
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise ProtocolError(
+            f"unknown {what} key(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def params_from_json(body: Any) -> CRParameters:
+    """``{"mtti": ..., "checkpoint_size": ...}`` -> :class:`CRParameters`.
+
+    Every field is optional (paper Table 4 defaults apply); unknown keys
+    and dataclass-level validation failures raise :class:`ProtocolError`.
+    """
+    if body is None:
+        return CRParameters()
+    body = _require_mapping(body, "params")
+    _reject_unknown(body, _PARAM_FIELDS, "params")
+    try:
+        return CRParameters(**body)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid params: {exc}") from exc
+
+
+def compression_from_json(body: Any) -> CompressionSpec:
+    """A preset name, ``null`` (no compression) or an explicit spec."""
+    if body is None:
+        return NO_COMPRESSION
+    if isinstance(body, str):
+        try:
+            return COMPRESSION_PRESETS[body]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown compression preset {body!r}; "
+                f"one of {sorted(COMPRESSION_PRESETS)}"
+            ) from None
+    body = _require_mapping(body, "compression")
+    _reject_unknown(body, _COMPRESSION_FIELDS, "compression")
+    try:
+        return CompressionSpec(**body)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid compression: {exc}") from exc
+
+
+def config_from_json(body: Any) -> SimConfig:
+    """One simulate-request body -> a fully validated :class:`SimConfig`.
+
+    Recognized keys: every :class:`SimConfig` field except ``trace``
+    (``params`` and ``compression`` as nested objects / preset names),
+    plus ``work_mttis`` — a work target expressed in mean-times-to-
+    interrupt (mutually exclusive with ``work``; default 50 MTTIs, small
+    enough for interactive latency, large enough for a stable estimate).
+
+    The service default engine is ``"fast"`` — batching is the point —
+    but a client may pin ``"des"`` and is then guaranteed to never ride
+    a fused fast-engine batch.
+    """
+    body = dict(_require_mapping(body, "request"))
+    _reject_unknown(
+        body, _CONFIG_FIELDS | {"params", "compression", "work_mttis"}, "request"
+    )
+    params = params_from_json(body.pop("params", None))
+    compression = compression_from_json(body.pop("compression", None))
+    work_mttis = body.pop("work_mttis", None)
+    if work_mttis is not None:
+        if "work" in body:
+            raise ProtocolError("give either work or work_mttis, not both")
+        try:
+            body["work"] = default_work(params, float(work_mttis))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid work_mttis: {exc}") from exc
+    body.setdefault("work", default_work(params, 50.0))
+    body.setdefault("engine", "fast")
+    if body.get("failure_times") is not None:
+        try:
+            body["failure_times"] = tuple(float(t) for t in body["failure_times"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid failure_times: {exc}") from exc
+    try:
+        return SimConfig(params=params, compression=compression, **body)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid request: {exc}") from exc
+
+
+def sweep_rows_from_json(body: Any) -> tuple[list[SimConfig], int, int]:
+    """A sweep-request body -> flat per-(cell, seed) config rows.
+
+    Schema: ``{"configs": [<simulate body>, ...], "seeds": [0, 1, ...]}``
+    plus an optional ``"detail"`` flag (consumed by the server: include
+    full per-seed results in each cell) — an explicit list of cells,
+    each replicated per seed (any ``seed``
+    on a cell is overwritten by the seed axis, exactly like
+    :func:`~repro.simulation.grid.simulate_grid`).  Returns
+    ``(rows, n_cells, n_seeds)`` with rows in cell-major order.
+    """
+    body = _require_mapping(body, "sweep request")
+    _reject_unknown(body, {"configs", "seeds", "detail"}, "sweep")
+    cells_raw = body.get("configs")
+    if not isinstance(cells_raw, (list, tuple)) or not cells_raw:
+        raise ProtocolError("sweep needs a non-empty 'configs' list")
+    seeds_raw = body.get("seeds", [0])
+    if not isinstance(seeds_raw, (list, tuple)) or not seeds_raw:
+        raise ProtocolError("sweep 'seeds' must be a non-empty list")
+    try:
+        seeds = [int(s) for s in seeds_raw]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid seeds: {exc}") from exc
+    cells = [config_from_json(c) for c in cells_raw]
+    rows = [dataclasses.replace(cfg, seed=s) for cfg in cells for s in seeds]
+    return rows, len(cells), len(seeds)
+
+
+# -- responses --------------------------------------------------------------------
+
+
+def result_to_json(result: SimulationResult) -> dict:
+    """A :class:`SimulationResult` as a plain JSON-able dict."""
+    out = dataclasses.asdict(result)
+    out["breakdown"] = dataclasses.asdict(result.breakdown)
+    return out
+
+
+def model_result_to_json(result: ModelResult) -> dict:
+    """A :class:`ModelResult` as a plain JSON-able dict (inputs echoed)."""
+    return {
+        "config": result.config,
+        "efficiency": result.efficiency,
+        "slowdown": result.slowdown,
+        "breakdown": dataclasses.asdict(result.breakdown),
+        "tau": result.tau,
+        "ratio": result.ratio,
+        "io_interval": result.io_interval,
+        "params": dataclasses.asdict(result.params),
+        "compression": dataclasses.asdict(result.compression),
+    }
+
+
+def canonical_dumps(payload: Any) -> bytes:
+    """Deterministic JSON bytes: sorted keys, compact, repr-exact floats.
+
+    Python's ``json`` renders floats via ``repr`` (shortest round-trip
+    form), so two equal results serialize to identical bytes on any
+    platform — the property the byte-identity acceptance tests pin.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=True
+    ).encode("utf-8")

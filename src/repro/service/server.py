@@ -1,0 +1,501 @@
+"""Asyncio HTTP/JSON server for the capacity-planning service.
+
+Hand-rolled HTTP/1.1 over ``asyncio.start_server`` — no framework, no
+third-party deps — with persistent connections (keep-alive matters: the
+closed-loop load generator reuses sockets, and per-request TCP setup
+would dominate at millisecond service times).
+
+Endpoints (see ``docs/SERVICE.md`` for the full schema):
+
+* ``POST /v1/simulate`` — one scenario; coalesced with identical
+  in-flight configs, micro-batched with compatible concurrent ones.
+* ``POST /v1/sweep`` — a list of cells x a seed axis; every row rides
+  the same coalescer/batcher, so concurrent sweeps fuse with each other
+  and with single simulates.
+* ``POST /v1/optimize`` — optimal host ratio via the process-wide
+  memoized model (``core.optimizer._MEMO``), coalesced by scenario.
+* ``GET /metrics`` — the process-global metrics registry in Prometheus
+  text format; ``GET /healthz`` — liveness; ``GET /stats`` — service
+  counters as JSON (what the benchmark reads).
+
+Shared state is the point: one :class:`~repro.simulation.pool.ResultCache`,
+one optimizer memo, one metrics registry across every client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.optimizer import optimal_host
+from ..obs import metrics as obs_metrics
+from ..simulation.batch import _t95
+from ..simulation.pool import ResultCache, config_key, run_simulations
+from ..simulation.simulator import SimConfig
+from ..simulation.stats import SimulationResult
+from .batcher import Batcher
+from .coalescer import Coalescer
+from .protocol import (
+    ProtocolError,
+    canonical_dumps,
+    compression_from_json,
+    config_from_json,
+    model_result_to_json,
+    params_from_json,
+    result_to_json,
+    sweep_rows_from_json,
+)
+
+__all__ = ["BackgroundServer", "ServiceConfig", "ServiceServer", "serve"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REQUESTS = obs_metrics.REGISTRY.counter(
+    "service_requests_total", "HTTP requests served, by endpoint and status"
+)
+_REQUEST_SECONDS = obs_metrics.REGISTRY.histogram(
+    "service_request_seconds", "request wall time, by endpoint"
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Server tuning knobs.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port 0 picks a free port (read it back from
+        :attr:`ServiceServer.port`).
+    jobs:
+        Worker processes per dispatched batch
+        (:func:`~repro.simulation.pool.run_simulations` semantics:
+        1 = inline in the dispatch thread, ``None`` = one per core).
+    cache:
+        Shared on-disk result cache; ``None`` disables it.
+    batch_window:
+        Bounded micro-batching delay, seconds.
+    max_batch:
+        Fusion cap per dispatched batch; 1 disables fusion (the
+        benchmark's naive baseline).
+    max_inflight:
+        Concurrent batch dispatches (executor threads).
+    coalesce:
+        Deduplicate identical in-flight configs.  Off, every duplicate
+        computes independently (the naive baseline).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    jobs: int | None = 1
+    cache: ResultCache | None = None
+    batch_window: float = 0.002
+    max_batch: int = 256
+    max_inflight: int = 2
+    coalesce: bool = True
+
+
+class ServiceServer:
+    """One service instance: shared state + the asyncio protocol loop."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = self.config.cache
+        self.coalescer = Coalescer()
+        self.batcher = Batcher(
+            self._run_batch,
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            max_inflight=self.config.max_inflight,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.monotonic()
+        self.requests = 0
+
+    # -- the blocking batch runner (executor thread) -------------------------
+
+    def _run_batch(self, configs: list[SimConfig]) -> Sequence[SimulationResult]:
+        """Run one fused batch through the pool runtime.
+
+        ``run_simulations`` sweeps the shared cache in one
+        :meth:`~repro.simulation.pool.ResultCache.get_many` pass, fuses
+        each chunk's fast-engine configs into a single
+        ``simulate_batch`` call, and stores new results with
+        :meth:`~repro.simulation.pool.ResultCache.put_many`.
+        """
+        return run_simulations(configs, jobs=self.config.jobs, cache=self.cache)
+
+    # -- request execution ----------------------------------------------------
+
+    async def _simulate(self, cfg: SimConfig) -> SimulationResult:
+        if not self.config.coalesce:
+            return await self.batcher.submit(cfg)
+        return await self.coalescer.get(
+            config_key(cfg), lambda: self.batcher.submit(cfg)
+        )
+
+    async def _handle_simulate(self, body: Any) -> dict:
+        cfg = config_from_json(body)
+        result = await self._simulate(cfg)
+        return {"result": result_to_json(result)}
+
+    async def _handle_sweep(self, body: Any) -> dict:
+        rows, n_cells, n_seeds = sweep_rows_from_json(body)
+        detail = bool(body.get("detail", False)) if isinstance(body, dict) else False
+        results = await asyncio.gather(*(self._simulate(cfg) for cfg in rows))
+        cells = []
+        for c in range(n_cells):
+            per_seed = results[c * n_seeds : (c + 1) * n_seeds]
+            effs = [r.efficiency for r in per_seed]
+            mean = sum(effs) / len(effs)
+            if len(effs) > 1:
+                var = sum((e - mean) ** 2 for e in effs) / (len(effs) - 1)
+                ci = _t95(len(effs) - 1) * (var**0.5) / (len(effs) ** 0.5)
+            else:
+                ci = float("inf")
+            cell: dict[str, Any] = {
+                "mean_efficiency": mean,
+                "ci95": ci,
+                "efficiencies": effs,
+            }
+            if detail:
+                cell["results"] = [result_to_json(r) for r in per_seed]
+            cells.append(cell)
+        return {"cells": cells, "n_cells": n_cells, "n_seeds": n_seeds}
+
+    async def _handle_optimize(self, body: Any) -> dict:
+        if not isinstance(body, dict):
+            raise ProtocolError("optimize request must be a JSON object")
+        unknown = sorted(set(body) - {"params", "compression", "rerun_accounting"})
+        if unknown:
+            raise ProtocolError(f"unknown optimize key(s) {unknown}")
+        params = params_from_json(body.get("params"))
+        compression = compression_from_json(body.get("compression"))
+        accounting = body.get("rerun_accounting", "paper")
+        if accounting not in ("paper", "staleness"):
+            raise ProtocolError(
+                f"rerun_accounting must be 'paper' or 'staleness': {accounting!r}"
+            )
+        key = "optimize:" + canonical_dumps(
+            {
+                "params": dataclasses.asdict(params),
+                "compression": dataclasses.asdict(compression),
+                "rerun_accounting": accounting,
+            }
+        ).decode()
+
+        async def _start() -> dict:
+            loop = asyncio.get_running_loop()
+            # The memoized model (core.optimizer._MEMO) is process-wide:
+            # every request warms it for every later request.
+            result = await loop.run_in_executor(
+                None, optimal_host, params, compression, accounting
+            )
+            return model_result_to_json(result)
+
+        if not self.config.coalesce:
+            payload = await _start()
+        else:
+            payload = await self.coalescer.get(key, _start)
+        return {"optimal": payload}
+
+    def _stats_payload(self) -> dict:
+        stats = self.batcher.stats
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests": self.requests,
+            "coalesce": {
+                "primary": self.coalescer.primary,
+                "coalesced": self.coalescer.coalesced,
+                "inflight": len(self.coalescer),
+            },
+            "batch": {
+                "submitted": stats.submitted,
+                "batches": dict(stats.batches),
+                "batched_jobs": dict(stats.batched_jobs),
+                "mean_fast_batch": stats.mean_batch_size("fast"),
+                "max_batch_seen": stats.max_batch_seen,
+                "queue_depth": self.batcher.queue_depth,
+            },
+            "cache": {
+                "enabled": self.cache is not None,
+                "hits": getattr(self.cache, "hits", 0),
+                "misses": getattr(self.cache, "misses", 0),
+            },
+        }
+
+    # -- HTTP framing ----------------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """One request off the wire, or ``None`` on a clean EOF."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _HttpError(400, "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(431, "request head too large") from exc
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError(431, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            if length < 0 or length > _MAX_BODY_BYTES:
+                raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    @staticmethod
+    def _response(
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        keep_alive: bool = True,
+    ) -> bytes:
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            413: "Payload Too Large",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error",
+        }.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + body
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        """Route one request; returns (status, body bytes, content type)."""
+        if path == "/healthz":
+            if method != "GET":
+                return 405, canonical_dumps({"error": "GET only"}), "application/json"
+            return 200, canonical_dumps({"status": "ok"}), "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, canonical_dumps({"error": "GET only"}), "application/json"
+            text = obs_metrics.REGISTRY.render_prometheus()
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+        if path == "/stats":
+            if method != "GET":
+                return 405, canonical_dumps({"error": "GET only"}), "application/json"
+            return 200, canonical_dumps(self._stats_payload()), "application/json"
+
+        handlers = {
+            "/v1/simulate": self._handle_simulate,
+            "/v1/sweep": self._handle_sweep,
+            "/v1/optimize": self._handle_optimize,
+        }
+        handler = handlers.get(path)
+        if handler is None:
+            return 404, canonical_dumps({"error": f"no such endpoint: {path}"}), "application/json"
+        if method != "POST":
+            return 405, canonical_dumps({"error": "POST only"}), "application/json"
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, canonical_dumps({"error": f"invalid JSON body: {exc}"}), "application/json"
+        try:
+            out = await handler(payload)
+        except ProtocolError as exc:
+            return 400, canonical_dumps({"error": str(exc)}), "application/json"
+        except Exception as exc:  # computation failure must not kill the server
+            return 500, canonical_dumps({"error": f"{type(exc).__name__}: {exc}"}), "application/json"
+        return 200, canonical_dumps(out), "application/json"
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    req = await self._read_request(reader)
+                except _HttpError as exc:
+                    writer.write(
+                        self._response(
+                            exc.status,
+                            canonical_dumps({"error": exc.message}),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if req is None:
+                    return
+                method, path, headers, body = req
+                endpoint = path if path.startswith("/v1/") or path in (
+                    "/metrics", "/healthz", "/stats"
+                ) else "other"
+                t0 = time.monotonic()
+                status, payload, ctype = await self._dispatch(method, path, body)
+                _REQUEST_SECONDS.observe(time.monotonic() - t0, endpoint=endpoint)
+                _REQUESTS.inc(endpoint=endpoint, status=str(status))
+                self.requests += 1
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                writer.write(
+                    self._response(status, payload, content_type=ctype, keep_alive=keep)
+                )
+                await writer.drain()
+                if not keep:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown while the connection idled
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, close the batcher and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.batcher.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (KeyboardInterrupt-friendly)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+
+class _HttpError(Exception):
+    """Framing-level failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def serve(config: ServiceConfig | None = None) -> None:
+    """Blocking entry point: run a server until interrupted."""
+    server = ServiceServer(config)
+
+    async def _main() -> None:
+        await server.start()
+        host, port = server.config.host, server.port
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """A server on its own thread + event loop (tests and benchmarks).
+
+    Use as a context manager::
+
+        with BackgroundServer(ServiceConfig(port=0)) as srv:
+            client = ServiceClient("127.0.0.1", srv.port)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.server = ServiceServer(config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self.port: int = -1
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10) or self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+                self.port = self.server.port
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                await self.server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.server.stop()
+
+        asyncio.run(_main())
+
+    def __exit__(self, *exc_info: object) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            loop.call_soon_threadsafe(self._cancel_all)
+            thread.join(timeout=10)
+
+    def _cancel_all(self) -> None:
+        assert self._loop is not None
+        for task in asyncio.all_tasks(self._loop):
+            task.cancel()

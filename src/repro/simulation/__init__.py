@@ -17,6 +17,7 @@ from .pool import (
     ResultCache,
     chunk_indices,
     config_key,
+    max_chunk,
     parallel_map,
     resolve_jobs,
     run_simulations,
@@ -38,6 +39,7 @@ __all__ = [
     "ResultCache",
     "chunk_indices",
     "config_key",
+    "max_chunk",
     "parallel_map",
     "resolve_jobs",
     "run_simulations",

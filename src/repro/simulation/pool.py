@@ -53,6 +53,7 @@ __all__ = [
     "ResultCache",
     "chunk_indices",
     "config_key",
+    "max_chunk",
     "parallel_map",
     "resolve_jobs",
     "run_simulations",
@@ -67,9 +68,38 @@ __all__ = [
 #: schema 2 came from the approximate closed form and must not be served.
 CACHE_SCHEMA = 3
 
-#: Upper bound on seeds per chunk: small enough that progress callbacks
-#: stay responsive, large enough to amortize pickling and IPC.
-_MAX_CHUNK = 16
+#: Baseline upper bound on seeds per chunk: small enough that progress
+#: callbacks stay responsive, large enough to amortize pickling and IPC.
+#: For large batches the effective cap scales up (see :func:`max_chunk`)
+#: so a service-fused 10k-config batch is not shattered into hundreds of
+#: tiny IPC chunks.
+_CHUNK_BASE = 16
+
+#: Environment override for the chunk cap (``REPRO_CHUNK=<n>``).
+_CHUNK_ENV = "REPRO_CHUNK"
+
+
+def max_chunk(total: int, jobs: int) -> int:
+    """The chunk-size cap for a batch of ``total`` runs on ``jobs`` workers.
+
+    ``REPRO_CHUNK`` overrides it outright.  Otherwise the cap is the
+    baseline 16 for interactive-scale sweeps but grows with the batch so
+    one batch never splits into more than ~16 chunks per worker: huge
+    service-fused batches keep IPC chunks proportionally big (and each
+    chunk's fast-engine configs run as **one** ``simulate_batch`` call,
+    so bigger chunks mean bigger fused passes).  Chunking never affects
+    results — only where each config executes.
+    """
+    env = os.environ.get(_CHUNK_ENV)
+    if env:
+        try:
+            cap = int(env)
+        except ValueError:
+            raise ValueError(f"{_CHUNK_ENV} must be an integer: {env!r}") from None
+        if cap < 1:
+            raise ValueError(f"{_CHUNK_ENV} must be >= 1: {cap}")
+        return cap
+    return max(_CHUNK_BASE, math.ceil(total / (16 * max(1, jobs))))
 
 # Batch-runtime counters: chunk/run volume plus result-cache traffic, so
 # a sweep's parallel efficiency and cache hit rate show up in
@@ -109,14 +139,18 @@ def chunk_indices(total: int, jobs: int, chunk_size: int | None = None) -> list[
     """Split ``range(total)`` into contiguous chunks for the pool.
 
     The default size aims at ~4 chunks per worker (load balancing against
-    per-chunk overhead), capped so progress reporting stays fine-grained.
+    per-chunk overhead), capped by :func:`max_chunk` so progress reporting
+    stays fine-grained on small sweeps while huge batches keep their
+    chunks proportionally big.
     """
     if total < 0:
         raise ValueError("total must be >= 0")
     if total == 0:
         return []
     if chunk_size is None:
-        chunk_size = max(1, min(_MAX_CHUNK, math.ceil(total / (4 * max(1, jobs)))))
+        chunk_size = max(
+            1, min(max_chunk(total, jobs), math.ceil(total / (4 * max(1, jobs))))
+        )
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
     return [range(lo, min(lo + chunk_size, total)) for lo in range(0, total, chunk_size)]
@@ -224,6 +258,31 @@ class ResultCache:
         tmp.write_text(json.dumps(_result_to_dict(result)))
         tmp.replace(path)
 
+    def get_many(self, keys: Iterable[str]) -> dict[str, SimulationResult]:
+        """One batched sweep: ``{key: result}`` for every key that hits.
+
+        Duplicate keys (a zipfian service batch is mostly duplicates)
+        cost **one** file open each — the hit/miss counters count unique
+        keys, matching the I/O actually performed.  Missing keys are
+        simply absent from the returned dict.
+        """
+        out: dict[str, SimulationResult] = {}
+        for key in dict.fromkeys(keys):  # preserves order, dedups
+            hit = self.get(key)
+            if hit is not None:
+                out[key] = hit
+        return out
+
+    def put_many(self, items: Iterable[tuple[str, SimulationResult]]) -> None:
+        """Store a batch of ``(key, result)`` pairs, one write per unique key.
+
+        Later duplicates win (irrelevant in practice: equal keys imply
+        equal results by the determinism contract).
+        """
+        unique: dict[str, SimulationResult] = dict(items)
+        for key, result in unique.items():
+            self.put(key, result)
+
 
 # -- observability ---------------------------------------------------------------
 
@@ -318,11 +377,17 @@ def run_simulations(
     if total == 0:
         return ()
 
-    # Serve what we can from the cache first.
+    # Serve what we can from the cache first — one batched get_many
+    # sweep, so duplicate configs in the batch cost one file open each.
     pending: list[tuple[int, SimConfig]] = []
+    keys: list[str | None] = [None] * total
     if cache is not None:
         for i, cfg in enumerate(configs):
-            hit = None if cfg.trace is not None else cache.get(config_key(cfg))
+            if cfg.trace is None:
+                keys[i] = config_key(cfg)
+        hits = cache.get_many(k for k in keys if k is not None)
+        for i, cfg in enumerate(configs):
+            hit = hits.get(keys[i]) if keys[i] is not None else None
             if hit is not None:
                 results[i] = hit
             else:
@@ -351,8 +416,10 @@ def run_simulations(
         nonlocal done
         for i, res in ran:
             results[i] = res
-            if cache is not None and configs[i].trace is None:
-                cache.put(config_key(configs[i]), res)
+        if cache is not None:
+            # One batched store per chunk (keys were hashed in the sweep;
+            # traced configs carry no key and are never cached).
+            cache.put_many((keys[i], res) for i, res in ran if keys[i] is not None)
         done += len(ran)
         _CHUNKS.inc()
         _RUNS.inc(len(ran))

@@ -1,0 +1,182 @@
+"""Micro-batcher: fusion, bounded delay, engine isolation, determinism."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.batcher import Batcher
+from repro.simulation import SimConfig, simulate
+
+
+def cfg(params, **kw):
+    defaults = dict(
+        params=params, strategy="ndp", work=params.mtti * 3, seed=0, engine="fast"
+    )
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class SpyRunner:
+    """Records every dispatched group, then simulates for real."""
+
+    def __init__(self):
+        self.groups = []
+        self.lock = threading.Lock()
+
+    def __call__(self, configs):
+        with self.lock:
+            self.groups.append(list(configs))
+        return [simulate(c) for c in configs]
+
+
+class TestFusion:
+    def test_concurrent_submissions_fuse_into_one_batch(self, params):
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.01, max_batch=64)
+            try:
+                configs = [cfg(params, seed=s) for s in range(6)]
+                results = await asyncio.gather(*(batcher.submit(c) for c in configs))
+                return configs, results
+            finally:
+                batcher.close()
+
+        configs, results = asyncio.run(main())
+        assert len(runner.groups) == 1  # all six fused
+        assert [r for r in results] == [simulate(c) for c in configs]
+
+    def test_fused_results_bit_identical_to_serial(self, params):
+        """Near-duplicate concurrent requests (same scenario, different
+        seeds) ride one fused batch and still match serial simulate."""
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.005, max_batch=32)
+            try:
+                variants = [
+                    cfg(params, seed=3),
+                    cfg(params, seed=4),
+                    cfg(params, strategy="host", ratio=2, seed=3),
+                    cfg(params, nvm_capacity=4, seed=5),
+                ]
+                out = await asyncio.gather(*(batcher.submit(v) for v in variants))
+                return variants, out
+            finally:
+                batcher.close()
+
+        variants, out = asyncio.run(main())
+        for v, r in zip(variants, out):
+            assert r == simulate(v)
+
+    def test_max_batch_one_disables_fusion(self, params):
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.0, max_batch=1)
+            try:
+                await asyncio.gather(
+                    *(batcher.submit(cfg(params, seed=s)) for s in range(4))
+                )
+            finally:
+                batcher.close()
+
+        asyncio.run(main())
+        assert all(len(g) == 1 for g in runner.groups)
+        assert len(runner.groups) == 4
+
+    def test_stats_track_fused_sizes(self, params):
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.01, max_batch=64)
+            try:
+                await asyncio.gather(
+                    *(batcher.submit(cfg(params, seed=s)) for s in range(5))
+                )
+                return batcher.stats
+            finally:
+                batcher.close()
+
+        stats = asyncio.run(main())
+        assert stats.submitted == 5
+        assert stats.batched_jobs["fast"] == 5
+        assert stats.mean_batch_size("fast") == pytest.approx(
+            5 / stats.batches["fast"]
+        )
+
+
+class TestEngineIsolation:
+    def test_des_never_rides_a_fast_fused_batch(self, params):
+        """ISSUE acceptance: DES-engine requests dispatch in their own
+        group, never inside the fast-engine fusion group."""
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.01, max_batch=64)
+            try:
+                mixed = [
+                    cfg(params, seed=0),
+                    cfg(params, seed=1, engine="des"),
+                    cfg(params, seed=2),
+                    cfg(params, seed=3, engine="des"),
+                ]
+                out = await asyncio.gather(*(batcher.submit(c) for c in mixed))
+                return mixed, out
+            finally:
+                batcher.close()
+
+        mixed, out = asyncio.run(main())
+        for group in runner.groups:
+            engines = {c.engine for c in group}
+            assert len(engines) == 1, f"mixed-engine dispatch: {engines}"
+        # Both engines' results still match serial evaluation.
+        for c, r in zip(mixed, out):
+            assert r == simulate(c)
+        assert batch_engines(runner) == {"fast", "des"}
+
+
+def batch_engines(runner: SpyRunner) -> set:
+    return {c.engine for g in runner.groups for c in g}
+
+
+class TestFailure:
+    def test_runner_failure_fans_out_to_all_waiters(self, params):
+        def broken(configs):
+            raise RuntimeError("worker pool on fire")
+
+        async def main():
+            batcher = Batcher(broken, window=0.005, max_batch=8)
+            try:
+                done = await asyncio.gather(
+                    *(batcher.submit(cfg(params, seed=s)) for s in range(3)),
+                    return_exceptions=True,
+                )
+                return done
+            finally:
+                batcher.close()
+
+        done = asyncio.run(main())
+        assert all(isinstance(d, RuntimeError) for d in done)
+
+    def test_closed_batcher_rejects_submissions(self, params):
+        async def main():
+            batcher = Batcher(lambda configs: [], window=0.0)
+            batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit(cfg(params))
+            return True
+
+        assert asyncio.run(main())
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        runner = lambda configs: []  # noqa: E731
+        with pytest.raises(ValueError):
+            Batcher(runner, window=-1.0)
+        with pytest.raises(ValueError):
+            Batcher(runner, max_batch=0)
+        with pytest.raises(ValueError):
+            Batcher(runner, max_inflight=0)

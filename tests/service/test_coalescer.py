@@ -1,0 +1,160 @@
+"""Coalescer semantics: dedup, shared results, cancellation isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.service.coalescer import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_share_one_computation(self):
+        async def main():
+            co = Coalescer()
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.01)
+                return object()
+
+            results = await asyncio.gather(
+                *(co.get("k", compute) for _ in range(5))
+            )
+            assert calls == 1
+            assert all(r is results[0] for r in results)  # the same object
+            assert co.primary == 1 and co.coalesced == 4
+            return True
+
+        assert run(main())
+
+    def test_distinct_keys_compute_independently(self):
+        async def main():
+            co = Coalescer()
+            calls = []
+
+            def make(key):
+                async def compute():
+                    calls.append(key)
+                    await asyncio.sleep(0.01)
+                    return key
+
+                return compute
+
+            out = await asyncio.gather(co.get("a", make("a")), co.get("b", make("b")))
+            assert sorted(calls) == ["a", "b"]
+            assert sorted(out) == ["a", "b"]
+            return True
+
+        assert run(main())
+
+    def test_sequential_repeats_recompute(self):
+        """The coalescer dedups *in-flight* work only (caching is the
+        ResultCache's job)."""
+
+        async def main():
+            co = Coalescer()
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            assert await co.get("k", compute) == 1
+            assert await co.get("k", compute) == 2
+            assert len(co) == 0
+            return True
+
+        assert run(main())
+
+    def test_shared_failure_fans_out(self):
+        async def main():
+            co = Coalescer()
+
+            async def boom():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("engine exploded")
+
+            tasks = [asyncio.ensure_future(co.get("k", boom)) for _ in range(3)]
+            done = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(d, RuntimeError) for d in done)
+            return True
+
+        assert run(main())
+
+
+class TestCancellation:
+    def test_cancelling_one_waiter_does_not_starve_the_others(self):
+        """ISSUE acceptance: a client disconnecting mid-flight leaves the
+        coalesced siblings (and the computation itself) untouched."""
+
+        async def main():
+            co = Coalescer()
+            started = asyncio.Event()
+
+            async def compute():
+                started.set()
+                await asyncio.sleep(0.05)
+                return "payload"
+
+            first = asyncio.ensure_future(co.get("k", compute))
+            await started.wait()
+            second = asyncio.ensure_future(co.get("k", compute))
+            third = asyncio.ensure_future(co.get("k", compute))
+            await asyncio.sleep(0)
+            first.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await first
+            assert await second == "payload"
+            assert await third == "payload"
+            return True
+
+        assert run(main())
+
+    def test_cancelling_the_primary_waiter_keeps_computation_alive(self):
+        async def main():
+            co = Coalescer()
+            finished = asyncio.Event()
+
+            async def compute():
+                await asyncio.sleep(0.02)
+                finished.set()
+                return 42
+
+            primary = asyncio.ensure_future(co.get("k", compute))
+            await asyncio.sleep(0.005)
+            follower = asyncio.ensure_future(co.get("k", compute))
+            await asyncio.sleep(0)
+            primary.cancel()
+            assert await follower == 42
+            assert finished.is_set()
+            return True
+
+        assert run(main())
+
+    def test_all_waiters_cancelled_swallows_the_orphan_result(self):
+        async def main():
+            co = Coalescer()
+
+            async def compute():
+                await asyncio.sleep(0.02)
+                return 1
+
+            only = asyncio.ensure_future(co.get("k", compute))
+            await asyncio.sleep(0.005)
+            only.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await only
+            # The orphan computation drains without tripping the loop's
+            # "exception never retrieved" machinery.
+            await asyncio.sleep(0.05)
+            assert len(co) == 0
+            return True
+
+        assert run(main())

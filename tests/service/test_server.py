@@ -1,0 +1,190 @@
+"""End-to-end over real sockets: byte-identity, shared state, HTTP edges."""
+
+import dataclasses
+import http.client
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    BackgroundServer,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    canonical_dumps,
+    config_from_json,
+    result_to_json,
+)
+from repro.simulation import simulate
+from repro.simulation.pool import ResultCache
+
+BODY = {"params": {"mtti": 600.0}, "strategy": "ndp", "work_mttis": 3, "seed": 1}
+
+
+def expected_bytes(body: dict) -> bytes:
+    """What a serial, single-request evaluation would answer, exactly."""
+    return canonical_dumps({"result": result_to_json(simulate(config_from_json(body)))})
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServiceConfig(port=0, jobs=1)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestLiveness:
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok"}
+
+    def test_metrics_exposes_service_and_pool_counters(self, client):
+        client.simulate(BODY)  # make sure the counters exist
+        text = client.metrics_text()
+        for name in ("service_requests_total", "service_batches_total", "pool_runs_total"):
+            assert name in text
+
+    def test_stats_shape(self, client):
+        client.simulate(BODY)
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["batch"]["submitted"] >= 1
+        assert stats["cache"] == {"enabled": False, "hits": 0, "misses": 0}
+        assert set(stats["coalesce"]) == {"primary", "coalesced", "inflight"}
+
+
+class TestByteIdentity:
+    def test_simulate_matches_serial_exactly(self, client):
+        assert client.post_raw("/v1/simulate", BODY) == expected_bytes(BODY)
+
+    def test_des_request_matches_serial_exactly(self, client):
+        body = dict(BODY, engine="des", seed=2)
+        assert client.post_raw("/v1/simulate", body) == expected_bytes(body)
+
+    def test_concurrent_duplicates_all_byte_identical(self, server):
+        """ISSUE acceptance: identical in-flight requests coalesce onto
+        one computation and every waiter gets the exact serial bytes."""
+        body = dict(BODY, seed=7)
+
+        def fire(_):
+            with ServiceClient("127.0.0.1", server.port) as c:
+                return c.post_raw("/v1/simulate", body)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            blobs = list(pool.map(fire, range(8)))
+        want = expected_bytes(body)
+        assert all(blob == want for blob in blobs)
+
+    def test_concurrent_near_duplicates_ride_fused_batches_exactly(self, server):
+        """Different seeds fuse into one simulate_batch call; each response
+        still matches its own serial evaluation byte-for-byte."""
+        bodies = [dict(BODY, seed=s) for s in range(20, 26)]
+
+        def fire(body):
+            with ServiceClient("127.0.0.1", server.port) as c:
+                return body, c.post_raw("/v1/simulate", body)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            out = list(pool.map(fire, bodies))
+        for body, blob in out:
+            assert blob == expected_bytes(body)
+
+
+class TestSweep:
+    def test_aggregates_match_serial_per_cell(self, client):
+        body = {
+            "configs": [
+                {"params": {"mtti": 600.0}, "strategy": "ndp", "work_mttis": 3},
+                {"params": {"mtti": 600.0}, "strategy": "host", "ratio": 2, "work_mttis": 3},
+            ],
+            "seeds": [0, 1, 2],
+        }
+        res = client.sweep(body)
+        assert (res["n_cells"], res["n_seeds"]) == (2, 3)
+        for cell_body, cell in zip(body["configs"], res["cells"]):
+            cfg = config_from_json(cell_body)
+            effs = [
+                simulate(dataclasses.replace(cfg, seed=s)).efficiency
+                for s in body["seeds"]
+            ]
+            assert cell["efficiencies"] == effs
+            assert cell["mean_efficiency"] == pytest.approx(sum(effs) / len(effs))
+            assert "results" not in cell  # detail defaults off
+
+    def test_detail_returns_full_results(self, client):
+        res = client.sweep(
+            {"configs": [dict(BODY)], "seeds": [0], "detail": True}
+        )
+        assert len(res["cells"][0]["results"]) == 1
+
+
+class TestOptimize:
+    def test_returns_model_optimum_deterministically(self, client):
+        body = {"params": {"mtti": 600.0}, "compression": "none"}
+        first = client.post_raw("/v1/optimize", body)
+        again = client.post_raw("/v1/optimize", body)
+        assert first == again
+        optimal = json.loads(first)["optimal"]
+        assert {"config", "efficiency", "ratio", "tau"} <= set(optimal)
+
+    def test_bad_accounting_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.optimize({"rerun_accounting": "optimism"})
+        assert err.value.status == 400
+
+
+class TestHttpEdges:
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.post_raw("/v1/teleport", {})
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.get_raw("/v1/simulate")
+        assert err.value.status == 405
+        with pytest.raises(ServiceError) as err:
+            client.post_raw("/healthz", {})
+        assert err.value.status == 405
+
+    def test_unknown_key_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.simulate({"warp_factor": 9})
+        assert err.value.status == 400
+        assert "warp_factor" in err.value.message
+
+    def test_invalid_json_body_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/simulate",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 400
+            assert "invalid JSON" in payload["error"]
+        finally:
+            conn.close()
+
+
+class TestSharedCache:
+    def test_repeat_requests_hit_the_process_wide_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "simcache")
+        config = ServiceConfig(port=0, jobs=1, cache=cache)
+        body = dict(BODY, seed=11)
+        with BackgroundServer(config) as srv:
+            with ServiceClient("127.0.0.1", srv.port) as c:
+                first = c.post_raw("/v1/simulate", body)
+                second = c.post_raw("/v1/simulate", body)
+                stats = c.stats()
+        assert first == second == expected_bytes(body)
+        assert stats["cache"]["enabled"] is True
+        assert stats["cache"]["hits"] >= 1
