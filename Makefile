@@ -53,8 +53,11 @@ bench-obs:
 ## Vectorized fastpath engine vs the baselines: records
 ## BENCH_sim_fastpath.json on first run (batch vs DES, >=8x floor; the
 ## fig6-fig9 grid through one simulate_grid pass vs a per-config loop,
-## >=10x floor; zero DES fallbacks); afterwards fails if either speedup
-## regresses more than 40% vs the recording or falls below its floor.
+## >=10x floor; the heterogeneous work x MTTI x capacity batch through
+## the fused + compacted walker vs the per-capacity uncompacted one,
+## >=1.5x floor, bit-identical; zero DES fallbacks); afterwards fails
+## if any speedup regresses more than 40% vs the recording or falls
+## below its floor.
 bench-sim:
 	@if [ -f BENCH_sim_fastpath.json ]; then \
 		PYTHONPATH=src $(PY) benchmarks/record_fastpath.py --check; \

@@ -1,6 +1,6 @@
 """Record the vectorized fastpath engine's speedup to BENCH_sim_fastpath.json.
 
-Two measurements, both verified before timing is trusted:
+Three measurements, all verified before timing is trusted:
 
 * **batch**: one validation-sized Monte-Carlo batch (host + NDP
   strategies, gzip compression, many seeds) twice on a single worker —
@@ -14,6 +14,12 @@ Two measurements, both verified before timing is trusted:
   :func:`repro.simulation.simulate_grid` pass.  Results must be
   bit-identical, and the whole set must run without a single DES
   fallback (``fastpath_fallbacks_total`` stays flat).
+* **hetero**: a straggler-heavy heterogeneous batch (mixed work targets
+  x MTTI scales x ``nvm_capacity``, >= 256 trajectories at full size)
+  once through the pre-ISSUE-8 walker (per-capacity groups, compaction
+  disabled) and once through the fused, actively-compacted engine.
+  Results must be bit-identical — the speedup comes purely from group
+  fusion and active-set compaction, never from changed trajectories.
 
 ::
 
@@ -24,12 +30,12 @@ Two measurements, both verified before timing is trusted:
 
 Recording fails (exit 1) below the ``--min-speedup`` floors: at full
 size 8x for the batch (the exact ring walker trades a little of the old
-approximate engine's top-end speed for bit-exactness) and 10x for the
-grid; 1.5x/2x with ``--quick`` (fixed per-batch costs amortize with
-batch size, so the smoke floors are deliberately loose).
-``--check`` re-measures and additionally fails if either speedup fell
-below 60% of its recorded value (the hard floor still applies; the DES
-leg's timing is load-noisy).
+approximate engine's top-end speed for bit-exactness), 10x for the
+grid and 1.5x for the hetero leg; 1.5x/2x/1.1x with ``--quick`` (fixed
+per-batch costs amortize with batch size, so the smoke floors are
+deliberately loose).  ``--check`` re-measures and additionally fails if
+any speedup fell below 60% of its recorded value (the hard floor still
+applies; the DES leg's timing is load-noisy).
 """
 
 from __future__ import annotations
@@ -46,7 +52,8 @@ from pathlib import Path
 
 from repro.core import HOST_GZIP1, NDP_GZIP1, paper_parameters
 from repro.simulation import SimConfig, simulate, simulate_grid
-from repro.simulation.fastpath import _FALLBACKS, simulate_batch
+from repro.simulation import fastpath
+from repro.simulation.fastpath import fallback_total, simulate_batch
 
 #: (strategy, compression, ratio) legs of the batch — the two multilevel
 #: configurations the validation experiment exercises hardest.
@@ -71,6 +78,54 @@ def _batch(seeds: int, mttis: float) -> list[SimConfig]:
         for seed in range(seeds)
         for strat, comp, ratio in LEGS
     ]
+
+
+#: The heterogeneous leg's axes: every trajectory gets a work target, an
+#: MTTI scale and an NVM capacity off these cycles, so rows finish at
+#: wildly different iteration counts and per-capacity grouping would
+#: split the batch four ways.
+_HETERO_CAPS = (1, 2, 3, 5)
+_HETERO_SCALES = (0.7, 1.0, 1.4)
+_HETERO_WORKS_FULL = (15.3, 40.3, 90.3, 150.3)
+_HETERO_WORKS_QUICK = (5.3, 10.3, 20.3, 30.3)
+
+
+def _hetero_configs(n: int, works: tuple[float, ...]) -> list[SimConfig]:
+    p = paper_parameters()
+    out = []
+    for i in range(n):
+        params = replace(p, mtti=p.mtti * _HETERO_SCALES[i % len(_HETERO_SCALES)])
+        out.append(SimConfig(
+            params=params, strategy="ndp", compression=NDP_GZIP1,
+            work=p.mtti * works[(i // 3) % len(works)],
+            seed=1000 + i,
+            nvm_capacity=_HETERO_CAPS[(i // 12) % len(_HETERO_CAPS)],
+            engine="fast"))
+    return out
+
+
+def _hetero_baseline(configs: list[SimConfig]) -> list:
+    """The pre-ISSUE-8 walker: per-capacity groups, no compaction.
+
+    Reproduces the old engine's execution shape exactly — each capacity
+    runs as its own full-width batch to the last straggler — while the
+    trajectories themselves are unchanged (bit-identity is asserted by
+    the caller).
+    """
+    saved = fastpath.COMPACT_THRESHOLD
+    fastpath.COMPACT_THRESHOLD = 0.0
+    try:
+        results: list = [None] * len(configs)
+        groups: dict[int, list[int]] = {}
+        for i, c in enumerate(configs):
+            groups.setdefault(c.nvm_capacity, []).append(i)
+        for cap in sorted(groups):
+            idxs = groups[cap]
+            for i, r in zip(idxs, simulate_batch([configs[i] for i in idxs])):
+                results[i] = r
+        return results
+    finally:
+        fastpath.COMPACT_THRESHOLD = saved
 
 
 def _grid_configs(mttis: float) -> list[SimConfig]:
@@ -159,8 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     grid_mttis = args.grid_mttis or (10.0 if args.quick else 50.0)
     floor_batch = args.min_speedup or (1.5 if args.quick else 8.0)
     floor_grid = args.min_speedup or (2.0 if args.quick else 10.0)
+    floor_hetero = args.min_speedup or (1.1 if args.quick else 1.5)
+    hetero_n = 64 if args.quick else 256
+    hetero_works = _HETERO_WORKS_QUICK if args.quick else _HETERO_WORKS_FULL
 
-    fallbacks_before = _FALLBACKS.value()
+    fallbacks_before = fallback_total()
 
     # -- batch measurement: DES vs one simulate_batch call -------------------
     configs = _batch(seeds, mttis)
@@ -200,7 +258,28 @@ def main(argv: list[str] | None = None) -> int:
     _log(f"  loop (per config)     {t_loop:8.2f} s")
     _log(f"  grid (one pass)       {t_grid:8.2f} s   ({grid_speedup:.1f}x)")
 
-    fallbacks = _FALLBACKS.value() - fallbacks_before
+    # -- hetero measurement: pre-PR walker vs fused + compacted --------------
+    hetero_cfgs = _hetero_configs(hetero_n, hetero_works)
+    _log(f"hetero: {len(hetero_cfgs)} trajectories "
+         f"({len(hetero_works)} work targets x {len(_HETERO_SCALES)} MTTI "
+         f"scales x {len(_HETERO_CAPS)} capacities), single worker")
+    t0 = time.perf_counter()
+    hetero_base = _hetero_baseline(hetero_cfgs)
+    t_hbase = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    hetero_fast = simulate_batch(hetero_cfgs)
+    t_hfast = time.perf_counter() - t0
+    hetero_speedup = t_hbase / t_hfast if t_hfast > 0 else float("inf")
+    for i, (a, b) in enumerate(zip(hetero_base, hetero_fast)):
+        if a != b:
+            raise SystemExit(
+                "FATAL: fused/compacted walker diverges from the "
+                f"per-capacity uncompacted baseline at index {i}")
+    _log(f"  base (split, no compaction) {t_hbase:8.2f} s")
+    _log(f"  fast (fused + compacted)    {t_hfast:8.2f} s   "
+         f"({hetero_speedup:.1f}x, bit-identical)")
+
+    fallbacks = fallback_total() - fallbacks_before
     if fallbacks:
         _log(f"FAIL: {fallbacks:g} DES fallback(s) during the standard config "
              "set; the fast engine must cover every experiment config")
@@ -212,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
         failed.append(f"batch speedup {speedup:.1f}x below the {floor_batch:g}x floor")
     if grid_speedup < floor_grid:
         failed.append(f"grid speedup {grid_speedup:.1f}x below the {floor_grid:g}x floor")
+    if hetero_speedup < floor_hetero:
+        failed.append(
+            f"hetero speedup {hetero_speedup:.1f}x below the {floor_hetero:g}x floor")
     if failed:
         for msg in failed:
             _log(f"FAIL: fastpath {msg}")
@@ -247,6 +329,19 @@ def main(argv: list[str] | None = None) -> int:
             "grid_seconds": round(t_grid, 4),
             "speedup": round(grid_speedup, 2),
         },
+        "hetero": {
+            "benchmark": ("heterogeneous work x MTTI x capacity batch: "
+                          "per-capacity uncompacted walker vs fused + compacted"),
+            "min_speedup": floor_hetero,
+            "trajectories": len(hetero_cfgs),
+            "work_targets_mttis": list(hetero_works),
+            "mtti_scales": list(_HETERO_SCALES),
+            "capacities": list(_HETERO_CAPS),
+            "baseline_seconds": round(t_hbase, 4),
+            "fused_seconds": round(t_hfast, 4),
+            "speedup": round(hetero_speedup, 2),
+            "bit_identical": True,
+        },
     }
 
     if args.check:
@@ -256,9 +351,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         baseline = json.loads(path.read_text())
         ok = True
-        for name, measured in (("batch", speedup), ("grid", grid_speedup)):
+        for name, measured in (
+            ("batch", speedup),
+            ("grid", grid_speedup),
+            ("hetero", hetero_speedup),
+        ):
             ref = baseline["speedup"] if name == "batch" else (
-                baseline.get("grid", {}).get("speedup"))
+                baseline.get(name, {}).get("speedup"))
             if ref is None:
                 _log(f"  check {name}: no recorded baseline entry, skipping")
                 continue
@@ -274,8 +373,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     Path(args.output).write_text(json.dumps(record, indent=1) + "\n")
-    _log(f"wrote {args.output}: fastpath {record['speedup']}x (batch) and "
-         f"{record['grid']['speedup']}x (grid) over the baselines")
+    _log(f"wrote {args.output}: fastpath {record['speedup']}x (batch), "
+         f"{record['grid']['speedup']}x (grid) and "
+         f"{record['hetero']['speedup']}x (hetero) over the baselines")
     return 0
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..obs import metrics as obs_metrics
+from ..simulation.pool import ResultCache, split_cached
 from ..simulation.simulator import SimConfig
 from ..simulation.stats import SimulationResult
 
@@ -54,6 +55,10 @@ _QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
 _BATCH_SECONDS = obs_metrics.REGISTRY.histogram(
     "service_batch_seconds", "wall seconds per dispatched batch"
 )
+_CACHE_SLICED = obs_metrics.REGISTRY.counter(
+    "service_batch_cache_hits_total",
+    "simulate jobs resolved from the result cache before dispatch, by engine",
+)
 
 
 @dataclass
@@ -64,6 +69,7 @@ class BatchStats:
     batches: dict[str, int] = field(default_factory=lambda: {"fast": 0, "des": 0})
     batched_jobs: dict[str, int] = field(default_factory=lambda: {"fast": 0, "des": 0})
     max_batch_seen: int = 0
+    cache_hits: int = 0
 
     def mean_batch_size(self, engine: str = "fast") -> float:
         """Mean jobs per dispatched batch for ``engine`` (0.0 if none)."""
@@ -99,6 +105,14 @@ class Batcher:
         Concurrent dispatches (executor threads).  While one batch
         computes, the next accumulates — keep >= 2 so the queue never
         idles behind a running batch.
+    cache:
+        Optional shared :class:`~repro.simulation.pool.ResultCache`.
+        When set, each drained batch is sliced against the cache *before*
+        engine dispatch (miss-only slicing): warm jobs resolve straight
+        from the cache and only the misses enter the fused
+        ``simulate_batch`` pass.  Results are unchanged — the runner's
+        pool performs the same lookup — but a partially warm batch no
+        longer drags its hits through full-width engine groups.
     """
 
     def __init__(
@@ -108,6 +122,7 @@ class Batcher:
         window: float = 0.002,
         max_batch: int = 256,
         max_inflight: int = 2,
+        cache: ResultCache | None = None,
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0: {window}")
@@ -116,6 +131,7 @@ class Batcher:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
         self._runner = runner
+        self.cache = cache
         self.window = window
         self.max_batch = max_batch
         self.stats = BatchStats()
@@ -186,6 +202,25 @@ class Batcher:
     async def _dispatch(self, engine: str, jobs: list[_Job]) -> None:
         loop = asyncio.get_running_loop()
         async with self._sem:
+            if self.cache is not None:
+                # Miss-only slicing: probe the cache off the event loop,
+                # resolve warm jobs immediately and dispatch only misses.
+                hits, pending, _ = await loop.run_in_executor(
+                    self._executor,
+                    split_cached,
+                    [j.config for j in jobs],
+                    self.cache,
+                )
+                n_hits = len(jobs) - len(pending)
+                if n_hits:
+                    for job, hit in zip(jobs, hits):
+                        if hit is not None and not job.future.done():
+                            job.future.set_result(hit)
+                    _CACHE_SLICED.inc(n_hits, engine=engine)
+                    self.stats.cache_hits += n_hits
+                    jobs = [jobs[i] for i, _ in pending]
+                    if not jobs:
+                        return
             t0 = loop.time()
             configs = [j.config for j in jobs]
             try:

@@ -113,6 +113,7 @@ class ServiceServer:
             window=self.config.batch_window,
             max_batch=self.config.max_batch,
             max_inflight=self.config.max_inflight,
+            cache=self.cache,
         )
         self._server: asyncio.AbstractServer | None = None
         self._started = time.monotonic()
@@ -221,6 +222,7 @@ class ServiceServer:
                 "batched_jobs": dict(stats.batched_jobs),
                 "mean_fast_batch": stats.mean_batch_size("fast"),
                 "max_batch_seen": stats.max_batch_seen,
+                "cache_hits": stats.cache_hits,
                 "queue_depth": self.batcher.queue_depth,
             },
             "cache": {

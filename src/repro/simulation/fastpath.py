@@ -51,10 +51,27 @@ identically to ``n`` scalar draws, so a fast-engine run sees *the same
 failure times and the same recovery decisions* as the DES run with the
 same seed.
 
+Cost is proportional to **live** trajectories, not batch width:
+
+* **Active-set compaction** — heterogeneous work targets and MTTIs make
+  trajectories finish at very different iteration counts; once the live
+  fraction of a batch drops below :data:`COMPACT_THRESHOLD`, finished
+  rows are scattered onto an input-order result store and every
+  per-trajectory array (parameters, accounting, ring slots, RNG buffers
+  and stream cursors) is gathered onto the survivors.  Every array
+  operation in the driver is elementwise across rows, so compaction is
+  bit-identical by construction — each trajectory owns its named
+  streams and its row of state, wherever that row lives.
+* **Cross-capacity group fusion** — exact-walker batches share one ring
+  slot dimension sized to the *group maximum* ``nvm_capacity``; rows
+  with smaller buffers carry inert ``_S_PAD`` slots that admission,
+  drain and recovery all ignore, so one walker advances mixed-capacity
+  sweeps (fig6–fig9 grids, zipfian service traffic) in a single pass.
+
 The only configuration that still needs the event-level DES is timeline
 tracing (``config.trace``), which by definition records individual
 events; those fall back per config and are counted on the
-``fastpath_fallbacks_total`` metric.
+``fastpath_fallbacks_total{reason=...}`` metric.
 """
 
 from __future__ import annotations
@@ -72,7 +89,7 @@ from .rng import StreamFactory
 from .simulator import CRSimulation, SimConfig
 from .stats import SimulationResult
 
-__all__ = ["simulate_fast", "simulate_batch", "unsupported_reason"]
+__all__ = ["fallback_total", "simulate_fast", "simulate_batch", "unsupported_reason"]
 
 _COMPONENTS = OverheadBreakdown.component_names()
 _I_COMPUTE = _COMPONENTS.index("compute")
@@ -88,8 +105,11 @@ _RUNNING, _RESTORING, _DONE = 0, 1, 2
 # Restore categories (mirrors CRSimulation._recover's three paths).
 _R_LOCAL, _R_PARTNER, _R_IO = 0, 1, 2
 
-# NVM slot states in the exact walker's per-slot ring model.
-_S_EMPTY, _S_INFLIGHT, _S_COMPLETED, _S_LOCKED, _S_ONIO = 0, 1, 2, 3, 4
+# NVM slot states in the exact walker's per-slot ring model.  _S_PAD
+# marks the inert columns a smaller-capacity row carries when fused into
+# a group padded to the group-max capacity: never admitted into, never
+# drained, never a recovery source, and never evictable.
+_S_EMPTY, _S_INFLIGHT, _S_COMPLETED, _S_LOCKED, _S_ONIO, _S_PAD = 0, 1, 2, 3, 4, 5
 
 # Walker phases: the host's position inside one checkpoint cycle.
 _P_COMPUTE, _P_STALL, _P_WRITE, _P_PARTNER, _P_PUSH = 0, 1, 2, 3, 4
@@ -104,6 +124,13 @@ _BLOCK = 128
 #: iteration (a few tens per window).
 _MAX_ITER = 2_000_000
 
+#: Compact the active set when the live fraction of a batch drops below
+#: this.  0.5 keeps total compaction work geometric (each compaction at
+#: least halves the width); 0.0 disables compaction outright (every row
+#: rides full-width arrays to the end — the pre-compaction behavior, and
+#: what the equivalence tests compare against).
+COMPACT_THRESHOLD = 0.5
+
 _BATCHES = obs_metrics.REGISTRY.counter(
     "fastpath_batches_total", "vectorized trajectory batches executed"
 )
@@ -111,8 +138,26 @@ _TRAJECTORIES = obs_metrics.REGISTRY.counter(
     "fastpath_trajectories_total", "trajectories simulated by the fast engine"
 )
 _FALLBACKS = obs_metrics.REGISTRY.counter(
-    "fastpath_fallbacks_total", "configs the fast engine handed back to the DES"
+    "fastpath_fallbacks_total",
+    "configs the fast engine handed back to the DES, by reason",
 )
+_LIVE_FRACTION = obs_metrics.REGISTRY.histogram(
+    "fastpath_live_fraction",
+    "live-trajectory fraction of a batch at each compaction point",
+    buckets=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
+_OCCUPANCY = obs_metrics.REGISTRY.gauge(
+    "fastpath_batch_occupancy",
+    "row-iterations / (width x iterations) of the last executed batch",
+)
+
+#: Human-readable fallback reasons -> the short ``reason`` label value.
+_FALLBACK_LABELS = {"timeline tracing records individual events": "trace"}
+
+
+def fallback_total() -> float:
+    """Total DES fallbacks summed across every ``reason`` label."""
+    return float(sum(value for _, value in _FALLBACKS.samples()))
 
 
 def unsupported_reason(config: SimConfig) -> str | None:
@@ -134,6 +179,29 @@ def _needs_exact(config: SimConfig) -> bool:
     )
 
 
+#: Per-trajectory outputs scattered into the input-order result store
+#: when a row retires from the active set.
+_FIN_FIELDS = (
+    "t", "acct", "failures", "rec_l", "rec_p", "rec_io",
+    "io_ck", "loc_ck", "partner_ck", "stall",
+)
+
+#: Every per-trajectory array gathered onto the survivors at a
+#: compaction (exact-walker batches add their ring/phase arrays).
+_ROW_ARRAYS = (
+    "mtti", "W", "tau", "delta_l", "delta_io", "delta_c", "cycle",
+    "restore_l", "restore_io", "p_local", "ratio", "shape", "cap_arr",
+    "t_raw", "partner_every", "delta_partner", "p_partner",
+    "t", "pos", "R", "attr_io", "c", "state", "acct", "L", "S",
+    "partner_snap", "next_fail", "decide_mask", "n_dead",
+    "failures", "rec_l", "rec_p", "rec_io", "io_ck", "loc_ck",
+    "partner_ck", "stall", "rest_rem", "rest_cat", "rollback",
+    "dr_busy", "dr_rho", "dr_slot",
+    "_fail_buf", "_fail_ptr", "_rec_buf", "_rec_ptr", "_times_ptr",
+    "orig",
+)
+
+
 # -- batched engine ---------------------------------------------------------------
 
 
@@ -141,14 +209,24 @@ class _FastBatch:
     """One vectorized batch: trajectories sharing strategy/pause/replay mode.
 
     Every per-scenario quantity (MTTI, work target, commit times, ratio,
-    Weibull shape, ...) is a per-trajectory array, so heterogeneous
-    configs batch together as long as the *schedule shape* matches.
-    Exact-walker batches additionally share the NVM capacity (the ring
-    arrays have a common slot dimension).
+    Weibull shape, NVM capacity, ...) is a per-trajectory array, so
+    heterogeneous configs batch together as long as the *schedule shape*
+    matches.  Exact-walker batches pad their ring arrays to the group's
+    maximum capacity (inert ``_S_PAD`` slots), so mixed capacities fuse
+    into one group.
+
+    ``idx`` selects the batch's rows out of ``configs`` — the group
+    index array built once by :func:`simulate_batch`; the constructor
+    reads straight through it (one pass, no intermediate per-group
+    config lists).  As trajectories finish, :meth:`_retire` scatters
+    their results back to input order and compacts every per-row array
+    onto the survivors.
     """
 
-    def __init__(self, configs: Sequence[SimConfig]):
-        cfg0 = configs[0]
+    def __init__(self, configs: Sequence[SimConfig], idx: np.ndarray | None = None):
+        if idx is None:
+            idx = np.arange(len(configs), dtype=np.intp)
+        cfg0 = configs[int(idx[0])]
         self.strategy = cfg0.strategy
         self.pause = cfg0.pause_ndp_during_local
         self.is_ndp = self.strategy == "ndp"
@@ -164,42 +242,52 @@ class _FastBatch:
         else:
             self.times = None
 
-        B = self.B = len(configs)
-        p = [c.params for c in configs]
-        self.mtti = np.array([x.mtti for x in p])
-        self.W = np.array([c.work for c in configs])
-        self.tau = np.array([x.tau for x in p])
-        self.delta_l = np.array([x.local_commit_time for x in p])
-        self.delta_io = np.array(
-            [x.io_commit_time(c.compression) for x, c in zip(p, configs)]
-        )
-        self.restore_l = np.array(
-            [x.local_restore_time + x.restart_overhead for x in p]
-        )
-        self.restore_io = np.array(
-            [x.io_restore_time(c.compression) + x.restart_overhead for x, c in zip(p, configs)]
-        )
-        self.p_local = np.array([x.p_local_recovery for x in p])
-        self.ratio = np.array([c.ratio for c in configs], dtype=np.int64)
-        self.shape = np.array([c.failure_shape for c in configs])
-        self.cap_arr = np.array([c.nvm_capacity for c in configs], dtype=np.int64)
+        B = self.B = int(idx.size)
+        self.mtti = np.empty(B)
+        self.W = np.empty(B)
+        self.tau = np.empty(B)
+        self.delta_l = np.empty(B)
+        self.delta_io = np.empty(B)
+        self.restore_l = np.empty(B)
+        self.restore_io = np.empty(B)
+        self.p_local = np.empty(B)
+        self.ratio = np.empty(B, dtype=np.int64)
+        self.shape = np.empty(B)
+        self.cap_arr = np.empty(B, dtype=np.int64)
         # Drain wall time for one checkpoint while unpaused — the
         # min(io_bw/(1-f), compress_rate) bound expressed as seconds.
-        self.t_raw = np.array(
-            [
-                max(
-                    c.compression.compressed_size(x.checkpoint_size) / x.io_bandwidth,
-                    x.checkpoint_size / c.compression.compress_rate,
-                )
-                for x, c in zip(p, configs)
-            ]
-        )
+        self.t_raw = np.empty(B)
         # Partner level (walker-only; 0 disables per trajectory).
-        self.partner_every = np.array([c.partner_every for c in configs], dtype=np.int64)
-        self.delta_partner = np.array(
-            [x.checkpoint_size / c.partner_bandwidth for x, c in zip(p, configs)]
-        )
-        self.p_partner = np.array([c.p_partner_recovery for c in configs])
+        self.partner_every = np.empty(B, dtype=np.int64)
+        self.delta_partner = np.empty(B)
+        self.p_partner = np.empty(B)
+        # Named per-seed streams — identical to the DES's.
+        self._rng_fail = []
+        self._rng_rec = []
+        for row in range(B):
+            c = configs[int(idx[row])]
+            x = c.params
+            self.mtti[row] = x.mtti
+            self.W[row] = c.work
+            self.tau[row] = x.tau
+            self.delta_l[row] = x.local_commit_time
+            self.delta_io[row] = x.io_commit_time(c.compression)
+            self.restore_l[row] = x.local_restore_time + x.restart_overhead
+            self.restore_io[row] = x.io_restore_time(c.compression) + x.restart_overhead
+            self.p_local[row] = x.p_local_recovery
+            self.ratio[row] = c.ratio
+            self.shape[row] = c.failure_shape
+            self.cap_arr[row] = c.nvm_capacity
+            self.t_raw[row] = max(
+                c.compression.compressed_size(x.checkpoint_size) / x.io_bandwidth,
+                x.checkpoint_size / c.compression.compress_rate,
+            )
+            self.partner_every[row] = c.partner_every
+            self.delta_partner[row] = x.checkpoint_size / c.partner_bandwidth
+            self.p_partner[row] = c.p_partner_recovery
+            streams = StreamFactory(c.seed)
+            self._rng_fail.append(streams.get("failures"))
+            self._rng_rec.append(streams.get("recovery"))
         self.has_partner = bool((self.partner_every > 0).any())
         # Per-cycle commit charge: io-only commits straight to I/O.
         self.delta_c = self.delta_io if self.io_write else self.delta_l
@@ -241,14 +329,17 @@ class _FastBatch:
         self.rollback = np.zeros(B)
 
         # Exact walker: the NVM ring, one row of slots per trajectory
-        # (oldest first, slots >= ring_n empty), plus the drain's target
+        # (oldest first, slots >= ring_n empty), padded to the group-max
+        # capacity with inert _S_PAD columns, plus the drain's target
         # slot and its remaining unpaused wall seconds.  The walker's
         # cycle phase persists across driver iterations so every row
         # advances one micro-segment per step (no stragglers).
         if self.exact:
-            self.cap = cfg0.nvm_capacity
+            self.cap = int(self.cap_arr.max())
+            self._pad = np.arange(self.cap)[None, :] >= self.cap_arr[:, None]
+            self._uniform_multi = bool((self.cap_arr > 1).all())
             self.ring_pos = np.zeros((B, self.cap))
-            self.ring_state = np.zeros((B, self.cap), dtype=np.int8)
+            self.ring_state = np.where(self._pad, _S_PAD, _S_EMPTY).astype(np.int8)
             self.ring_n = np.zeros(B, dtype=np.int64)
             self.ph = np.zeros(B, dtype=np.int8)
             self.comp_rem = np.minimum(self.tau, self.W)
@@ -257,15 +348,27 @@ class _FastBatch:
         self.dr_rho = np.zeros(B)
         self.dr_slot = np.full(B, -1, dtype=np.int64)
 
-        # Named per-seed streams — identical to the DES's.
-        streams = [StreamFactory(c.seed) for c in configs]
-        self._rng_fail = [s.get("failures") for s in streams]
-        self._rng_rec = [s.get("recovery") for s in streams]
+        # Blocked draws off the named streams (refills consume the
+        # underlying stream exactly like that many scalar draws would).
         self._fail_buf = np.zeros((B, _BLOCK))
         self._fail_ptr = np.full(B, _BLOCK, dtype=np.int64)
         self._rec_buf = np.zeros((B, _BLOCK))
         self._rec_ptr = np.full(B, _BLOCK, dtype=np.int64)
         self._times_ptr = np.zeros(B, dtype=np.int64)
+
+        # Active-set compaction: ``orig`` maps the current row to its
+        # input position; finished rows scatter their outputs into the
+        # full-width ``_fin`` store and every array below is gathered
+        # onto the survivors.  ``_W0`` keeps the input-order work targets
+        # for the final result assembly.
+        self.orig = np.arange(B, dtype=np.intp)
+        self._W0 = self.W.copy()
+        self._fin = {name: np.zeros_like(getattr(self, name)) for name in _FIN_FIELDS}
+        self._row_arrays = list(_ROW_ARRAYS)
+        if self.exact:
+            self._row_arrays += ["ring_pos", "ring_state", "ring_n", "ph",
+                                 "comp_rem", "seg_rem", "_pad"]
+        self.occupancy = 1.0
 
     # -- RNG plumbing ------------------------------------------------------------
 
@@ -308,20 +411,26 @@ class _FastBatch:
     def _ring_admit(self, g: np.ndarray) -> None:
         """Admit a new in-flight record at the current position.
 
-        Mirrors :meth:`NVMBuffer.admit`: a full buffer evicts the oldest
-        unlocked record (callers have already checked ``can_accept``).
+        Mirrors :meth:`NVMBuffer.admit`: a full buffer (per-row capacity
+        ``cap_arr``) evicts the oldest unlocked record (callers have
+        already checked ``can_accept``).  The eviction shift is over the
+        padded group-max slot axis; a pad column transiently shifted
+        into a real slot is overwritten by the admission below, and the
+        columns past a row's capacity stay inert pads.
         """
         C = self.cap
-        full = self.ring_n[g] >= C
+        full = self.ring_n[g] >= self.cap_arr[g]
         f = g[full]
         if f.size:
+            # argmax finds the oldest unlocked REAL slot: the gate
+            # guaranteed one exists, and real columns precede the pads.
             j = np.argmax(self.ring_state[f] != _S_LOCKED, axis=1)
             cols = np.arange(C)[None, :]
             src = np.minimum(cols + (cols >= j[:, None]), C - 1)
             self.ring_pos[f] = np.take_along_axis(self.ring_pos[f], src, axis=1)
             self.ring_state[f] = np.take_along_axis(self.ring_state[f], src, axis=1)
             self.dr_slot[f] = self.dr_slot[f] - (self.dr_slot[f] > j)
-            self.ring_n[f] = C - 1
+            self.ring_n[f] = self.cap_arr[f] - 1
         slot = self.ring_n[g]
         self.ring_pos[g, slot] = self.pos[g]
         self.ring_state[g, slot] = _S_INFLIGHT
@@ -383,7 +492,9 @@ class _FastBatch:
             self.n_dead[g] = 0
         if self.exact:
             self.ring_n[g] = 0
-            self.ring_state[g] = _S_EMPTY
+            self.ring_state[g] = np.where(
+                self._pad[g], _S_PAD, _S_EMPTY
+            ).astype(np.int8)
         self.dr_busy[g] = False
         self.dr_rho[g] = 0.0
         self.dr_slot[g] = -1
@@ -658,13 +769,14 @@ class _FastBatch:
         # -- admission gate (CRSimulation._checkpoint_local head) ----
         g = self._live(_P_STALL)
         if g.size:
-            if self.cap > 1:
+            if self._uniform_multi:
                 # at most one slot is ever drain-locked, so a buffer with
-                # two or more slots always has a free or evictable one
+                # two or more real slots always has a free or evictable one
                 can = np.ones(g.size, dtype=bool)
             else:
-                can = (self.ring_n[g] < self.cap) | (
-                    self.ring_state[g] != _S_LOCKED
+                st = self.ring_state[g]
+                can = (self.ring_n[g] < self.cap_arr[g]) | (
+                    (st != _S_LOCKED) & (st != _S_PAD)
                 ).any(axis=1)
             gc = g[can]
             if gc.size:
@@ -750,7 +862,8 @@ class _FastBatch:
         """
         self.failures[idx] += 1
         if self.exact:
-            mask = self.ring_state[idx] >= _S_COMPLETED
+            st = self.ring_state[idx]
+            mask = (st >= _S_COMPLETED) & (st != _S_PAD)
             has_local = mask.any(axis=1)
             j = self.cap - 1 - np.argmax(mask[:, ::-1], axis=1)
             lpos = np.where(has_local, self.ring_pos[idx, j], -1.0)
@@ -801,14 +914,46 @@ class _FastBatch:
         self.state[idx] = _RESTORING
         self._set_next_fail(idx)
 
+    # -- active-set compaction -----------------------------------------------------
+
+    def _retire(self, done: np.ndarray) -> None:
+        """Scatter finished rows to the input-order store, keep survivors.
+
+        ``done`` is a boolean mask over the *current* rows.  Every driver
+        operation is elementwise per row (each trajectory owns its named
+        streams, its RNG buffers and its row of state), so the survivors'
+        trajectories are bit-identical wherever their rows live.
+        """
+        o = self.orig[done]
+        for name in _FIN_FIELDS:
+            self._fin[name][o] = getattr(self, name)[done]
+        keep = np.nonzero(~done)[0]
+        for name in self._row_arrays:
+            setattr(self, name, getattr(self, name)[keep])
+        self._rng_fail = [self._rng_fail[i] for i in keep]
+        self._rng_rec = [self._rng_rec[i] for i in keep]
+
     # -- driver --------------------------------------------------------------------
 
     def run(self) -> list[SimulationResult]:
         self._set_next_fail(np.arange(self.B))
         step_running = self._step_running_exact if self.exact else self._step_running
+        iters = 0
+        row_iters = 0
         for _ in range(_MAX_ITER):
-            if not (self.state != _DONE).any():
+            live = self.state != _DONE
+            n_live = int(live.sum())
+            if n_live == 0:
                 break
+            n = live.size
+            if n - n_live and n_live < COMPACT_THRESHOLD * n:
+                # Finished rows pay for every vectorized op below; gather
+                # the survivors once the live fraction crosses the knob.
+                _LIVE_FRACTION.observe(n_live / n)
+                self._retire(~live)
+                n = n_live
+            iters += 1
+            row_iters += n
             self.decide_mask[:] = False
             self._step_restoring()
             step_running()
@@ -820,31 +965,37 @@ class _FastBatch:
                 "fastpath did not converge; the scenario makes essentially "
                 "no forward progress (use the DES engine to inspect it)"
             )
-        totals = self.acct.sum(axis=1)
+        if self.orig.size:
+            self._retire(np.ones(self.orig.size, dtype=bool))
+        self.occupancy = row_iters / (self.B * iters) if iters else 1.0
+        _OCCUPANCY.set(self.occupancy)
+        t = self._fin["t"]
+        acct = self._fin["acct"]
+        totals = acct.sum(axis=1)
         out = []
         for i in range(self.B):
             # Failure behavior on degenerate state matches the DES run()
             # argument order: the efficiency division raises
             # ZeroDivisionError on a zero wall time first, then an empty
             # accounting raises like TimeAccounting.breakdown.
-            efficiency = float(self.W[i]) / float(self.t[i])
+            efficiency = float(self._W0[i]) / float(t[i])
             if totals[i] <= 0.0:
                 raise ValueError("no time accounted yet")
-            frac = self.acct[i] / totals[i]
+            frac = acct[i] / totals[i]
             out.append(
                 SimulationResult(
-                    work=float(self.W[i]),
-                    wall_time=float(self.t[i]),
+                    work=float(self._W0[i]),
+                    wall_time=float(t[i]),
                     efficiency=efficiency,
                     breakdown=OverheadBreakdown(**dict(zip(_COMPONENTS, map(float, frac)))),
-                    failures=int(self.failures[i]),
-                    recoveries_local=int(self.rec_l[i]),
-                    recoveries_io=int(self.rec_io[i]),
-                    recoveries_partner=int(self.rec_p[i]),
-                    io_checkpoints=int(self.io_ck[i]),
-                    local_checkpoints=int(self.loc_ck[i]),
-                    partner_checkpoints=int(self.partner_ck[i]),
-                    host_stall_time=float(self.stall[i]),
+                    failures=int(self._fin["failures"][i]),
+                    recoveries_local=int(self._fin["rec_l"][i]),
+                    recoveries_io=int(self._fin["rec_io"][i]),
+                    recoveries_partner=int(self._fin["rec_p"][i]),
+                    io_checkpoints=int(self._fin["io_ck"][i]),
+                    local_checkpoints=int(self._fin["loc_ck"][i]),
+                    partner_checkpoints=int(self._fin["partner_ck"][i]),
+                    host_stall_time=float(self._fin["stall"][i]),
                 )
             )
         return out
@@ -854,14 +1005,23 @@ class _FastBatch:
 
 
 def _group_key(config: SimConfig) -> tuple:
-    exact = _needs_exact(config)
+    """Schedule-shape key: configs sharing it fuse into one walker.
+
+    ``nvm_capacity`` is deliberately absent — exact-walker rings are
+    padded to the group maximum, so mixed capacities share a batch.
+    """
     return (
         config.strategy,
         config.pause_ndp_during_local,
         config.failure_times,
-        exact,
-        config.nvm_capacity if exact else None,
+        _needs_exact(config),
     )
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    """Total order over group keys for deterministic trace output."""
+    strategy, pause, times, exact = key
+    return (strategy, bool(pause), bool(exact), times is not None, times or ())
 
 
 def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
@@ -870,21 +1030,25 @@ def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
     Configs the fast engine cannot represent (timeline tracing, see
     :func:`unsupported_reason`) run on the event-level DES individually;
     everything else is grouped by schedule shape and advanced together.
-    Results come back in input order and are bit-for-bit independent of
-    the batch composition (each trajectory owns its seed's streams).
+    Groups are index arrays into ``configs`` (no per-group config lists)
+    and run in a deterministic sorted order.  Results come back in input
+    order and are bit-for-bit independent of the batch composition (each
+    trajectory owns its seed's streams).
     """
     configs = list(configs)
     results: list[SimulationResult | None] = [None] * len(configs)
     groups: dict[tuple, list[int]] = {}
     for i, cfg in enumerate(configs):
-        if unsupported_reason(cfg) is not None:
-            _FALLBACKS.inc()
+        reason = unsupported_reason(cfg)
+        if reason is not None:
+            _FALLBACKS.inc(reason=_FALLBACK_LABELS.get(reason, "other"))
             results[i] = CRSimulation(cfg).run()
         else:
             groups.setdefault(_group_key(cfg), []).append(i)
-    for members in groups.values():
+    for key in sorted(groups, key=_group_sort_key):
+        members = groups[key]
         t0 = time.monotonic()
-        batch = _FastBatch([configs[i] for i in members])
+        batch = _FastBatch(configs, np.asarray(members, dtype=np.intp))
         for i, res in zip(members, batch.run()):
             results[i] = res
         _BATCHES.inc()
@@ -896,7 +1060,11 @@ def simulate_batch(configs: Sequence[SimConfig]) -> list[SimulationResult]:
                 time.monotonic(),
                 "batch",
                 label=f"{batch.strategy}x{len(members)}",
-                attrs={"size": len(members), "strategy": batch.strategy},
+                attrs={
+                    "size": len(members),
+                    "strategy": batch.strategy,
+                    "occupancy": round(batch.occupancy, 4),
+                },
             )
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

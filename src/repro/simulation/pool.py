@@ -57,6 +57,7 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "run_simulations",
+    "split_cached",
 ]
 
 #: Bump to invalidate every cached result (simulator semantics change).
@@ -336,6 +337,44 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("spawn")
 
 
+def split_cached(
+    configs: Sequence[SimConfig], cache: ResultCache | None
+) -> tuple[
+    list[SimulationResult | None],
+    list[tuple[int, SimConfig]],
+    list[str | None],
+]:
+    """Slice a batch against the result cache *before* engine dispatch.
+
+    Returns ``(results, pending, keys)``: a full-width result list with
+    every cache hit filled in (misses stay ``None``), the ``(index,
+    config)`` pairs that still need an engine, and each config's cache
+    key (``None`` for traced configs, which are never cached, and for
+    every entry when ``cache`` is ``None``).  One batched
+    :meth:`ResultCache.get_many` sweep performs all the I/O, so
+    duplicate configs cost one file open each.  Both the pool and the
+    service batcher use this to keep warm configs out of fused
+    ``simulate_batch`` passes — miss-only slicing never changes results,
+    only which rows an engine actually advances.
+    """
+    results: list[SimulationResult | None] = [None] * len(configs)
+    keys: list[str | None] = [None] * len(configs)
+    if cache is None:
+        return results, list(enumerate(configs)), keys
+    for i, cfg in enumerate(configs):
+        if cfg.trace is None:
+            keys[i] = config_key(cfg)
+    hits = cache.get_many(k for k in keys if k is not None)
+    pending: list[tuple[int, SimConfig]] = []
+    for i, cfg in enumerate(configs):
+        hit = hits.get(keys[i]) if keys[i] is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append((i, cfg))
+    return results, pending, keys
+
+
 def run_simulations(
     configs: Sequence[SimConfig],
     *,
@@ -373,31 +412,16 @@ def run_simulations(
     """
     configs = list(configs)
     total = len(configs)
-    results: list[SimulationResult | None] = [None] * total
     if total == 0:
         return ()
 
-    # Serve what we can from the cache first — one batched get_many
-    # sweep, so duplicate configs in the batch cost one file open each.
-    pending: list[tuple[int, SimConfig]] = []
-    keys: list[str | None] = [None] * total
-    if cache is not None:
-        for i, cfg in enumerate(configs):
-            if cfg.trace is None:
-                keys[i] = config_key(cfg)
-        hits = cache.get_many(k for k in keys if k is not None)
-        for i, cfg in enumerate(configs):
-            hit = hits.get(keys[i]) if keys[i] is not None else None
-            if hit is not None:
-                results[i] = hit
-            else:
-                pending.append((i, cfg))
-        if len(pending) < total:
-            _CACHE_HITS.inc(total - len(pending))
-        if progress is not None and len(pending) < total:
+    # Serve what we can from the cache first (one batched get_many
+    # sweep); only the misses go anywhere near an engine.
+    results, pending, keys = split_cached(configs, cache)
+    if len(pending) < total:
+        _CACHE_HITS.inc(total - len(pending))
+        if progress is not None:
             progress(total - len(pending), total)
-    else:
-        pending = list(enumerate(configs))
 
     n_jobs = resolve_jobs(jobs)
     traced = any(cfg.trace is not None for _, cfg in pending)

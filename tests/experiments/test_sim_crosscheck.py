@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments import fig6, fig7, fig8, fig9, heatmap
 from repro.simulation import simulate_grid, unsupported_reason
-from repro.simulation.fastpath import _FALLBACKS
+from repro.simulation.fastpath import fallback_total
 
 QUICK = dict(simulate_seeds=2, simulate_mttis=5.0)
 
@@ -89,6 +89,6 @@ class TestNoFallbacks:
             assert unsupported_reason(config) is None, config
 
     def test_fallback_counter_untouched_by_grid_run(self):
-        before = _FALLBACKS.value()
+        before = fallback_total()
         simulate_grid(fig7.sim_configs(mttis=2.0), seeds=(0,))
-        assert _FALLBACKS.value() == before
+        assert fallback_total() == before

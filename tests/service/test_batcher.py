@@ -6,7 +6,7 @@ import threading
 import pytest
 
 from repro.service.batcher import Batcher
-from repro.simulation import SimConfig, simulate
+from repro.simulation import ResultCache, SimConfig, config_key, simulate
 
 
 def cfg(params, **kw):
@@ -169,6 +169,71 @@ class TestFailure:
             return True
 
         assert asyncio.run(main())
+
+
+class TestMissOnlySlicing:
+    """ISSUE 8: a partially warm batch dispatches only its cache misses."""
+
+    def test_warm_jobs_never_reach_the_runner(self, params, tmp_path):
+        cache = ResultCache(tmp_path / "simcache")
+        configs = [cfg(params, seed=s) for s in range(4)]
+        for c in (configs[1], configs[3]):
+            cache.put(config_key(c), simulate(c))
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.01, max_batch=16, cache=cache)
+            try:
+                out = await asyncio.gather(*(batcher.submit(c) for c in configs))
+                return out, batcher.stats
+            finally:
+                batcher.close()
+
+        out, stats = asyncio.run(main())
+        dispatched = {c.seed for g in runner.groups for c in g}
+        assert dispatched == {0, 2}  # the warm seeds were sliced out
+        assert stats.cache_hits == 2
+        # Byte-identity contract: hits and misses alike match serial.
+        for c, r in zip(configs, out):
+            assert r == simulate(c)
+
+    def test_fully_warm_batch_skips_the_runner_entirely(self, params, tmp_path):
+        cache = ResultCache(tmp_path / "simcache")
+        configs = [cfg(params, seed=s) for s in range(3)]
+        for c in configs:
+            cache.put(config_key(c), simulate(c))
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.005, max_batch=16, cache=cache)
+            try:
+                out = await asyncio.gather(*(batcher.submit(c) for c in configs))
+                return out, batcher.stats
+            finally:
+                batcher.close()
+
+        out, stats = asyncio.run(main())
+        assert runner.groups == []
+        assert stats.cache_hits == 3
+        assert stats.batches["fast"] == 0  # no engine pass happened
+        assert out == [simulate(c) for c in configs]
+
+    def test_no_cache_dispatches_everything(self, params):
+        runner = SpyRunner()
+
+        async def main():
+            batcher = Batcher(runner, window=0.005, max_batch=16)
+            try:
+                await asyncio.gather(
+                    *(batcher.submit(cfg(params, seed=s)) for s in range(3))
+                )
+                return batcher.stats
+            finally:
+                batcher.close()
+
+        stats = asyncio.run(main())
+        assert stats.cache_hits == 0
+        assert sum(len(g) for g in runner.groups) == 3
 
 
 class TestValidation:

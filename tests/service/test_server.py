@@ -188,3 +188,39 @@ class TestSharedCache:
         assert first == second == expected_bytes(body)
         assert stats["cache"]["enabled"] is True
         assert stats["cache"]["hits"] >= 1
+
+    def test_sweep_with_warm_partial_cache_byte_identical(self, tmp_path):
+        """ISSUE 8 acceptance: miss-only slicing through ``/v1/sweep`` —
+        a warm partial cache changes which rows reach the engine, never
+        a byte of the response."""
+        from repro.simulation.pool import config_key
+
+        body = {
+            "configs": [
+                {"params": {"mtti": 600.0}, "strategy": "ndp", "work_mttis": 3},
+                {
+                    "params": {"mtti": 600.0},
+                    "strategy": "ndp",
+                    "nvm_capacity": 2,
+                    "work_mttis": 3,
+                },
+            ],
+            "seeds": [0, 1, 2],
+        }
+        # Reference bytes from a cache-less server (every row simulated).
+        with BackgroundServer(ServiceConfig(port=0, jobs=1)) as srv:
+            with ServiceClient("127.0.0.1", srv.port) as c:
+                want = c.post_raw("/v1/sweep", body)
+        # Warm a strict subset of the sweep's rows, then serve again.
+        cache = ResultCache(tmp_path / "simcache")
+        for cell in body["configs"]:
+            base = config_from_json(cell)
+            for seed in (0, 2):
+                row = dataclasses.replace(base, seed=seed)
+                cache.put(config_key(row), simulate(row))
+        with BackgroundServer(ServiceConfig(port=0, jobs=1, cache=cache)) as srv:
+            with ServiceClient("127.0.0.1", srv.port) as c:
+                got = c.post_raw("/v1/sweep", body)
+                stats = c.stats()
+        assert got == want
+        assert stats["batch"]["cache_hits"] >= 4  # the warm rows never dispatched

@@ -1,0 +1,214 @@
+"""Active-set compaction and cross-capacity group fusion: bit-identity.
+
+ISSUE 8 made the fast engine's cost proportional to *live* trajectories:
+finished rows are retired out of a running batch once the live fraction
+crosses :data:`~repro.simulation.fastpath.COMPACT_THRESHOLD`, and
+exact-walker groups fuse mixed ``nvm_capacity`` configs behind rings
+padded with inert ``_S_PAD`` slots.  Every driver operation is
+elementwise per row, so neither transformation may change a single bit
+of any result.  These tests pin:
+
+* matched-seed bit-identity of the compacted walker against the
+  uncompacted one (``COMPACT_THRESHOLD = 0.0``) for all four strategies,
+* mixed-capacity fused groups against per-capacity batches and against
+  the DES oracle,
+* the threshold edge cases (every row finishing the same step; a single
+  surviving straggler),
+* the deterministic sorted group order and the single-group fusion of
+  mixed capacities,
+* the occupancy/live-fraction observability hooks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation import SimConfig, simulate_batch
+from repro.simulation.fastpath import (
+    _LIVE_FRACTION,
+    _FastBatch,
+    _group_key,
+    _group_sort_key,
+)
+from repro.simulation import fastpath
+from repro.simulation.simulator import CRSimulation
+
+ALL_STRATEGIES = (
+    dict(strategy="host", ratio=5),
+    dict(strategy="io-only"),
+    dict(strategy="local-only"),
+    dict(strategy="ndp"),
+)
+
+#: Non-multiples of tau, spread wide so rows finish at very different
+#: iteration counts (the compaction trigger needs real stragglers).
+WORKS = (2.3, 5.7, 11.3, 19.7)
+
+
+def cfg(params, **kw):
+    defaults = dict(params=params, strategy="ndp", work=params.tau * 5.3, seed=0)
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+def hetero(params, n=16, **kw):
+    """``n`` configs with spread-out work targets and distinct seeds."""
+    return [
+        cfg(params, work=params.tau * WORKS[i % len(WORKS)], seed=50 + i, **kw)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def no_compaction(monkeypatch):
+    monkeypatch.setattr(fastpath, "COMPACT_THRESHOLD", 0.0)
+
+
+class TestCompactionBitIdentity:
+    """The compacted walker must equal the uncompacted one bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "strat", ALL_STRATEGIES, ids=lambda s: s["strategy"]
+    )
+    def test_matched_seed_identity_per_strategy(self, params, strat, monkeypatch):
+        configs = hetero(params, **strat)
+        compacted = simulate_batch(configs)
+        monkeypatch.setattr(fastpath, "COMPACT_THRESHOLD", 0.0)
+        assert simulate_batch(configs) == compacted
+
+    def test_compaction_actually_engages(self, params):
+        """The heterogeneous batch really does shrink mid-run (occupancy
+        below 1) and records its live fraction on the histogram."""
+        before = sum(cell["count"] for _, cell in _LIVE_FRACTION.samples())
+        batch = _FastBatch(hetero(params, n=16))
+        batch.run()
+        assert 0.0 < batch.occupancy < 1.0
+        after = sum(cell["count"] for _, cell in _LIVE_FRACTION.samples())
+        assert after > before
+
+    def test_zero_threshold_disables_compaction(self, params, no_compaction):
+        batch = _FastBatch(hetero(params, n=8))
+        batch.run()
+        assert batch.occupancy == 1.0
+
+    def test_partner_configs_compact_identically(self, params, monkeypatch):
+        configs = hetero(params, strategy="local-only", partner_every=2)
+        compacted = simulate_batch(configs)
+        monkeypatch.setattr(fastpath, "COMPACT_THRESHOLD", 0.0)
+        assert simulate_batch(configs) == compacted
+
+
+class TestMixedCapacityFusion:
+    """Mixed nvm_capacity configs fuse into one padded-ring walker."""
+
+    CAPS = (1, 2, 3, 5)
+
+    def mixed(self, params, n=16):
+        return [
+            cfg(
+                params,
+                work=params.tau * WORKS[i % len(WORKS)],
+                seed=80 + i,
+                nvm_capacity=self.CAPS[i % len(self.CAPS)],
+            )
+            for i in range(n)
+        ]
+
+    def test_capacity_absent_from_group_key(self, params):
+        a = _group_key(cfg(params, nvm_capacity=1))
+        b = _group_key(cfg(params, nvm_capacity=5))
+        assert a == b
+
+    def test_fused_equals_per_capacity_batches(self, params):
+        configs = self.mixed(params)
+        fused = simulate_batch(configs)
+        for cap in self.CAPS:
+            idxs = [i for i, c in enumerate(configs) if c.nvm_capacity == cap]
+            split = simulate_batch([configs[i] for i in idxs])
+            assert [fused[i] for i in idxs] == split
+
+    def test_fused_matches_the_des_oracle(self, params):
+        configs = self.mixed(params, n=8)
+        fused = simulate_batch(configs)
+        for config, got in zip(configs, fused):
+            want = CRSimulation(config).run()
+            assert got.failures == want.failures
+            assert got.wall_time == want.wall_time
+            assert got.host_stall_time == want.host_stall_time
+            assert got.io_checkpoints == want.io_checkpoints
+            assert got.local_checkpoints == want.local_checkpoints
+
+    def test_single_walker_advances_the_mixed_group(self, params):
+        """One _FastBatch holds every capacity: rings padded to the max."""
+        batch = _FastBatch(self.mixed(params, n=8))
+        assert batch.cap == max(self.CAPS)
+        assert sorted(set(batch.cap_arr.tolist())) == sorted(self.CAPS)
+        # The pad mask covers exactly the columns past each row's capacity.
+        assert batch._pad.sum() == sum(
+            max(self.CAPS) - c for c in batch.cap_arr.tolist()
+        )
+
+    def test_cap1_rows_still_stall_inside_a_fused_group(self, params):
+        """A capacity-1 row fused with bigger rings must keep the DES's
+        drain-lock stall behavior (the gate is per-row, not group-wide)."""
+        configs = [
+            cfg(params, work=params.tau * 7.3, seed=201, nvm_capacity=1),
+            cfg(params, work=params.tau * 7.3, seed=202, nvm_capacity=8),
+        ]
+        fused = simulate_batch(configs)
+        for config, got in zip(configs, fused):
+            want = CRSimulation(config).run()
+            assert got.wall_time == want.wall_time
+            assert got.host_stall_time == want.host_stall_time
+
+
+class TestThresholdEdgeCases:
+    def test_all_rows_finish_the_same_step(self, params, monkeypatch):
+        """Homogeneous failure-free work: nothing to compact mid-run, the
+        terminal retire scatters everything at once."""
+        import dataclasses
+
+        inf = dataclasses.replace(params, mtti=float("inf"))
+        configs = [cfg(inf, work=inf.tau * 4.3, seed=s) for s in range(6)]
+        compacted = simulate_batch(configs)
+        monkeypatch.setattr(fastpath, "COMPACT_THRESHOLD", 0.0)
+        assert simulate_batch(configs) == compacted
+
+    def test_single_survivor(self, params, monkeypatch):
+        """One straggler with 20x the work: the batch compacts down to a
+        single row and that row's trajectory is unchanged."""
+        configs = [
+            cfg(params, work=params.tau * 2.3, seed=s) for s in range(7)
+        ] + [cfg(params, work=params.tau * 46.7, seed=99)]
+        batch = _FastBatch(configs)
+        compacted = batch.run()
+        assert batch.occupancy < 0.7  # most iterations ran nearly alone
+        monkeypatch.setattr(fastpath, "COMPACT_THRESHOLD", 0.0)
+        assert simulate_batch(configs) == compacted
+
+    def test_batch_of_one(self, params):
+        (res,) = simulate_batch([cfg(params, seed=5)])
+        want = CRSimulation(cfg(params, seed=5)).run()
+        assert res.failures == want.failures
+        assert res.wall_time == want.wall_time
+
+
+class TestDeterministicGroupOrder:
+    def test_group_sort_key_totally_orders_mixed_batches(self, params):
+        configs = [
+            cfg(params, strategy="ndp", seed=1),
+            cfg(params, strategy="host", ratio=3, seed=2),
+            cfg(params, strategy="local-only", seed=3),
+            cfg(params, strategy="io-only", seed=4),
+            cfg(params, strategy="ndp", pause_ndp_during_local=True, seed=5),
+            cfg(params, strategy="local-only", partner_every=2, seed=6),
+        ]
+        keys = {_group_key(c) for c in configs}
+        order = sorted(keys, key=_group_sort_key)
+        assert order == sorted(set(keys), key=_group_sort_key)
+        assert len(order) == len(keys)  # the sort key separates every group
+
+    def test_results_independent_of_input_order(self, params):
+        configs = hetero(params, n=8) + hetero(params, n=8, strategy="host", ratio=5)
+        forward = simulate_batch(configs)
+        backward = simulate_batch(configs[::-1])
+        assert forward == backward[::-1]
