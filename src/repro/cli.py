@@ -14,6 +14,8 @@ Usage::
     python -m repro trace --out run.jsonl experiment figure7
     python -m repro metrics --json drift.json
     python -m repro serve --port 8077 --batch-window 0.002
+    python -m repro serve --slo simulate=50ms:0.99 --slo sweep=250ms:0.95
+    python -m repro top --port 8077 --interval 1
 
 Options after ``-o``/``--override`` are ``key=value`` pairs forwarded to
 the experiment's ``run()`` (values parsed as Python literals when
@@ -252,11 +254,16 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.slo import SLOError, parse_slo
     from .service import ServiceConfig, serve
     from .simulation.pool import ResultCache
 
     if args.jobs is not None and args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0 (0 = one per core): {args.jobs}")
+    try:
+        slo = tuple(parse_slo(spec) for spec in args.slo)
+    except SLOError as exc:
+        raise SystemExit(f"--slo: {exc}")
     cache = None if args.no_cache else ResultCache.default()
     jobs = None if args.jobs == 0 else (args.jobs if args.jobs else 1)
     serve(
@@ -269,9 +276,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
             coalesce=not args.no_coalesce,
+            slo=slo,
         )
     )
     return 0
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def render_top(stats: dict) -> str:
+    """One frame of the ``repro top`` dashboard from a ``/stats`` payload."""
+    lines = [
+        f"repro top — uptime {stats.get('uptime_seconds', 0.0):.0f}s, "
+        f"requests {stats.get('requests', 0)}"
+    ]
+    latency = stats.get("latency") or {}
+    if latency:
+        lines.append("")
+        lines.append("  latency            count        p50        p90        p99")
+        for endpoint in sorted(latency):
+            row = latency[endpoint]
+            lines.append(
+                f"  {endpoint:<16s} {row.get('count', 0):8d} "
+                f"{_fmt_ms(row.get('p50', 0.0))} {_fmt_ms(row.get('p90', 0.0))} "
+                f"{_fmt_ms(row.get('p99', 0.0))}"
+            )
+    slo = stats.get("slo") or {}
+    if slo:
+        lines.append("")
+        lines.append("  slo                objective     good     bad   burn 5m   burn 1h")
+        for route in sorted(slo):
+            row = slo[route]
+            windows = row.get("windows", {})
+            b5 = windows.get("5m", {}).get("burn_rate", 0.0)
+            b1 = windows.get("1h", {}).get("burn_rate", 0.0)
+            flag = "  !!" if max(b5, b1) > 1.0 else ""
+            lines.append(
+                f"  {route:<16s} {row.get('objective', ''):>10s} "
+                f"{row.get('good', 0):8d} {row.get('bad', 0):7d} "
+                f"{b5:9.2f} {b1:9.2f}{flag}"
+            )
+    batch = stats.get("batch") or {}
+    coalesce = stats.get("coalesce") or {}
+    cache = stats.get("cache") or {}
+    lines.append("")
+    lines.append(
+        f"  batch: submitted={batch.get('submitted', 0)} "
+        f"mean_fast={batch.get('mean_fast_batch', 0.0):.1f} "
+        f"max={batch.get('max_batch_seen', 0)} "
+        f"queue={batch.get('queue_depth', 0)} "
+        f"cache_hits={batch.get('cache_hits', 0)}"
+    )
+    lines.append(
+        f"  coalesce: primary={coalesce.get('primary', 0)} "
+        f"coalesced={coalesce.get('coalesced', 0)} "
+        f"inflight={coalesce.get('inflight', 0)}"
+    )
+    lines.append(
+        f"  cache: enabled={cache.get('enabled', False)} "
+        f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.client import ServiceClient, ServiceError
+
+    frames = 0
+    try:
+        with ServiceClient(args.host, args.port, timeout=5.0) as client:
+            while True:
+                try:
+                    stats = client.stats()
+                except (ServiceError, OSError) as exc:
+                    print(
+                        f"repro top: {args.host}:{args.port} unreachable: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not args.once and frames:
+                    # ANSI home + clear-below: redraw in place like top(1).
+                    print("\x1b[H\x1b[J", end="")
+                print(render_top(stats))
+                frames += 1
+                if args.once or (args.count and frames >= args.count):
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_calibrate(_: argparse.Namespace) -> int:
@@ -417,7 +513,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="disable identical-in-flight-request coalescing (benchmark baseline)",
     )
+    p_sv.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="ROUTE=THRESHOLD:TARGET",
+        help="latency SLO per /v1 route, e.g. simulate=50ms:0.99 (repeatable); "
+        "tracked as rolling good/bad counters and 5m/1h burn rates in "
+        "/stats and /metrics",
+    )
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard polling a running service's /stats "
+        "(latency percentiles, SLO burn rates, batching/coalescing counters)",
+    )
+    p_top.add_argument("--host", default="127.0.0.1", help="service address")
+    p_top.add_argument("--port", type=int, default=8077, help="service port")
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default 2 s)",
+    )
+    p_top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N frames (0 = run until interrupted)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print a single frame and exit"
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     sub.add_parser(
         "calibrate", help="recompute proxy-app precision calibration"

@@ -1,0 +1,199 @@
+"""Flight recorder: a bounded in-memory ring of recent request trees.
+
+The service keeps the last N completed requests — trace id, route,
+status, latency, ``server_timing`` attribution, and (when tracing is
+enabled) every span the request emitted — queryable over
+``GET /debug/requests`` and ``GET /debug/trace/<id>`` without touching
+the JSONL sink.  It is *always on* because every allocation is bounded:
+
+* completed requests live in a ``deque(maxlen=capacity)``;
+* span capture is keyed by registered in-flight trace ids only (bounded
+  by server concurrency, with a hard cap as a backstop), at most
+  ``max_spans`` spans per request;
+* spans are captured through a :func:`repro.obs.trace.add_tap` tap — no
+  second tracer, no file I/O, one dict append per span.
+
+When tracing is disabled the recorder still captures request summaries
+(route, status, latency, timing stages); the ``spans`` lists are simply
+empty.  That makes ``/debug/requests`` useful on a production instance
+that never turns the JSONL sink on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from . import trace as obs_trace
+
+__all__ = ["FlightRecorder", "span_tree"]
+
+
+def span_tree(spans: list[dict]) -> list[dict]:
+    """Nest flat span records into ``{"span": rec, "children": [...]}``.
+
+    Children attach by ``ctx_parent`` → ``ctx`` resolution (works across
+    pids); spans whose parent is absent from ``spans`` become roots —
+    the tree is best-effort over whatever was captured.  Siblings sort
+    by start time.
+    """
+    nodes: dict[str, dict] = {
+        rec["ctx"]: {"span": rec, "children": []} for rec in spans if rec.get("ctx")
+    }
+    roots: list[dict] = []
+    for rec in spans:
+        cid = rec.get("ctx")
+        if not cid:
+            continue
+        parent = rec.get("ctx_parent")
+        if parent and parent in nodes and parent != cid:
+            nodes[parent]["children"].append(nodes[cid])
+        else:
+            roots.append(nodes[cid])
+
+    def _sort(children: list[dict]) -> None:
+        children.sort(key=lambda n: n["span"].get("start", 0.0))
+        for child in children:
+            _sort(child["children"])
+
+    _sort(roots)
+    return roots
+
+
+class FlightRecorder:
+    """Bounded ring of recent requests with their span trees.
+
+    Parameters
+    ----------
+    capacity:
+        Completed requests retained (oldest evicted first).
+    max_spans:
+        Per-request span cap; excess spans are counted in
+        ``spans_dropped`` instead of stored.
+    max_pending:
+        Hard cap on concurrently tracked in-flight requests — a backstop
+        against a caller that ``begin``\\ s without ``finish``\\ ing.
+    """
+
+    def __init__(self, capacity: int = 256, max_spans: int = 512, max_pending: int = 1024):
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._pending: dict[str, dict] = {}
+        self._max_spans = int(max_spans)
+        self._max_pending = int(max_pending)
+        self._installed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def install(self) -> "FlightRecorder":
+        """Start capturing spans (idempotent tap registration)."""
+        if not self._installed:
+            obs_trace.add_tap(self._tap)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Stop capturing spans and drop in-flight state."""
+        if self._installed:
+            obs_trace.remove_tap(self._tap)
+            self._installed = False
+        with self._lock:
+            self._pending.clear()
+
+    # -- request lifecycle (called by the server) ------------------------------
+
+    def begin(self, trace_id: str, method: str, path: str) -> None:
+        """Register an in-flight request; spans tagged with its trace id
+        are captured from now until :meth:`finish`."""
+        with self._lock:
+            if trace_id in self._pending:
+                return
+            if len(self._pending) >= self._max_pending:
+                # Backstop: evict the oldest orphaned entry rather than grow.
+                self._pending.pop(next(iter(self._pending)))
+            self._pending[trace_id] = {
+                "trace_id": trace_id,
+                "method": method,
+                "path": path,
+                "time": time.time(),
+                "status": None,
+                "duration": None,
+                "server_timing": None,
+                "spans": [],
+                "spans_dropped": 0,
+            }
+
+    def finish(
+        self,
+        trace_id: str,
+        status: int,
+        duration: float,
+        server_timing: dict[str, float] | None = None,
+    ) -> None:
+        """Complete an in-flight request and move it into the ring."""
+        with self._lock:
+            entry = self._pending.pop(trace_id, None)
+            if entry is None:
+                return
+            entry["status"] = int(status)
+            entry["duration"] = float(duration)
+            if server_timing:
+                entry["server_timing"] = dict(server_timing)
+            self._ring.append(entry)
+
+    def discard(self, trace_id: str) -> None:
+        """Drop an in-flight request without recording it (client vanished
+        before a response was even attempted)."""
+        with self._lock:
+            self._pending.pop(trace_id, None)
+
+    # -- span capture ----------------------------------------------------------
+
+    def _tap(self, rec: dict) -> None:
+        tid = rec.get("trace_id")
+        if not tid:
+            return
+        with self._lock:
+            entry = self._pending.get(tid)
+            if entry is None:
+                return
+            if len(entry["spans"]) < self._max_spans:
+                entry["spans"].append(rec)
+            else:
+                entry["spans_dropped"] += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def _summary(self, entry: dict) -> dict:
+        out = {k: v for k, v in entry.items() if k != "spans"}
+        out["spans"] = len(entry["spans"])
+        return out
+
+    def requests(self, n: int = 20, slowest: bool = False) -> list[dict[str, Any]]:
+        """Summaries of recent requests: last-``n`` (newest first) or the
+        ``n`` slowest retained."""
+        with self._lock:
+            entries = list(self._ring)
+        if slowest:
+            entries.sort(key=lambda e: e["duration"] or 0.0, reverse=True)
+        else:
+            entries.reverse()
+        return [self._summary(e) for e in entries[: max(0, int(n))]]
+
+    def lookup(self, trace_id: str) -> dict[str, Any] | None:
+        """The full retained record for ``trace_id`` — summary fields,
+        flat ``spans``, and the nested ``tree`` — or ``None``."""
+        with self._lock:
+            entry = next((e for e in self._ring if e["trace_id"] == trace_id), None)
+            if entry is None:
+                return None
+            entry = dict(entry)
+            entry["spans"] = list(entry["spans"])
+        entry["tree"] = span_tree(entry["spans"])
+        return entry

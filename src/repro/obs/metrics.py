@@ -25,6 +25,7 @@ for per-byte loops.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from typing import Any, Callable, Iterable
@@ -181,19 +182,28 @@ class Histogram(_Instrument):
             edges = edges + (math.inf,)
         self.buckets = edges
 
-    def observe(self, value: float, **labels: Any) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None, **labels: Any) -> None:
+        """Record one observation.
+
+        ``exemplar`` attaches a trace id to the observation's bucket
+        (last writer wins) — exported OpenMetrics-style in the
+        Prometheus text so a spike in a latency bucket names a concrete
+        request trace to go look at.
+        """
         key = _label_key(labels)
+        # bisect_left returns the first edge with value <= edge — the
+        # same bucket the old linear scan chose, in O(log n).  The +Inf
+        # terminal edge guarantees the index is in range.
+        i = bisect.bisect_left(self.buckets, value)
         with self._lock:
             cell = self._values.get(key)
             if cell is None:
                 cell = self._values[key] = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
-            for i, edge in enumerate(self.buckets):
-                if value <= edge:
-                    cell["counts"][i] += 1
-                    break
+            cell["counts"][i] += 1
             cell["sum"] += value
             cell["count"] += 1
+            if exemplar is not None:
+                cell.setdefault("exemplars", {})[i] = (exemplar, value)
 
     def value(self, **labels: Any) -> dict:
         """``{"counts": [...], "sum": s, "count": n}`` for the cell."""
@@ -201,7 +211,47 @@ class Histogram(_Instrument):
             cell = self._values.get(_label_key(labels))
             if cell is None:
                 return {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
-            return {"counts": list(cell["counts"]), "sum": cell["sum"], "count": cell["count"]}
+            out = {"counts": list(cell["counts"]), "sum": cell["sum"], "count": cell["count"]}
+            if cell.get("exemplars"):
+                out["exemplars"] = dict(cell["exemplars"])
+            return out
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        The estimate assumes observations are uniformly distributed
+        within their bucket (the standard ``histogram_quantile``
+        convention): the answer lies in the first bucket whose
+        cumulative count reaches ``q * count``, interpolated between its
+        lower and upper edge.  The first bucket's lower edge is taken as
+        0 (durations are non-negative); a quantile landing in the
+        ``+Inf`` bucket reports the highest finite edge — there is no
+        upper bound to interpolate toward.  Returns ``nan`` for an empty
+        cell.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile q must be in [0, 1]: {q!r}")
+        with self._lock:
+            cell = self._values.get(_label_key(labels))
+            if cell is None or not cell["count"]:
+                return math.nan
+            counts = list(cell["counts"])
+            total = cell["count"]
+        rank = q * total
+        cum = 0.0
+        for i, n in enumerate(counts):
+            if n == 0:
+                continue
+            prev, cum = cum, cum + n
+            if cum >= rank:
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i]
+                if math.isinf(hi):
+                    return lo
+                return lo + (hi - lo) * ((rank - prev) / n)
+        # Unreachable (cum == total >= rank by the time the loop ends),
+        # but keep a sane answer if float fuzz ever gets here.
+        return self.buckets[-2] if len(self.buckets) > 1 else math.nan
 
 
 class MetricsRegistry:
@@ -290,12 +340,17 @@ class MetricsRegistry:
             for labels, value in inst.samples():
                 if inst.kind == "histogram":
                     cum = 0
-                    for edge, n in zip(inst.buckets, value["counts"]):  # type: ignore[attr-defined]
+                    exemplars = value.get("exemplars") or {}
+                    for i, (edge, n) in enumerate(zip(inst.buckets, value["counts"])):  # type: ignore[attr-defined]
                         cum += n
                         le = "+Inf" if edge == math.inf else f"{edge:g}"
-                        lines.append(
-                            f"{name}_bucket{_fmt_labels({**labels, 'le': le})} {cum}"
-                        )
+                        line = f"{name}_bucket{_fmt_labels({**labels, 'le': le})} {cum}"
+                        ex = exemplars.get(i)
+                        if ex is not None:
+                            # OpenMetrics exemplar: the last trace seen in
+                            # this bucket, with its observed value.
+                            line += f' # {{trace_id="{ex[0]}"}} {ex[1]:g}'
+                        lines.append(line)
                     lines.append(f"{name}_sum{_fmt_labels(labels)} {value['sum']:g}")
                     lines.append(f"{name}_count{_fmt_labels(labels)} {value['count']}")
                 else:

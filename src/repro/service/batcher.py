@@ -37,9 +37,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..simulation.pool import ResultCache, split_cached
 from ..simulation.simulator import SimConfig
 from ..simulation.stats import SimulationResult
+from . import timing as req_timing
 
 __all__ = ["Batcher", "BatchStats"]
 
@@ -81,6 +83,14 @@ class BatchStats:
 class _Job:
     config: SimConfig
     future: asyncio.Future
+    #: Request-tree context captured at submit (the submitting request's
+    #: innermost open span) — the batcher's per-job spans hang off it.
+    ctx: "obs_trace.TraceContext | None" = None
+    #: Per-job latency-attribution record on the submitting request
+    #: (``None`` when no request timing is active).
+    rec: dict | None = None
+    #: Enqueue time on the loop clock (filled at submit).
+    enqueued: float = 0.0
 
 
 class Batcher:
@@ -164,7 +174,15 @@ class Batcher:
         if self._closed:
             raise RuntimeError("batcher is closed")
         loop = asyncio.get_running_loop()
-        job = _Job(config=config, future=loop.create_future())
+        job = _Job(
+            config=config,
+            future=loop.create_future(),
+            ctx=obs_trace.current_context(),
+            rec=req_timing.job_record(),
+            enqueued=loop.time(),
+        )
+        if job.rec is not None:
+            job.rec["enqueued"] = job.enqueued
         self._queue.append(job)
         self.stats.submitted += 1
         _QUEUE_DEPTH.set(len(self._queue))
@@ -202,38 +220,98 @@ class Batcher:
     async def _dispatch(self, engine: str, jobs: list[_Job]) -> None:
         loop = asyncio.get_running_loop()
         async with self._sem:
+            # Batch-window attribution: enqueue -> dispatch actually
+            # starting (bounded delay + any wait behind max_inflight).
+            t_start = loop.time()
+            traced = obs_trace.enabled()
+            for job in jobs:
+                if job.rec is not None:
+                    job.rec["window"] = t_start - job.enqueued
+                if traced and job.ctx is not None:
+                    obs_trace.emit(
+                        "batcher", job.enqueued, t_start, "window",
+                        label=engine, ctx=job.ctx,
+                    )
             if self.cache is not None:
                 # Miss-only slicing: probe the cache off the event loop,
                 # resolve warm jobs immediately and dispatch only misses.
+                tp0 = loop.time()
                 hits, pending, _ = await loop.run_in_executor(
                     self._executor,
                     split_cached,
                     [j.config for j in jobs],
                     self.cache,
                 )
+                tp1 = loop.time()
+                for job in jobs:
+                    if job.rec is not None:
+                        job.rec["probe"] = tp1 - tp0
+                    if traced and job.ctx is not None:
+                        obs_trace.emit(
+                            "batcher", tp0, tp1, "cache_probe",
+                            label=engine, ctx=job.ctx,
+                        )
                 n_hits = len(jobs) - len(pending)
                 if n_hits:
                     for job, hit in zip(jobs, hits):
-                        if hit is not None and not job.future.done():
-                            job.future.set_result(hit)
+                        if hit is not None:
+                            if job.rec is not None:
+                                job.rec["resolved"] = tp1
+                            if not job.future.done():
+                                job.future.set_result(hit)
                     _CACHE_SLICED.inc(n_hits, engine=engine)
                     self.stats.cache_hits += n_hits
                     jobs = [jobs[i] for i, _ in pending]
                     if not jobs:
+                        # Fully warm batch: no compute span in any tree.
                         return
             t0 = loop.time()
             configs = [j.config for j in jobs]
+            # One real compute span, opened in the executor thread under
+            # the batch leader's request context so the pool chunks and
+            # fastpath groups below it join the leader's tree; every
+            # other rider records a reference interval linking it.
+            lead_ctx = (
+                next((j.ctx for j in jobs if j.ctx is not None), None)
+                if traced
+                else None
+            )
+            compute_ctx: list[str | None] = [None]
+
+            def _run() -> Sequence[SimulationResult]:
+                if lead_ctx is None:
+                    return self._runner(configs)
+                with obs_trace.use_context(lead_ctx):
+                    with obs_trace.span(
+                        "batcher", "compute", label=engine, jobs=len(configs)
+                    ) as sp:
+                        compute_ctx[0] = sp.ctx_id
+                        return self._runner(configs)
+
             try:
-                results = await loop.run_in_executor(
-                    self._executor, self._runner, configs
-                )
+                results = await loop.run_in_executor(self._executor, _run)
             except Exception as exc:  # runner failure fans out to all waiters
                 for job in jobs:
                     if not job.future.done():
                         job.future.set_exception(exc)
                 return
             finally:
-                _BATCH_SECONDS.observe(loop.time() - t0, engine=engine)
+                t1 = loop.time()
+                for job in jobs:
+                    if job.rec is not None:
+                        job.rec["compute"] = t1 - t0
+                        job.rec["resolved"] = t1
+                if traced:
+                    shared = compute_ctx[0]
+                    for job in jobs:
+                        if job.ctx is not None and job.ctx is not lead_ctx:
+                            obs_trace.emit(
+                                "batcher", t0, t1, "compute", label=f"{engine}-shared",
+                                attrs={"jobs": len(configs)},
+                                ctx=job.ctx,
+                                links=[shared] if shared else None,
+                            )
+                _BATCH_SECONDS.observe(t1 - t0, engine=engine)
                 _BATCHES.inc(engine=engine)
                 _BATCHED.inc(len(jobs), engine=engine)
                 self.stats.batches[engine] = self.stats.batches.get(engine, 0) + 1

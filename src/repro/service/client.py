@@ -26,11 +26,30 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """One persistent connection to a service instance."""
+    """One persistent connection to a service instance.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0):
+    ``trace_id`` stamps every request with an ``X-Repro-Trace`` header:
+    the server adopts the id for its request tree (JSONL spans, the
+    flight recorder) instead of minting one, so a client-side id is
+    greppable end to end.  ``timing=True`` asks for the ``server_timing``
+    stage breakdown in every ``/v1/*`` response.  The id the server
+    actually used (inbound or minted) comes back in the response's
+    ``X-Repro-Trace`` header and is kept in :attr:`last_trace_id`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        timeout: float = 60.0,
+        trace_id: str | None = None,
+        timing: bool = False,
+    ):
         self.host = host
         self.port = port
+        self.trace_id = trace_id
+        self.timing = timing
+        self.last_trace_id: str | None = None
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
     def close(self) -> None:
@@ -43,9 +62,20 @@ class ServiceClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> bytes:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        trace_id: str | None = None,
+    ) -> bytes:
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
+        tid = trace_id or self.trace_id
+        if tid:
+            headers["X-Repro-Trace"] = tid
+        if self.timing:
+            headers["X-Repro-Timing"] = "1"
         try:
             self._conn.request(method, path, body=payload, headers=headers)
             resp = self._conn.getresponse()
@@ -57,6 +87,7 @@ class ServiceClient:
             self._conn.request(method, path, body=payload, headers=headers)
             resp = self._conn.getresponse()
             data = resp.read()
+        self.last_trace_id = resp.headers.get("X-Repro-Trace") or self.last_trace_id
         if resp.status != 200:
             try:
                 message = json.loads(data).get("error", data.decode("utf-8", "replace"))
@@ -67,9 +98,9 @@ class ServiceClient:
 
     # -- raw and typed entry points -------------------------------------------
 
-    def post_raw(self, path: str, body: dict) -> bytes:
+    def post_raw(self, path: str, body: dict, trace_id: str | None = None) -> bytes:
         """POST and return the raw response bytes (byte-identity tests)."""
-        return self._request("POST", path, body)
+        return self._request("POST", path, body, trace_id=trace_id)
 
     def get_raw(self, path: str) -> bytes:
         """GET and return the raw response bytes."""

@@ -22,6 +22,7 @@ import asyncio
 from typing import Awaitable, Callable, TypeVar
 
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 __all__ = ["Coalescer"]
 
@@ -49,6 +50,10 @@ class Coalescer:
 
     def __init__(self) -> None:
         self._inflight: dict[str, asyncio.Future] = {}
+        # key -> the primary waiter's span ctx id: the root of the shared
+        # computation's subtree, which coalesced duplicates link so both
+        # waiters' request trees name the one compute that served them.
+        self._shared_ctx: dict[str, str] = {}
         self.primary = 0
         self.coalesced = 0
 
@@ -64,30 +69,47 @@ class Coalescer:
         :func:`asyncio.shield`, so cancelling one waiter never cancels
         the shared computation or starves the others.  If the
         computation itself fails, every waiter sees the same exception.
+
+        Tracing: the primary's wait span *contains* the shared
+        computation (the ``start()`` task copies its context, so the
+        batcher's job spans hang under it); each duplicate's wait span
+        carries a ``links`` entry naming that span's ctx id, stitching
+        its own request tree to the one compute that served it.
         """
         existing = self._inflight.get(key)
         if existing is not None:
             self.coalesced += 1
             _COALESCED.inc()
-            return await asyncio.shield(existing)
+            dup = obs_trace.span("coalescer", "wait", label="coalesced")
+            dup.link(self._shared_ctx.get(key))
+            with dup:
+                return await asyncio.shield(existing)
 
         self.primary += 1
         _PRIMARY.inc()
-        task = asyncio.ensure_future(start())
-        self._inflight[key] = task
+        with obs_trace.span("coalescer", "wait", label="primary") as sp:
+            # ensure_future copies the current context *inside* the span,
+            # so the shared task's spans parent under it; publish its ctx
+            # id before any duplicate can attach (no await in between).
+            task = asyncio.ensure_future(start())
+            self._inflight[key] = task
+            if sp.ctx_id:
+                self._shared_ctx[key] = sp.ctx_id
 
-        def _cleanup(t: asyncio.Future) -> None:
-            self._inflight.pop(key, None)
-            # Retrieve the exception so an all-waiters-cancelled failure
-            # does not trip the event loop's "never retrieved" warning.
-            if not t.cancelled():
-                t.exception()
+            def _cleanup(t: asyncio.Future) -> None:
+                self._inflight.pop(key, None)
+                self._shared_ctx.pop(key, None)
+                # Retrieve the exception so an all-waiters-cancelled failure
+                # does not trip the event loop's "never retrieved" warning.
+                if not t.cancelled():
+                    t.exception()
 
-        task.add_done_callback(_cleanup)
-        try:
-            return await asyncio.shield(task)
-        except asyncio.CancelledError:
-            # Only this waiter was cancelled; the shared task runs on for
-            # any coalesced waiters.  If nobody else is attached the
-            # result is simply dropped (the batcher may still cache it).
-            raise
+            task.add_done_callback(_cleanup)
+            try:
+                return await asyncio.shield(task)
+            except asyncio.CancelledError:
+                # Only this waiter was cancelled; the shared task runs on
+                # for any coalesced waiters.  If nobody else is attached
+                # the result is simply dropped (the batcher may still
+                # cache it).
+                raise

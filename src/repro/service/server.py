@@ -31,13 +31,18 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
+from urllib.parse import parse_qs
 
 from ..core.optimizer import optimal_host
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.flight import FlightRecorder
+from ..obs.slo import SLOTarget, SLOTracker
 from ..simulation.batch import _t95
 from ..simulation.pool import ResultCache, config_key, run_simulations
 from ..simulation.simulator import SimConfig
 from ..simulation.stats import SimulationResult
+from . import timing as req_timing
 from .batcher import Batcher
 from .coalescer import Coalescer
 from .protocol import (
@@ -55,6 +60,20 @@ __all__ = ["BackgroundServer", "ServiceConfig", "ServiceServer", "serve"]
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_TRACE_ID_CHARS = frozenset("0123456789abcdefABCDEF-")
+
+
+def _clean_trace_id(raw: str | None) -> str | None:
+    """A client-supplied ``X-Repro-Trace`` id, sanitized: hex digits and
+    dashes only, bounded length (it lands in JSONL traces and response
+    headers, so arbitrary bytes are rejected rather than escaped)."""
+    if not raw:
+        return None
+    raw = raw.strip()
+    if 1 <= len(raw) <= 64 and set(raw) <= _TRACE_ID_CHARS:
+        return raw.lower()
+    return None
 
 _REQUESTS = obs_metrics.REGISTRY.counter(
     "service_requests_total", "HTTP requests served, by endpoint and status"
@@ -89,6 +108,13 @@ class ServiceConfig:
     coalesce:
         Deduplicate identical in-flight configs.  Off, every duplicate
         computes independently (the naive baseline).
+    slo:
+        Latency objectives (:func:`repro.obs.slo.parse_slo` specs like
+        ``simulate=50ms:0.99``); burn rates surface in ``/stats`` and
+        ``/metrics``.
+    flight_capacity:
+        Requests retained by the always-on flight recorder
+        (``/debug/requests``, ``/debug/trace/<id>``).
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +125,8 @@ class ServiceConfig:
     max_batch: int = 256
     max_inflight: int = 2
     coalesce: bool = True
+    slo: tuple[SLOTarget, ...] = ()
+    flight_capacity: int = 256
 
 
 class ServiceServer:
@@ -118,6 +146,10 @@ class ServiceServer:
         self._server: asyncio.AbstractServer | None = None
         self._started = time.monotonic()
         self.requests = 0
+        self.flight = FlightRecorder(capacity=self.config.flight_capacity).install()
+        self.slo = SLOTracker(self.config.slo)
+        if self.config.slo:
+            self.slo.register_metrics(obs_metrics.REGISTRY)
 
     # -- the blocking batch runner (executor thread) -------------------------
 
@@ -193,11 +225,24 @@ class ServiceServer:
 
         async def _start() -> dict:
             loop = asyncio.get_running_loop()
-            # The memoized model (core.optimizer._MEMO) is process-wide:
-            # every request warms it for every later request.
-            result = await loop.run_in_executor(
-                None, optimal_host, params, compression, accounting
-            )
+            ctx = obs_trace.current_context()
+            rec = req_timing.job_record()
+            t0 = loop.time()
+
+            def _blocking():
+                # The memoized model (core.optimizer._MEMO) is process-wide:
+                # every request warms it for every later request.  The
+                # request context is handed across the executor boundary
+                # explicitly (run_in_executor does not copy contextvars).
+                with obs_trace.use_context(ctx):
+                    with obs_trace.span("optimizer", "compute", label=accounting):
+                        return optimal_host(params, compression, accounting)
+
+            result = await loop.run_in_executor(None, _blocking)
+            if rec is not None:
+                t1 = loop.time()
+                rec["compute"] = t1 - t0
+                rec["resolved"] = t1
             return model_result_to_json(result)
 
         if not self.config.coalesce:
@@ -206,11 +251,28 @@ class ServiceServer:
             payload = await self.coalescer.get(key, _start)
         return {"optimal": payload}
 
+    def _latency_payload(self) -> dict:
+        """p50/p90/p99 of the request-latency histogram, per endpoint."""
+        out: dict[str, dict[str, float]] = {}
+        for labels, cell in _REQUEST_SECONDS.samples():
+            ep = labels.get("endpoint")
+            if ep is None or not cell["count"]:
+                continue
+            out[ep] = {
+                "count": cell["count"],
+                "p50": _REQUEST_SECONDS.quantile(0.50, endpoint=ep),
+                "p90": _REQUEST_SECONDS.quantile(0.90, endpoint=ep),
+                "p99": _REQUEST_SECONDS.quantile(0.99, endpoint=ep),
+            }
+        return out
+
     def _stats_payload(self) -> dict:
         stats = self.batcher.stats
         return {
             "uptime_seconds": time.monotonic() - self._started,
             "requests": self.requests,
+            "latency": self._latency_payload(),
+            "slo": self.slo.snapshot(),
             "coalesce": {
                 "primary": self.coalescer.primary,
                 "coalesced": self.coalescer.coalesced,
@@ -279,6 +341,7 @@ class ServiceServer:
         *,
         content_type: str = "application/json",
         keep_alive: bool = True,
+        trace_id: str | None = None,
     ) -> bytes:
         reason = {
             200: "OK",
@@ -289,30 +352,73 @@ class ServiceServer:
             431: "Request Header Fields Too Large",
             500: "Internal Server Error",
         }.get(status, "Unknown")
+        trace_hdr = f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_hdr}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
         return head.encode("latin-1") + body
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
-        """Route one request; returns (status, body bytes, content type)."""
+    def _handle_debug(self, path: str, query: str) -> tuple[int, bytes, str]:
+        """The flight-recorder endpoints (always on, allocation-bounded)."""
+        if path == "/debug/requests":
+            params = parse_qs(query)
+            try:
+                n = int(params.get("n", ["20"])[0])
+            except ValueError:
+                return 400, canonical_dumps({"error": "n must be an integer"}), "application/json"
+            slowest = params.get("sort", [""])[0] == "slowest"
+            return (
+                200,
+                canonical_dumps(
+                    {"requests": self.flight.requests(n, slowest=slowest)}
+                ),
+                "application/json",
+            )
+        if path.startswith("/debug/trace/"):
+            trace_id = path[len("/debug/trace/") :]
+            found = self.flight.lookup(trace_id)
+            if found is None:
+                return (
+                    404,
+                    canonical_dumps({"error": f"no retained trace {trace_id!r}"}),
+                    "application/json",
+                )
+            return 200, canonical_dumps(found), "application/json"
+        return 404, canonical_dumps({"error": f"no such endpoint: {path}"}), "application/json"
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, want_timing: bool = False
+    ) -> tuple[int, bytes, str, dict[str, float] | None]:
+        """Route one request; returns (status, body, content type, timing).
+
+        The fourth element is the six-stage ``server_timing`` breakdown
+        for successful ``/v1/*`` requests (always handed to the flight
+        recorder; embedded in the response only when the client asked
+        via ``X-Repro-Timing``), ``None`` otherwise.
+        """
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json"
-            return 200, canonical_dumps({"status": "ok"}), "application/json"
+                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
+            return 200, canonical_dumps({"status": "ok"}), "application/json", None
         if path == "/metrics":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json"
+                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
             text = obs_metrics.REGISTRY.render_prometheus()
-            return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", None
         if path == "/stats":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json"
-            return 200, canonical_dumps(self._stats_payload()), "application/json"
+                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
+            return 200, canonical_dumps(self._stats_payload()), "application/json", None
+        if path.startswith("/debug/"):
+            if method != "GET":
+                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
+            return (*self._handle_debug(path, query), None)
 
         handlers = {
             "/v1/simulate": self._handle_simulate,
@@ -321,20 +427,32 @@ class ServiceServer:
         }
         handler = handlers.get(path)
         if handler is None:
-            return 404, canonical_dumps({"error": f"no such endpoint: {path}"}), "application/json"
+            return 404, canonical_dumps({"error": f"no such endpoint: {path}"}), "application/json", None
         if method != "POST":
-            return 405, canonical_dumps({"error": "POST only"}), "application/json"
-        try:
-            payload = json.loads(body.decode("utf-8")) if body else {}
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, canonical_dumps({"error": f"invalid JSON body: {exc}"}), "application/json"
-        try:
-            out = await handler(payload)
-        except ProtocolError as exc:
-            return 400, canonical_dumps({"error": str(exc)}), "application/json"
-        except Exception as exc:  # computation failure must not kill the server
-            return 500, canonical_dumps({"error": f"{type(exc).__name__}: {exc}"}), "application/json"
-        return 200, canonical_dumps(out), "application/json"
+            return 405, canonical_dumps({"error": "POST only"}), "application/json", None
+        with req_timing.activate() as rt:
+            p0 = time.monotonic()
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, canonical_dumps({"error": f"invalid JSON body: {exc}"}), "application/json", None
+            p1 = time.monotonic()
+            try:
+                out = await handler(payload)
+            except ProtocolError as exc:
+                return 400, canonical_dumps({"error": str(exc)}), "application/json", None
+            except Exception as exc:  # computation failure must not kill the server
+                return 500, canonical_dumps({"error": f"{type(exc).__name__}: {exc}"}), "application/json", None
+            p2 = time.monotonic()
+            rendered = canonical_dumps(out)
+            p3 = time.monotonic()
+            stages = rt.finalize(parse=p1 - p0, handle=p2 - p1, serialize=p3 - p2)
+        if want_timing:
+            # Opt-in only: the default response must stay byte-identical
+            # to serial evaluation (the service's determinism contract).
+            out["server_timing"] = stages
+            rendered = canonical_dumps(out)
+        return 200, rendered, "application/json", stages
 
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -356,17 +474,44 @@ class ServiceServer:
                 if req is None:
                     return
                 method, path, headers, body = req
-                endpoint = path if path.startswith("/v1/") or path in (
+                route = path.partition("?")[0]
+                endpoint = route if route.startswith("/v1/") or route in (
                     "/metrics", "/healthz", "/stats"
                 ) else "other"
+                # Request ingress: honor the client's X-Repro-Trace id or
+                # mint one; every span below joins this request's tree.
+                trace_id = _clean_trace_id(headers.get("x-repro-trace")) or obs_trace.new_trace_id()
+                want_timing = "x-repro-timing" in headers
+                self.flight.begin(trace_id, method, route)
                 t0 = time.monotonic()
-                status, payload, ctype = await self._dispatch(method, path, body)
-                _REQUEST_SECONDS.observe(time.monotonic() - t0, endpoint=endpoint)
+                with obs_trace.span(
+                    "server",
+                    "request",
+                    label=route,
+                    ctx=obs_trace.TraceContext(trace_id),
+                    method=method,
+                ) as sp:
+                    status, payload, ctype, stages = await self._dispatch(
+                        method, path, body, want_timing
+                    )
+                    sp.set(status=status)
+                wall = time.monotonic() - t0
+                _REQUEST_SECONDS.observe(
+                    wall,
+                    exemplar=trace_id if obs_trace.enabled() else None,
+                    endpoint=endpoint,
+                )
                 _REQUESTS.inc(endpoint=endpoint, status=str(status))
+                if route.startswith("/v1/"):
+                    self.slo.record(route[len("/v1/") :], wall, ok=status < 500)
+                self.flight.finish(trace_id, status, wall, server_timing=stages)
                 self.requests += 1
                 keep = headers.get("connection", "keep-alive").lower() != "close"
                 writer.write(
-                    self._response(status, payload, content_type=ctype, keep_alive=keep)
+                    self._response(
+                        status, payload, content_type=ctype, keep_alive=keep,
+                        trace_id=trace_id,
+                    )
                 )
                 await writer.drain()
                 if not keep:
@@ -407,6 +552,7 @@ class ServiceServer:
             await self._server.wait_closed()
             self._server = None
         self.batcher.close()
+        self.flight.uninstall()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (KeyboardInterrupt-friendly)."""

@@ -308,6 +308,7 @@ class ChunkTiming:
 
 def _simulate_chunk(
     chunk: list[tuple[int, SimConfig]],
+    tctx: tuple[str, str] | None = None,
 ) -> tuple[list[tuple[int, SimulationResult]], float, int]:
     """Worker entry point: run one chunk, report wall time and pid.
 
@@ -316,7 +317,16 @@ def _simulate_chunk(
     the batch engine's speedup comes from — while DES configs run through
     the per-config :func:`simulate` loop.  Results are re-keyed by their
     original indices, so the split is invisible to the caller.
+
+    ``tctx`` is an optional ``(trace_id, chunk_ctx_id)`` request-tree
+    hand-off: the chunk's pre-allocated context id is installed as the
+    ambient trace context so spans emitted *inside* the worker (the
+    fastpath's per-group records) parent under the chunk node the parent
+    process will emit from :func:`run_simulations`.
     """
+    if tctx is not None and obs_trace.enabled():
+        with obs_trace.use_context(obs_trace.TraceContext(tctx[0], tctx[1])):
+            return _simulate_chunk(chunk, None)
     t0 = time.perf_counter()
     fast = [(i, cfg) for i, cfg in chunk if cfg.engine == "fast"]
     slow = [(i, cfg) for i, cfg in chunk if cfg.engine != "fast"]
@@ -327,6 +337,17 @@ def _simulate_chunk(
         out.extend(zip((i for i, _ in fast), simulate_batch([c for _, c in fast])))
     out.sort(key=lambda pair: pair[0])
     return out, time.perf_counter() - t0, os.getpid()
+
+
+def _chunk_task(
+    payload: tuple[list[tuple[int, SimConfig]], tuple[str, str] | None],
+) -> tuple[list[tuple[int, SimulationResult]], float, int, tuple[str, str] | None]:
+    """Picklable single-argument wrapper for ``imap_unordered``: runs the
+    chunk under its trace context and echoes the context back so the
+    parent can pin the chunk span's id under unordered completion."""
+    chunk, tctx = payload
+    ran, seconds, pid = _simulate_chunk(chunk, tctx)
+    return ran, seconds, pid, tctx
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -431,11 +452,22 @@ def run_simulations(
     ]
     done = total - len(pending)
 
+    # Request-tree hand-off: pre-allocate each chunk's context id so the
+    # workers' fastpath group spans can parent under the chunk node the
+    # parent process emits after absorption.
+    req_ctx = obs_trace.current_context() if obs_trace.enabled() else None
+    chunk_tctx: list[tuple[str, str] | None] = [None] * len(chunks)
+    if req_ctx is not None:
+        chunk_tctx = [
+            (req_ctx.trace_id, obs_trace.new_ctx_id() or "") for _ in chunks
+        ]
+
     def _absorb(
         chunk_no: int,
         ran: list[tuple[int, SimulationResult]],
         seconds: float,
         pid: int,
+        tctx: tuple[str, str] | None = None,
     ) -> None:
         nonlocal done
         for i, res in ran:
@@ -449,7 +481,8 @@ def run_simulations(
         _RUNS.inc(len(ran))
         if obs_trace.enabled():
             # The chunk was timed inside the worker; emit it as a
-            # pre-timed interval ending now on the tracer's clock.
+            # pre-timed interval ending now on the tracer's clock, pinned
+            # to the pre-allocated context id the worker parented under.
             end = time.monotonic()
             obs_trace.emit(
                 "pool",
@@ -458,6 +491,8 @@ def run_simulations(
                 "chunk",
                 label=f"chunk-{chunk_no}",
                 attrs={"size": len(ran), "seconds": seconds, "pid": pid},
+                ctx=req_ctx,
+                ctx_id=tctx[1] if tctx else None,
             )
         if timings is not None:
             timings.append(
@@ -468,15 +503,17 @@ def run_simulations(
 
     if n_jobs == 1 or len(pending) <= 1 or traced:
         for chunk_no, chunk in enumerate(chunks):
-            _absorb(chunk_no, *_simulate_chunk(chunk))
+            _absorb(chunk_no, *_simulate_chunk(chunk, chunk_tctx[chunk_no]), chunk_tctx[chunk_no])
     else:
         ctx = _pool_context()
+        payloads = list(zip(chunks, chunk_tctx))
         with ctx.Pool(processes=min(n_jobs, len(chunks))) as pool:
-            # Unordered completion is fine: every item carries its index.
-            for chunk_no, (ran, seconds, pid) in enumerate(
-                pool.imap_unordered(_simulate_chunk, chunks)
+            # Unordered completion is fine: every item carries its index
+            # (and its own trace context, echoed back by the worker).
+            for chunk_no, (ran, seconds, pid, tctx) in enumerate(
+                pool.imap_unordered(_chunk_task, payloads)
             ):
-                _absorb(chunk_no, ran, seconds, pid)
+                _absorb(chunk_no, ran, seconds, pid, tctx)
 
     assert all(r is not None for r in results)
     return tuple(results)  # type: ignore[arg-type]

@@ -1,0 +1,186 @@
+"""Flight recorder: bounded rings, tap capture, span-tree nesting."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.flight import FlightRecorder, span_tree
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+def _span(ctx, parent=None, start=0.0, kind="k", trace_id="t1"):
+    rec = {
+        "lane": "l",
+        "start": start,
+        "end": start + 1.0,
+        "kind": kind,
+        "label": "",
+        "trace_id": trace_id,
+        "ctx": ctx,
+    }
+    if parent:
+        rec["ctx_parent"] = parent
+    return rec
+
+
+class TestSpanTree:
+    def test_nests_by_ctx_parent(self):
+        spans = [
+            _span("root", start=0.0),
+            _span("b", parent="root", start=2.0),
+            _span("a", parent="root", start=1.0),
+            _span("a1", parent="a", start=1.5),
+        ]
+        (tree,) = span_tree(spans)
+        assert tree["span"]["ctx"] == "root"
+        assert [n["span"]["ctx"] for n in tree["children"]] == ["a", "b"]  # by start
+        assert tree["children"][0]["children"][0]["span"]["ctx"] == "a1"
+
+    def test_absent_parent_becomes_root(self):
+        roots = span_tree([_span("x", parent="gone")])
+        assert [n["span"]["ctx"] for n in roots] == ["x"]
+
+    def test_self_parent_does_not_recurse(self):
+        roots = span_tree([_span("x", parent="x")])
+        assert len(roots) == 1 and roots[0]["children"] == []
+
+    def test_spans_without_ctx_are_skipped(self):
+        assert span_tree([{"lane": "l", "start": 0, "end": 1, "kind": "k", "label": ""}]) == []
+
+
+class TestLifecycle:
+    def test_finish_moves_to_ring(self):
+        fr = FlightRecorder(capacity=4)
+        fr.begin("t1", "POST", "/v1/simulate")
+        assert len(fr) == 0
+        fr.finish("t1", 200, 0.05)
+        assert len(fr) == 1
+        (summary,) = fr.requests()
+        assert summary["trace_id"] == "t1"
+        assert summary["status"] == 200
+        assert summary["duration"] == 0.05
+        assert summary["spans"] == 0
+
+    def test_ring_capacity_evicts_oldest(self):
+        fr = FlightRecorder(capacity=2)
+        for i in range(5):
+            fr.begin(f"t{i}", "GET", "/healthz")
+            fr.finish(f"t{i}", 200, float(i))
+        assert len(fr) == 2
+        assert [e["trace_id"] for e in fr.requests()] == ["t4", "t3"]
+
+    def test_discard_drops_without_recording(self):
+        fr = FlightRecorder()
+        fr.begin("t1", "POST", "/v1/simulate")
+        fr.discard("t1")
+        fr.finish("t1", 200, 0.1)  # no-op: already discarded
+        assert len(fr) == 0
+
+    def test_finish_unknown_trace_is_noop(self):
+        fr = FlightRecorder()
+        fr.finish("never-begun", 200, 0.1)
+        assert len(fr) == 0
+
+    def test_pending_backstop_evicts_oldest_orphan(self):
+        fr = FlightRecorder(max_pending=2)
+        fr.begin("t1", "GET", "/a")
+        fr.begin("t2", "GET", "/b")
+        fr.begin("t3", "GET", "/c")  # evicts t1
+        fr.finish("t1", 200, 0.1)
+        fr.finish("t3", 200, 0.1)
+        assert [e["trace_id"] for e in fr.requests()] == ["t3"]
+
+    def test_server_timing_copied_into_summary(self):
+        fr = FlightRecorder()
+        fr.begin("t1", "POST", "/v1/simulate")
+        fr.finish("t1", 200, 0.1, server_timing={"compute": 0.09})
+        assert fr.requests()[0]["server_timing"] == {"compute": 0.09}
+
+    def test_slowest_sorts_by_duration(self):
+        fr = FlightRecorder()
+        for i, dur in enumerate([0.3, 0.9, 0.1]):
+            fr.begin(f"t{i}", "GET", "/x")
+            fr.finish(f"t{i}", 200, dur)
+        slowest = fr.requests(n=2, slowest=True)
+        assert [e["trace_id"] for e in slowest] == ["t1", "t0"]
+
+
+class TestTapCapture:
+    def test_captures_spans_for_registered_traces_only(self):
+        trace.configure()
+        fr = FlightRecorder().install()
+        try:
+            fr.begin("mine", "POST", "/v1/simulate")
+            with trace.span("server", "request", ctx=trace.TraceContext("mine")):
+                pass
+            with trace.span("server", "request", ctx=trace.TraceContext("other")):
+                pass
+            with trace.span("server", "untraced"):  # no ctx -> no trace_id
+                pass
+            fr.finish("mine", 200, 0.1)
+        finally:
+            fr.uninstall()
+        entry = fr.lookup("mine")
+        assert len(entry["spans"]) == 1
+        assert entry["spans"][0]["trace_id"] == "mine"
+        assert len(entry["tree"]) == 1
+
+    def test_lookup_builds_nested_tree(self):
+        trace.configure()
+        fr = FlightRecorder().install()
+        try:
+            fr.begin("t", "POST", "/v1/simulate")
+            with trace.span("server", "request", ctx=trace.TraceContext("t")):
+                with trace.span("coalescer", "wait"):
+                    pass
+                with trace.span("batcher", "window"):
+                    pass
+            fr.finish("t", 200, 0.1)
+        finally:
+            fr.uninstall()
+        (root,) = fr.lookup("t")["tree"]
+        assert root["span"]["kind"] == "request"
+        assert sorted(n["span"]["kind"] for n in root["children"]) == ["wait", "window"]
+
+    def test_max_spans_cap_counts_drops(self):
+        trace.configure()
+        fr = FlightRecorder(max_spans=2).install()
+        try:
+            fr.begin("t", "POST", "/v1/simulate")
+            for _ in range(5):
+                with trace.span("server", "request", ctx=trace.TraceContext("t")):
+                    pass
+            fr.finish("t", 200, 0.1)
+        finally:
+            fr.uninstall()
+        entry = fr.lookup("t")
+        assert len(entry["spans"]) == 2
+        assert entry["spans_dropped"] == 3
+
+    def test_tracing_disabled_still_records_summaries(self):
+        fr = FlightRecorder().install()
+        try:
+            fr.begin("t", "GET", "/stats")
+            fr.finish("t", 200, 0.01)
+        finally:
+            fr.uninstall()
+        entry = fr.lookup("t")
+        assert entry["spans"] == [] and entry["status"] == 200
+
+    def test_install_is_idempotent(self):
+        trace.configure()
+        fr = FlightRecorder().install().install()
+        try:
+            fr.begin("t", "GET", "/x")
+            with trace.span("s", "k", ctx=trace.TraceContext("t")):
+                pass
+            fr.finish("t", 200, 0.1)
+        finally:
+            fr.uninstall()
+            fr.uninstall()
+        assert len(fr.lookup("t")["spans"]) == 1

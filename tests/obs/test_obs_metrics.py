@@ -196,3 +196,96 @@ class TestAdapters:
         stage.add(10, 0.1)
         after = reg.snapshot()["s_bytes_total"]["samples"][0]["value"]
         assert (before, after) == (0, 10)
+
+
+class TestHistogramBisect:
+    def test_bisect_matches_linear_scan_semantics(self, reg):
+        """``value <= edge`` picks the first qualifying bucket — exactly
+        what the old linear scan did, for every edge and in-between."""
+        h = reg.histogram("lat_seconds", "latency")
+        edges = h.buckets
+
+        def linear_bucket(value):
+            for i, edge in enumerate(edges):
+                if value <= edge:
+                    return i
+            raise AssertionError("+Inf edge always matches")
+
+        probes = [0.0, -1.0, 1e12, math.inf]
+        for e in edges[:-1]:
+            probes += [e, e * 0.999, e * 1.001]
+        for value in probes:
+            h2 = MetricsRegistry().histogram("x_seconds", "x")
+            h2.observe(value)
+            counts = h2.value()["counts"]
+            assert counts[linear_bucket(value)] == 1, value
+            assert sum(counts) == 1
+
+
+class TestHistogramQuantile:
+    def test_uniform_distribution_interpolates(self, reg):
+        h = reg.histogram("q_seconds", "q", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):  # one observation per finite bucket
+            h.observe(v)
+        # rank 1.5 of 3 falls mid-bucket-2: 1.0 + (2.0-1.0) * 0.5
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_known_percentiles(self, reg):
+        h = reg.histogram("p_seconds", "p", buckets=(0.01, 0.1, 1.0))
+        for _ in range(90):
+            h.observe(0.005)  # bucket 1
+        for _ in range(10):
+            h.observe(0.05)  # bucket 2
+        # p50: rank 50 of 100 falls 50/90 into bucket 1's span
+        assert h.quantile(0.5) == pytest.approx(0.01 * (50 / 90))
+        # p95: rank 95 -> 5 observations into bucket 2's 10
+        assert h.quantile(0.95) == pytest.approx(0.01 + 0.09 * 0.5)
+
+    def test_inf_bucket_returns_highest_finite_edge(self, reg):
+        h = reg.histogram("inf_seconds", "inf", buckets=(1.0,))
+        h.observe(50.0)  # lands in +Inf
+        assert h.quantile(0.9) == 1.0
+
+    def test_empty_histogram_is_nan(self, reg):
+        h = reg.histogram("e_seconds", "e")
+        assert math.isnan(h.quantile(0.5))
+
+    def test_out_of_range_q_rejected(self, reg):
+        h = reg.histogram("r_seconds", "r")
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+        with pytest.raises(MetricError):
+            h.quantile(-0.1)
+
+    def test_labelled_cells_independent(self, reg):
+        h = reg.histogram("lbl_seconds", "l", buckets=(1.0, 10.0))
+        h.observe(0.5, endpoint="fast")
+        h.observe(9.0, endpoint="slow")
+        assert h.quantile(0.99, endpoint="fast") <= 1.0
+        assert h.quantile(0.99, endpoint="slow") > 1.0
+
+
+class TestExemplars:
+    def test_observe_attaches_exemplar_to_bucket(self, reg):
+        h = reg.histogram("ex_seconds", "ex", buckets=(1.0,))
+        h.observe(0.5, exemplar="trace-a")
+        h.observe(0.7, exemplar="trace-b")  # same bucket: last writer wins
+        h.observe(0.2)  # no exemplar: does not clobber
+        ex = h.value()["exemplars"]
+        assert ex[0] == ("trace-b", 0.7)
+
+    def test_no_exemplars_key_without_exemplars(self, reg):
+        h = reg.histogram("plain_seconds", "p")
+        h.observe(0.5)
+        assert "exemplars" not in h.value()
+
+    def test_prometheus_renders_openmetrics_exemplar(self, reg):
+        h = reg.histogram("lat_seconds", "latency", buckets=(1.0,))
+        h.observe(0.5, exemplar="abc123")
+        text = reg.render_prometheus()
+        assert 'lat_seconds_bucket{le="1"} 1 # {trace_id="abc123"} 0.5' in text
+        # The +Inf line carries no exemplar.
+        inf_line = next(l for l in text.splitlines() if '+Inf' in l)
+        assert "#" not in inf_line

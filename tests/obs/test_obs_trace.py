@@ -210,3 +210,204 @@ class TestValidation:
         path = tmp_path / "t.jsonl"
         path.write_text(json.dumps(self._good()) + "\n\n")
         assert trace.validate_file(path) == 1
+
+
+class TestTraceContext:
+    def test_span_with_ctx_records_tree_fields(self):
+        tracer = trace.configure()
+        with trace.span("server", "request", ctx=trace.TraceContext("tid-1")) as sp:
+            assert sp.ctx_id
+            assert sp.context() == trace.TraceContext("tid-1", sp.ctx_id)
+        (rec,) = tracer.records
+        assert rec["trace_id"] == "tid-1"
+        assert rec["ctx"] == sp.ctx_id
+        assert "ctx_parent" not in rec
+        trace.validate_record(rec)
+
+    def test_ambient_context_nests_child_spans(self):
+        tracer = trace.configure()
+        with trace.span("server", "request", ctx=trace.TraceContext("tid")) as outer:
+            with trace.span("coalescer", "wait") as inner:
+                assert inner.trace_id == "tid"
+        inner_rec, outer_rec = tracer.records
+        assert inner_rec["ctx_parent"] == outer_rec["ctx"]
+        assert inner_rec["trace_id"] == "tid"
+
+    def test_ctx_none_opts_out_of_ambient(self):
+        tracer = trace.configure()
+        with trace.span("server", "request", ctx=trace.TraceContext("tid")):
+            with trace.span("lane", "plain", ctx=None):
+                pass
+        plain, _request = tracer.records
+        assert "trace_id" not in plain and "ctx" not in plain
+
+    def test_current_context_tracks_innermost_span(self):
+        trace.configure()
+        assert trace.current_context() is None
+        with trace.span("server", "request", ctx=trace.TraceContext("tid")) as sp:
+            assert trace.current_context() == trace.TraceContext("tid", sp.ctx_id)
+        assert trace.current_context() is None
+
+    def test_use_context_hands_off_across_threads(self):
+        tracer = trace.configure()
+        ctx_holder = {}
+
+        with trace.span("server", "request", ctx=trace.TraceContext("tid")) as sp:
+            ctx_holder["ctx"] = sp.context()
+
+        def worker():
+            with trace.use_context(ctx_holder["ctx"]):
+                with trace.span("pool", "chunk"):
+                    pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        chunk = next(r for r in tracer.records if r["kind"] == "chunk")
+        assert chunk["trace_id"] == "tid"
+        assert chunk["ctx_parent"] == ctx_holder["ctx"].span_id
+
+    def test_run_with_context_callable(self):
+        tracer = trace.configure()
+        ctx = trace.root_context()
+
+        def work():
+            with trace.span("lane", "inner"):
+                pass
+            return 42
+
+        assert trace.run_with_context(ctx, work) == 42
+        (rec,) = [r for r in tracer.records if r["kind"] == "inner"]
+        assert rec["trace_id"] == ctx.trace_id
+
+    def test_emit_with_pinned_ctx_id(self):
+        tracer = trace.configure()
+        ctx = trace.root_context()
+        cid = trace.new_ctx_id()
+        trace.emit("pool", 0.0, 1.0, "chunk", ctx=ctx, ctx_id=cid)
+        (rec,) = tracer.records
+        assert rec["ctx"] == cid
+        assert rec["trace_id"] == ctx.trace_id
+
+    def test_emit_links_are_recorded_and_filtered(self):
+        tracer = trace.configure()
+        ctx = trace.root_context()
+        trace.emit("batcher", 0.0, 1.0, "compute", ctx=ctx, links=["abc", "", None])
+        (rec,) = tracer.records
+        assert rec["links"] == ["abc"]
+
+    def test_span_link_dedups(self):
+        tracer = trace.configure()
+        sp = trace.span("coalescer", "wait", ctx=trace.TraceContext("tid"))
+        sp.link("x", "x", None, "y")
+        with sp:
+            pass
+        assert tracer.records[0]["links"] == ["x", "y"]
+
+    def test_new_ctx_id_none_when_disabled(self):
+        assert trace.new_ctx_id() is None
+        assert trace.current_context() is None
+
+    def test_concurrent_requests_do_not_cross_parent(self):
+        """Two interleaved ctx spans on one thread (as on an event loop)
+        must each parent their own children."""
+        tracer = trace.configure()
+        a = trace.span("server", "request", label="a", ctx=trace.TraceContext("ta"))
+        b = trace.span("server", "request", label="b", ctx=trace.TraceContext("tb"))
+        a.__enter__()
+        b.__enter__()
+        with trace.span("lane", "child-of-b"):
+            pass
+        b.__exit__(None, None, None)
+        with trace.span("lane", "child-of-a"):
+            pass
+        a.__exit__(None, None, None)
+        child_b = next(r for r in tracer.records if r["kind"] == "child-of-b")
+        child_a = next(r for r in tracer.records if r["kind"] == "child-of-a")
+        assert child_b["trace_id"] == "tb" and child_b["ctx_parent"] == b.ctx_id
+        assert child_a["trace_id"] == "ta" and child_a["ctx_parent"] == a.ctx_id
+
+
+class TestTaps:
+    def test_tap_sees_records_and_uninstalls(self):
+        trace.configure()
+        seen = []
+        trace.add_tap(seen.append)
+        try:
+            with trace.span("lane", "k"):
+                pass
+        finally:
+            trace.remove_tap(seen.append)
+        assert len(seen) == 1 and seen[0]["kind"] == "k"
+        with trace.span("lane", "k2"):
+            pass
+        assert len(seen) == 1  # removed taps see nothing
+
+    def test_tap_exceptions_are_swallowed(self):
+        tracer = trace.configure()
+
+        def bad_tap(rec):
+            raise RuntimeError("boom")
+
+        trace.add_tap(bad_tap)
+        try:
+            with trace.span("lane", "k"):
+                pass
+        finally:
+            trace.remove_tap(bad_tap)
+        assert tracer.total == 1
+
+    def test_remove_unknown_tap_is_noop(self):
+        trace.remove_tap(lambda rec: None)
+
+
+class TestRequestTrees:
+    def _tree(self):
+        return [
+            {"lane": "s", "start": 0, "end": 9, "kind": "request", "label": "",
+             "trace_id": "t", "ctx": "r"},
+            {"lane": "c", "start": 1, "end": 8, "kind": "wait", "label": "",
+             "trace_id": "t", "ctx": "w", "ctx_parent": "r"},
+        ]
+
+    def test_connected_tree_has_no_orphans(self):
+        report = trace.validate_request_trees(self._tree())
+        assert report == {"traces": 1, "spans": 2, "roots": 1, "orphans": []}
+
+    def test_parent_resolves_across_pids_not_order(self):
+        recs = self._tree()[::-1]  # child emitted before parent
+        assert trace.validate_request_trees(recs)["orphans"] == []
+
+    def test_missing_trace_id_is_orphan(self):
+        recs = self._tree()
+        del recs[1]["trace_id"]
+        ((idx, reason),) = trace.validate_request_trees(recs)["orphans"]
+        assert idx == 1 and "trace_id" in reason
+
+    def test_unresolvable_parent_is_orphan(self):
+        recs = self._tree()
+        recs[1]["ctx_parent"] = "nope"
+        ((idx, reason),) = trace.validate_request_trees(recs)["orphans"]
+        assert idx == 1 and "nope" in reason
+
+    def test_parent_in_wrong_trace_is_orphan(self):
+        recs = self._tree()
+        recs[1]["trace_id"] = "other"
+        assert len(trace.validate_request_trees(recs)["orphans"]) == 1
+
+    def test_links_resolve_across_traces(self):
+        recs = self._tree()
+        recs.append(
+            {"lane": "c", "start": 2, "end": 7, "kind": "wait", "label": "coalesced",
+             "trace_id": "t2", "ctx": "d", "links": ["w"]}
+        )
+        report = trace.validate_request_trees(recs)
+        assert report["traces"] == 2 and report["orphans"] == []
+        recs[-1]["links"] = ["gone"]
+        assert len(trace.validate_request_trees(recs)["orphans"]) == 1
+
+    def test_plain_records_are_ignored(self):
+        report = trace.validate_request_trees(
+            [{"lane": "a", "start": 0, "end": 1, "kind": "k", "label": ""}]
+        )
+        assert report == {"traces": 0, "spans": 0, "roots": 0, "orphans": []}

@@ -1,0 +1,382 @@
+"""End-to-end request tracing: connected trees, timing, SLOs, debug API."""
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.slo import parse_slo
+from repro.service import (
+    BackgroundServer,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    canonical_dumps,
+    config_from_json,
+    result_to_json,
+)
+from repro.service.coalescer import Coalescer
+from repro.simulation import simulate
+from repro.simulation.pool import ResultCache
+
+BODY = {"params": {"mtti": 600.0}, "strategy": "ndp", "work_mttis": 3, "seed": 1}
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("trace-cache"))
+    config = ServiceConfig(
+        port=0,
+        jobs=1,
+        cache=cache,
+        slo=(parse_slo("simulate=10s:0.99"), parse_slo("sweep=10s:0.95")),
+    )
+    with BackgroundServer(config) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+def records_for(tracer, trace_id):
+    return [r for r in tracer.records if r.get("trace_id") == trace_id]
+
+
+class TestTraceHeader:
+    def test_client_supplied_id_is_adopted_and_echoed(self, server):
+        with ServiceClient("127.0.0.1", server.port, trace_id="feedc0de00112233") as c:
+            c.simulate(BODY)
+            assert c.last_trace_id == "feedc0de00112233"
+
+    def test_minted_id_when_absent(self, client):
+        client.simulate(BODY)
+        assert client.last_trace_id
+        assert len(client.last_trace_id) == 16
+        assert set(client.last_trace_id) <= set("0123456789abcdef")
+
+    def test_malformed_inbound_id_is_replaced(self, server):
+        with ServiceClient("127.0.0.1", server.port, trace_id="NOT HEX!!") as c:
+            c.healthz()
+            assert c.last_trace_id != "NOT HEX!!"
+            assert set(c.last_trace_id) <= set("0123456789abcdef-")
+
+    def test_uppercase_hex_is_normalized(self, server):
+        with ServiceClient("127.0.0.1", server.port, trace_id="ABCDEF01") as c:
+            c.healthz()
+            assert c.last_trace_id == "abcdef01"
+
+    def test_responses_stay_byte_identical_under_tracing(self, client):
+        trace.configure()
+        body = dict(BODY, seed=31)
+        raw = client.post_raw("/v1/simulate", body)
+        want = canonical_dumps(
+            {"result": result_to_json(simulate(config_from_json(body)))}
+        )
+        assert raw == want
+
+
+class TestRequestTrees:
+    def test_concurrent_sweeps_yield_connected_single_root_trees(self, server):
+        """ISSUE acceptance: a traced /v1/sweep under concurrent load
+        produces one connected span tree per request — ingress →
+        coalescer → batcher → pool chunks → fastpath groups."""
+        tracer = trace.configure()
+        ids = [f"aaaa{i:012x}" for i in range(4)]
+
+        def fire(tid, seed_base):
+            body = {
+                "configs": [
+                    dict(BODY, seed=seed_base + k, work_mttis=2) for k in range(3)
+                ],
+                "seeds": [seed_base],
+            }
+            with ServiceClient("127.0.0.1", server.port, trace_id=tid) as c:
+                return c.sweep(body)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(fire, ids, range(40, 80, 10)))
+
+        report = trace.validate_request_trees(tracer.records)
+        assert report["orphans"] == []
+        leaders = 0
+        for tid in ids:
+            recs = records_for(tracer, tid)
+            kinds = {r["kind"] for r in recs}
+            # Every tree reaches the compute: the batch leader holds the
+            # real compute span with the pool/fastpath subtree, riders
+            # carry a shared-compute interval linking the leader's span.
+            assert {"request", "wait", "window", "compute"} <= kinds
+            if "chunk" in kinds:
+                assert "batch" in kinds  # fastpath groups under the chunks
+                leaders += 1
+            else:
+                shared = [r for r in recs if r["kind"] == "compute"]
+                assert any(r.get("links") for r in shared)
+            roots = [r for r in recs if "ctx_parent" not in r and not r.get("links")]
+            assert len(roots) == 1, [r["kind"] for r in roots]
+            assert roots[0]["kind"] == "request"
+            assert roots[0]["lane"] == "server"
+        assert leaders >= 1  # somebody actually ran the engines
+
+    def test_simulate_tree_nests_ingress_to_fastpath(self, client):
+        tracer = trace.configure()
+        client.post_raw("/v1/simulate", dict(BODY, seed=91), trace_id="beef0001")
+        recs = records_for(tracer, "beef0001")
+        by_ctx = {r["ctx"]: r for r in recs}
+
+        def depth(rec):
+            d = 0
+            while rec.get("ctx_parent"):
+                rec = by_ctx[rec["ctx_parent"]]
+                d += 1
+            return d
+
+        batch = next(r for r in recs if r["kind"] == "batch")
+        root = next(r for r in recs if r["kind"] == "request")
+        assert depth(root) == 0
+        # fastpath group sits several layers below the ingress span.
+        assert depth(batch) >= 3
+
+
+class TestServerTiming:
+    def test_stages_sum_to_wall_within_5_percent(self, server):
+        trace.configure()
+        with ServiceClient(
+            "127.0.0.1", server.port, trace_id="cafe0002", timing=True
+        ) as c:
+            out = c.simulate(dict(BODY, seed=92, work_mttis=5))
+        st = out["server_timing"]
+        assert set(st) == {
+            "parse", "coalesce_wait", "batch_window", "cache_probe",
+            "compute", "serialize",
+        }
+        assert all(v >= 0.0 for v in st.values())
+        entry = json.loads(c.get_raw("/debug/trace/cafe0002"))
+        wall = entry["duration"]
+        assert sum(st.values()) <= wall * 1.05
+        assert sum(st.values()) >= wall * 0.5  # the stages cover the bulk
+
+    def test_timing_absent_without_header(self, client):
+        out = client.simulate(dict(BODY, seed=93))
+        assert "server_timing" not in out
+
+    def test_flight_recorder_keeps_stages_even_without_header(self, client):
+        client.post_raw("/v1/simulate", dict(BODY, seed=94), trace_id="cafe0003")
+        entry = json.loads(client.get_raw("/debug/trace/cafe0003"))
+        assert entry["server_timing"]["compute"] >= 0.0
+
+
+class TestCoalescedTraces:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_duplicate_waiter_links_primary_wait_span(self):
+        tracer = trace.configure()
+
+        async def scenario():
+            co = Coalescer()
+            gate: asyncio.Future = None
+
+            async def compute():
+                await gate
+                return 42
+
+            async def primary():
+                with trace.use_context(trace.TraceContext("t-primary")):
+                    return await co.get("k", compute)
+
+            async def duplicate():
+                await asyncio.sleep(0.01)  # let the primary register
+                with trace.use_context(trace.TraceContext("t-dup")):
+                    return await co.get("k", compute)
+
+            gate = asyncio.get_running_loop().create_future()
+            p = asyncio.ensure_future(primary())
+            d = asyncio.ensure_future(duplicate())
+            await asyncio.sleep(0.05)
+            gate.set_result(None)
+            return await asyncio.gather(p, d)
+
+        assert self._run(scenario()) == [42, 42]
+        primary_wait = next(
+            r for r in tracer.records
+            if r["kind"] == "wait" and r["label"] == "primary"
+        )
+        dup_wait = next(
+            r for r in tracer.records
+            if r["kind"] == "wait" and r["label"] == "coalesced"
+        )
+        assert primary_wait["trace_id"] == "t-primary"
+        assert dup_wait["trace_id"] == "t-dup"
+        assert dup_wait["links"] == [primary_wait["ctx"]]
+        assert trace.validate_request_trees(tracer.records)["orphans"] == []
+
+    def test_cancelled_duplicate_still_records_and_compute_survives(self):
+        tracer = trace.configure()
+
+        async def scenario():
+            co = Coalescer()
+            gate = None
+
+            async def compute():
+                await gate
+                return "done"
+
+            async def waiter(tid):
+                with trace.use_context(trace.TraceContext(tid)):
+                    return await co.get("k", compute)
+
+            gate = asyncio.get_running_loop().create_future()
+            p = asyncio.ensure_future(waiter("t-a"))
+            await asyncio.sleep(0.01)
+            d = asyncio.ensure_future(waiter("t-b"))
+            await asyncio.sleep(0.01)
+            d.cancel()
+            await asyncio.sleep(0.01)
+            gate.set_result(None)
+            result = await p
+            assert d.cancelled()
+            return result
+
+        assert self._run(scenario()) == "done"
+        dup_wait = next(
+            r for r in tracer.records
+            if r["kind"] == "wait" and r["label"] == "coalesced"
+        )
+        assert dup_wait["trace_id"] == "t-b"  # recorded despite cancellation
+        assert next(
+            r for r in tracer.records
+            if r["kind"] == "wait" and r["label"] == "primary"
+        )["trace_id"] == "t-a"
+
+
+class TestWarmCacheRequests:
+    def test_fully_warm_request_has_no_compute_span(self, server):
+        body = dict(BODY, seed=95)
+        with ServiceClient("127.0.0.1", server.port) as c:
+            c.simulate(body)  # populate the shared result cache
+            tracer = trace.configure()
+            c.post_raw("/v1/simulate", body, trace_id="feed0004")
+        recs = records_for(tracer, "feed0004")
+        kinds = [r["kind"] for r in recs]
+        assert "cache_probe" in kinds
+        assert "compute" not in kinds
+        assert "chunk" not in kinds
+        assert trace.validate_request_trees(recs)["orphans"] == []
+
+
+class TestDebugEndpoints:
+    def test_requests_lists_recent_with_status_and_duration(self, client):
+        client.post_raw("/v1/simulate", dict(BODY, seed=96), trace_id="dead0005")
+        out = json.loads(client.get_raw("/debug/requests?n=50"))
+        entry = next(
+            e for e in out["requests"] if e["trace_id"] == "dead0005"
+        )
+        assert entry["status"] == 200
+        assert entry["duration"] > 0.0
+        assert entry["path"] == "/v1/simulate"
+
+    def test_slowest_sort_and_n_param(self, client):
+        out = json.loads(client.get_raw("/debug/requests?n=2&sort=slowest"))
+        durations = [e["duration"] for e in out["requests"]]
+        assert len(durations) <= 2
+        assert durations == sorted(durations, reverse=True)
+
+    def test_bad_n_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.get_raw("/debug/requests?n=bogus")
+        assert exc.value.status == 400
+
+    def test_trace_lookup_returns_span_tree(self, server):
+        trace.configure()
+        with ServiceClient("127.0.0.1", server.port, trace_id="dead0006") as c:
+            c.simulate(dict(BODY, seed=97))
+            entry = json.loads(c.get_raw("/debug/trace/dead0006"))
+        assert entry["trace_id"] == "dead0006"
+        assert entry["spans"]
+        (root,) = entry["tree"]
+        assert root["span"]["kind"] == "request"
+        assert root["children"]
+
+    def test_unknown_trace_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.get_raw("/debug/trace/ffffffffffffffff")
+        assert exc.value.status == 404
+
+    def test_unknown_debug_path_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.get_raw("/debug/nope")
+        assert exc.value.status == 404
+
+
+class TestSLOAndLatencyExport:
+    def test_stats_carries_percentiles_and_slo(self, client):
+        client.simulate(dict(BODY, seed=98))
+        stats = client.stats()
+        lat = stats["latency"]["/v1/simulate"]
+        assert lat["count"] >= 1
+        assert 0.0 <= lat["p50"] <= lat["p99"]
+        slo = stats["slo"]["simulate"]
+        assert slo["objective"] == "10000ms:0.99"
+        assert slo["good"] >= 1
+        assert set(slo["windows"]) == {"5m", "1h"}
+
+    def test_metrics_export_slo_gauges(self, client):
+        client.simulate(dict(BODY, seed=99))
+        text = client.metrics_text()
+        assert 'repro_slo_target{route="simulate"} 0.99' in text
+        assert 'repro_slo_burn_rate{route="simulate",window="5m"}' in text
+
+    def test_metrics_histogram_carries_exemplars_when_traced(self, server):
+        trace.configure()
+        with ServiceClient("127.0.0.1", server.port, trace_id="ace00007") as c:
+            c.simulate(dict(BODY, seed=100))
+            text = c.metrics_text()
+        lines = [
+            l for l in text.splitlines()
+            if l.startswith("service_request_seconds_bucket") and "trace_id=" in l
+        ]
+        assert lines, "no exemplar on any request-latency bucket"
+        assert any('# {trace_id="' in l for l in lines)
+
+
+class TestWorkerProcessTraces:
+    def test_pool_workers_append_to_shared_sink(self, tmp_path, monkeypatch):
+        """Spans from forked pool workers land in the same JSONL sink and
+        resolve into the request's tree (ctx hand-off across pids)."""
+        sink = tmp_path / "svc.jsonl"
+        monkeypatch.setenv(trace.ENV_VAR, str(sink))
+        trace.configure(str(sink), keep_records=False)
+        config = ServiceConfig(port=0, jobs=2, cache=None)
+        body = {
+            "configs": [dict(BODY, seed=200 + k, work_mttis=2) for k in range(6)],
+            "seeds": [0, 1],
+        }
+        with BackgroundServer(config) as srv:
+            with ServiceClient(
+                "127.0.0.1", srv.port, trace_id="abba000000000001"
+            ) as c:
+                c.sweep(body)
+        trace.disable()
+        records = [
+            json.loads(line)
+            for line in sink.read_text().splitlines()
+            if line.strip()
+        ]
+        mine = [r for r in records if r.get("trace_id") == "abba000000000001"]
+        assert {r["kind"] for r in mine} >= {"request", "compute", "chunk", "batch"}
+        assert trace.validate_request_trees(records)["orphans"] == []
+        pids = {r["pid"] for r in mine if "pid" in r}
+        assert len(pids) >= 2, "expected spans from the server and worker pids"
