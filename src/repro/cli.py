@@ -255,30 +255,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .obs.slo import SLOError, parse_slo
-    from .service import ServiceConfig, serve
+    from .service import ServiceConfig, serve, serve_prefork
     from .simulation.pool import ResultCache
 
     if args.jobs is not None and args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0 (0 = one per core): {args.jobs}")
+    if args.procs < 1:
+        raise SystemExit(f"--procs must be >= 1: {args.procs}")
+    if args.queue_budget is not None and args.queue_budget <= 0:
+        raise SystemExit(f"--queue-budget must be > 0 seconds: {args.queue_budget}")
+    if args.aging <= 0:
+        raise SystemExit(f"--aging must be > 0 seconds: {args.aging}")
     try:
         slo = tuple(parse_slo(spec) for spec in args.slo)
     except SLOError as exc:
         raise SystemExit(f"--slo: {exc}")
     cache = None if args.no_cache else ResultCache.default()
     jobs = None if args.jobs == 0 else (args.jobs if args.jobs else 1)
-    serve(
-        ServiceConfig(
-            host=args.host,
-            port=args.port,
-            jobs=jobs,
-            cache=cache,
-            batch_window=args.batch_window,
-            max_batch=args.max_batch,
-            max_inflight=args.max_inflight,
-            coalesce=not args.no_coalesce,
-            slo=slo,
-        )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=jobs,
+        cache=cache,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        coalesce=not args.no_coalesce,
+        slo=slo,
+        queue_budget=args.queue_budget,
+        aging=args.aging,
     )
+    if args.procs > 1:
+        serve_prefork(config, procs=args.procs)
+    else:
+        serve(config)
     return 0
 
 
@@ -322,13 +332,16 @@ def render_top(stats: dict) -> str:
     coalesce = stats.get("coalesce") or {}
     cache = stats.get("cache") or {}
     lines.append("")
-    lines.append(
+    batch_line = (
         f"  batch: submitted={batch.get('submitted', 0)} "
         f"mean_fast={batch.get('mean_fast_batch', 0.0):.1f} "
         f"max={batch.get('max_batch_seen', 0)} "
         f"queue={batch.get('queue_depth', 0)} "
         f"cache_hits={batch.get('cache_hits', 0)}"
     )
+    if batch.get("shed") or batch.get("expired"):
+        batch_line += f" shed={batch.get('shed', 0)} expired={batch.get('expired', 0)}"
+    lines.append(batch_line)
     lines.append(
         f"  coalesce: primary={coalesce.get('primary', 0)} "
         f"coalesced={coalesce.get('coalesced', 0)} "
@@ -338,6 +351,25 @@ def render_top(stats: dict) -> str:
         f"  cache: enabled={cache.get('enabled', False)} "
         f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)}"
     )
+    workers = stats.get("workers") or []
+    if workers:
+        # Prefork group: the scraped worker merged every sibling's
+        # published snapshot; show one row per worker.
+        lines.append("")
+        lines.append(
+            "  worker   requests        p99   queue    shed  expired"
+        )
+        for w in workers:
+            wbatch = w.get("batch") or {}
+            wlat = w.get("latency") or {}
+            p99 = max(
+                (row.get("p99", 0.0) for row in wlat.values()), default=0.0
+            )
+            lines.append(
+                f"  {w.get('worker', '?'):>6}   {w.get('requests', 0):8d} "
+                f"{_fmt_ms(p99)} {wbatch.get('queue_depth', 0):7d} "
+                f"{wbatch.get('shed', 0):7d} {wbatch.get('expired', 0):8d}"
+            )
     return "\n".join(lines)
 
 
@@ -521,6 +553,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="latency SLO per /v1 route, e.g. simulate=50ms:0.99 (repeatable); "
         "tracked as rolling good/bad counters and 5m/1h burn rates in "
         "/stats and /metrics",
+    )
+    p_sv.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="prefork N worker processes sharing the port via SO_REUSEPORT "
+        "(falls back to an inherited listener where unavailable); each "
+        "worker runs the full server stack, shares the on-disk cache, and "
+        "drains gracefully on SIGTERM",
+    )
+    p_sv.add_argument(
+        "--queue-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission-control budget: shed new work with 503 + Retry-After "
+        "once the batch queue's estimated drain time exceeds this "
+        "(default: never shed)",
+    )
+    p_sv.add_argument(
+        "--aging",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="queue seconds that promote a waiting request one priority "
+        "class (starvation control; default 1 s)",
     )
     p_sv.set_defaults(func=_cmd_serve)
 

@@ -266,6 +266,37 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[str, _Instrument] = {}
+        self._constant_labels: dict[str, str] = {}
+
+    def set_constant_labels(self, **labels: Any) -> None:
+        """Attach labels to **every** exported sample of this registry.
+
+        The prefork service workers use this to stamp ``worker="<i>"``
+        onto everything they export without touching any call site:
+        instruments keep their per-sample labels, and the constant set is
+        merged in at export time (:meth:`snapshot`,
+        :meth:`render_prometheus`) with per-sample labels winning on a
+        name clash.  Passing a value of ``None`` removes that label.
+        """
+        with self._lock:
+            for name, value in labels.items():
+                if value is None:
+                    self._constant_labels.pop(name, None)
+                else:
+                    self._constant_labels[name] = str(value)
+
+    def constant_labels(self) -> dict[str, str]:
+        """The registry-wide label set (a copy)."""
+        with self._lock:
+            return dict(self._constant_labels)
+
+    def _merged(self, labels: dict[str, str]) -> dict[str, str]:
+        with self._lock:
+            const = dict(self._constant_labels)
+        if not const:
+            return labels
+        const.update(labels)
+        return const
 
     def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any) -> Any:
         if not name or not name.replace("_", "").replace(":", "").isalnum():
@@ -322,7 +353,7 @@ class MetricsRegistry:
                 "type": inst.kind,
                 "help": inst.help,
                 "samples": [
-                    {"labels": labels, "value": value}
+                    {"labels": self._merged(labels), "value": value}
                     for labels, value in inst.samples()
                 ],
             }
@@ -338,6 +369,7 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {inst.help}")
             lines.append(f"# TYPE {name} {inst.kind}")
             for labels, value in inst.samples():
+                labels = self._merged(labels)
                 if inst.kind == "histogram":
                     cum = 0
                     exemplars = value.get("exemplars") or {}

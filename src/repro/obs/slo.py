@@ -94,12 +94,19 @@ def parse_slo(spec: str) -> SLOTarget:
 class _RouteState:
     """Lifetime totals plus the time-bucketed ring for one route."""
 
-    __slots__ = ("target", "good", "bad", "slots")
+    __slots__ = ("target", "good", "bad", "shed", "expired", "slots")
 
     def __init__(self, target: SLOTarget):
         self.target = target
         self.good = 0
         self.bad = 0
+        #: Requests rejected by the admission controller (HTTP 503) and
+        #: requests whose deadline expired before dispatch (HTTP 504).
+        #: Both also count as *bad* (they burn error budget: the client
+        #: asked and was not served within objective), but the split is
+        #: kept so an operator can tell "slow" from "deliberately shed".
+        self.shed = 0
+        self.expired = 0
         # Each slot: [bucket_epoch, good, bad]; epoch -1 marks "unused".
         self.slots: list[list[float]] = [[-1, 0, 0] for _ in range(_N_BUCKETS)]
 
@@ -159,6 +166,23 @@ class SLOTracker:
             state.record(self._clock(), good)
         return good
 
+    def note(self, route: str, kind: str) -> None:
+        """Attribute one load-control rejection to ``route``.
+
+        ``kind`` is ``"shed"`` (admission-controller 503) or
+        ``"expired"`` (deadline 504).  These requests are *also* fed
+        through :meth:`record` with ``ok=False`` by the server — this
+        only maintains the split so the snapshot can show why budget
+        burned.
+        """
+        if kind not in ("shed", "expired"):
+            raise SLOError(f"unknown rejection kind {kind!r}")
+        state = self._routes.get(route)
+        if state is None:
+            return
+        with self._lock:
+            setattr(state, kind, getattr(state, kind) + 1)
+
     @staticmethod
     def burn_rate(good: int, bad: int, target: float) -> float:
         """``bad_fraction / error_budget`` (0.0 when the window is empty)."""
@@ -188,6 +212,8 @@ class SLOTracker:
                     "target": t.target,
                     "good": state.good,
                     "bad": state.bad,
+                    "shed": state.shed,
+                    "expired": state.expired,
                     "windows": windows,
                 }
         return out
@@ -206,9 +232,17 @@ class SLOTracker:
         burn = registry.gauge(
             "repro_slo_burn_rate", "error-budget burn rate per route and window"
         )
+        rejected = registry.gauge(
+            "repro_slo_rejected_total",
+            "requests rejected by load control, by route and kind (shed/expired)",
+        )
         for route, state in self._routes.items():
             totals.set_function(lambda s=state: float(s.good), route=route, verdict="good")
             totals.set_function(lambda s=state: float(s.bad), route=route, verdict="bad")
+            rejected.set_function(lambda s=state: float(s.shed), route=route, kind="shed")
+            rejected.set_function(
+                lambda s=state: float(s.expired), route=route, kind="expired"
+            )
             target_g.set_function(lambda s=state: s.target.target, route=route)
             for wname, wsecs in WINDOWS:
                 burn.set_function(

@@ -21,37 +21,52 @@ serves it instead: a long-lived asyncio HTTP/JSON server
   (Prometheus text from :data:`repro.obs.metrics.REGISTRY`) and
   ``/healthz``.
 
+* **scale-out & tail control** — prefork multi-process serving on one
+  ``SO_REUSEPORT`` port (:mod:`~repro.service.supervisor`), chunked
+  NDJSON streaming for large sweeps, and deadline/priority scheduling
+  with admission-control load shedding (:mod:`~repro.service.batcher`).
+
 Everything is stdlib: ``asyncio`` transports with hand-rolled HTTP/1.1
 framing, ``json`` bodies.  See ``docs/SERVICE.md`` for the API schema.
 """
 
-from .batcher import Batcher, BatchStats
+from .batcher import Batcher, BatchStats, DeadlineExceeded, Overloaded
 from .client import ServiceClient, ServiceError
 from .coalescer import Coalescer
 from .protocol import (
     ProtocolError,
+    QoS,
     canonical_dumps,
     config_from_json,
     model_result_to_json,
+    qos_from_json,
     result_to_json,
     sweep_rows_from_json,
 )
 from .server import BackgroundServer, ServiceConfig, ServiceServer, serve
+from .supervisor import SO_REUSEPORT_AVAILABLE, WorkerSupervisor, serve_prefork
 
 __all__ = [
     "BackgroundServer",
     "Batcher",
     "BatchStats",
     "Coalescer",
+    "DeadlineExceeded",
+    "Overloaded",
     "ProtocolError",
+    "QoS",
+    "SO_REUSEPORT_AVAILABLE",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "WorkerSupervisor",
     "canonical_dumps",
     "config_from_json",
     "model_result_to_json",
+    "qos_from_json",
     "result_to_json",
     "serve",
+    "serve_prefork",
     "sweep_rows_from_json",
 ]

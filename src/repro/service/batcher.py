@@ -26,12 +26,23 @@ Two invariants the tests pin:
   group from fast-engine jobs, and inside the pool a chunk's DES configs
   run through the per-config :func:`~repro.simulation.simulator.simulate`
   loop; a DES request therefore never rides a fast-engine fused batch.
+
+Scheduling (PR 10): the queue is no longer FIFO.  Each drained window
+sorts by **earliest deadline first within priority class** (with aging,
+so a low-priority job waiting long enough eventually outranks fresh
+high-priority arrivals and can never starve), jobs whose deadline has
+already passed are answered with a fast :class:`DeadlineExceeded` —
+they never touch the runner — and an **admission controller** rejects
+new work with :class:`Overloaded` (HTTP 503 + ``Retry-After``) once the
+queue's estimated drain time exceeds a configurable budget.  Overload
+then degrades into a bounded queue with explicit backpressure instead
+of a collapsing tail.
 """
 
 from __future__ import annotations
 
 import asyncio
-from collections import deque
+import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -42,8 +53,30 @@ from ..simulation.pool import ResultCache, split_cached
 from ..simulation.simulator import SimConfig
 from ..simulation.stats import SimulationResult
 from . import timing as req_timing
+from .protocol import QoS
 
-__all__ = ["Batcher", "BatchStats"]
+__all__ = ["Batcher", "BatchStats", "DeadlineExceeded", "Overloaded"]
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline expired before its batch dispatched.
+
+    The scheduler answers these *without* computing: the client has
+    already given up, so burning engine time on the result only delays
+    every request still inside its deadline.  Maps to HTTP 504.
+    """
+
+
+class Overloaded(Exception):
+    """Admission refused: the queue cannot drain within its budget.
+
+    ``retry_after`` is the estimated seconds until the backlog clears —
+    the server forwards it as the HTTP 503 ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 _BATCHES = obs_metrics.REGISTRY.counter(
     "service_batches_total", "fused simulation batches dispatched, by engine"
@@ -61,6 +94,14 @@ _CACHE_SLICED = obs_metrics.REGISTRY.counter(
     "service_batch_cache_hits_total",
     "simulate jobs resolved from the result cache before dispatch, by engine",
 )
+_SHED = obs_metrics.REGISTRY.counter(
+    "service_shed_total",
+    "simulate jobs rejected at admission (queue budget exceeded)",
+)
+_EXPIRED = obs_metrics.REGISTRY.counter(
+    "service_expired_total",
+    "simulate jobs whose deadline passed before dispatch (answered without computing)",
+)
 
 
 @dataclass
@@ -72,6 +113,8 @@ class BatchStats:
     batched_jobs: dict[str, int] = field(default_factory=lambda: {"fast": 0, "des": 0})
     max_batch_seen: int = 0
     cache_hits: int = 0
+    shed: int = 0
+    expired: int = 0
 
     def mean_batch_size(self, engine: str = "fast") -> float:
         """Mean jobs per dispatched batch for ``engine`` (0.0 if none)."""
@@ -91,6 +134,25 @@ class _Job:
     rec: dict | None = None
     #: Enqueue time on the loop clock (filled at submit).
     enqueued: float = 0.0
+    #: Absolute deadline on the loop clock (``inf`` = no deadline).
+    deadline: float = math.inf
+    #: Priority class (lower = more urgent).
+    priority: int = 0
+    #: Submission sequence number: the tiebreak that keeps scheduling
+    #: deterministic (and FIFO among equals).
+    seq: int = 0
+
+    def sort_key(self, now: float, aging: float) -> tuple[float, float, int]:
+        """EDF within (aged) priority class.
+
+        A job's effective class improves by one for every ``aging``
+        seconds it has waited, so the low class is starvation-free: any
+        job eventually ages into class 0 and dispatches ahead of fresh
+        arrivals no matter how hot the high classes run.
+        """
+        waited = max(0.0, now - self.enqueued)
+        effective = self.priority - int(waited / aging)
+        return (effective, self.deadline, self.seq)
 
 
 class Batcher:
@@ -123,6 +185,17 @@ class Batcher:
         ``simulate_batch`` pass.  Results are unchanged — the runner's
         pool performs the same lookup — but a partially warm batch no
         longer drags its hits through full-width engine groups.
+    queue_budget:
+        Admission-control budget in seconds, or ``None`` (default) for
+        unbounded queueing.  When set, a submission is rejected with
+        :class:`Overloaded` once the queue's estimated drain time —
+        queued batches ahead x the EWMA observed per-batch service time
+        — exceeds the budget.  Accepted requests then keep a bounded
+        queue delay under any offered load; the excess gets an explicit
+        503 + ``Retry-After`` instead of an unbounded tail.
+    aging:
+        Seconds of waiting that promote a queued job by one priority
+        class (starvation control).  Must be > 0.
     """
 
     def __init__(
@@ -133,6 +206,8 @@ class Batcher:
         max_batch: int = 256,
         max_inflight: int = 2,
         cache: ResultCache | None = None,
+        queue_budget: float | None = None,
+        aging: float = 1.0,
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0: {window}")
@@ -140,12 +215,22 @@ class Batcher:
             raise ValueError(f"max_batch must be >= 1: {max_batch}")
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
+        if queue_budget is not None and queue_budget <= 0:
+            raise ValueError(f"queue_budget must be > 0: {queue_budget}")
+        if aging <= 0:
+            raise ValueError(f"aging must be > 0: {aging}")
         self._runner = runner
         self.cache = cache
         self.window = window
         self.max_batch = max_batch
+        self.queue_budget = queue_budget
+        self.aging = aging
         self.stats = BatchStats()
-        self._queue: deque[_Job] = deque()
+        self._queue: list[_Job] = []
+        self._seq = 0
+        #: EWMA of observed per-batch service seconds (None until the
+        #: first batch completes; admission never sheds blind).
+        self._batch_ewma: float | None = None
         self._drainer: asyncio.Task | None = None
         self._sem = asyncio.Semaphore(max_inflight)
         self._executor = ThreadPoolExecutor(
@@ -163,23 +248,58 @@ class Batcher:
         """Jobs waiting for the next batch window."""
         return len(self._queue)
 
-    async def submit(self, config: SimConfig) -> SimulationResult:
+    def estimated_delay(self) -> float:
+        """Estimated seconds for the current queue to drain.
+
+        Queued-batches-ahead x the EWMA per-batch service time (0.0
+        until a batch has completed: admission never sheds before it has
+        observed what a batch costs).  With ``max_batch=1`` this is
+        exactly "queue depth x per-batch service time".
+        """
+        if self._batch_ewma is None or not self._queue:
+            return 0.0
+        batches_ahead = math.ceil(len(self._queue) / self.max_batch)
+        return batches_ahead * self._batch_ewma
+
+    async def submit(self, config: SimConfig, qos: QoS | None = None) -> SimulationResult:
         """Queue one config; resolves with its simulation result.
 
         Identical concurrent configs should be deduplicated *before*
         submission (the server routes through the
         :class:`~repro.service.coalescer.Coalescer`); the batcher fuses
         *distinct* configs.
+
+        ``qos`` carries the request's deadline and priority class.
+        Raises :class:`Overloaded` at admission when the queue budget is
+        exceeded, and the returned future fails with
+        :class:`DeadlineExceeded` if the deadline passes before the
+        job's batch dispatches.
         """
         if self._closed:
             raise RuntimeError("batcher is closed")
+        qos = qos or QoS()
         loop = asyncio.get_running_loop()
+        if self.queue_budget is not None:
+            est = self.estimated_delay()
+            if est > self.queue_budget:
+                self.stats.shed += 1
+                _SHED.inc()
+                raise Overloaded(
+                    f"queue drain estimate {est:.3f}s exceeds the "
+                    f"{self.queue_budget:.3f}s budget",
+                    retry_after=max(1.0, math.ceil(est)),
+                )
+        now = loop.time()
+        self._seq += 1
         job = _Job(
             config=config,
             future=loop.create_future(),
             ctx=obs_trace.current_context(),
             rec=req_timing.job_record(),
-            enqueued=loop.time(),
+            enqueued=now,
+            deadline=now + qos.deadline_s if qos.deadline_s is not None else math.inf,
+            priority=qos.priority,
+            seq=self._seq,
         )
         if job.rec is not None:
             job.rec["enqueued"] = job.enqueued
@@ -189,6 +309,34 @@ class Batcher:
         if self._drainer is None or self._drainer.done():
             self._drainer = loop.create_task(self._drain_loop())
         return await job.future
+
+    def _expire(self, now: float) -> None:
+        """Fail every queued job whose deadline has already passed.
+
+        This is the fast 504: the job never reaches the runner (no
+        ``compute`` span ever appears in its request tree — the
+        acceptance tests pin that), and the slots it would have taken in
+        the next batch go to jobs that can still make their deadlines.
+        """
+        live: list[_Job] = []
+        for job in self._queue:
+            if job.deadline < now:
+                self.stats.expired += 1
+                _EXPIRED.inc()
+                if job.ctx is not None and obs_trace.enabled():
+                    obs_trace.emit(
+                        "batcher", job.enqueued, now, "expired", ctx=job.ctx
+                    )
+                if not job.future.done():
+                    job.future.set_exception(
+                        DeadlineExceeded(
+                            f"deadline expired {now - job.deadline:.3f}s "
+                            "before dispatch"
+                        )
+                    )
+            else:
+                live.append(job)
+        self._queue = live
 
     async def _drain_loop(self) -> None:
         while self._queue and not self._closed:
@@ -200,133 +348,164 @@ class Batcher:
                 # Yield once: siblings already scheduled this tick get to
                 # enqueue and fuse, but nobody waits for future arrivals.
                 await asyncio.sleep(0)
-            jobs = [
-                self._queue.popleft()
-                for _ in range(min(self.max_batch, len(self._queue)))
-            ]
+            # Hold a dispatch slot *before* slicing the queue: while
+            # every slot is busy, waiting jobs stay in the queue, where
+            # they remain schedulable (each window re-sorts), expirable
+            # (the fast 504) and visible to admission control
+            # (queue_depth stays honest under backlog).
+            await self._sem.acquire()
+            now = asyncio.get_running_loop().time()
+            self._expire(now)
+            # EDF within (aged) priority class; seq breaks ties so the
+            # schedule is deterministic.  Sorting the whole queue each
+            # window is O(n log n) over at most a few thousand waiting
+            # jobs — noise next to a single engine dispatch.
+            self._queue.sort(key=lambda j: j.sort_key(now, self.aging))
+            take = min(self.max_batch, len(self._queue))
+            jobs, self._queue = self._queue[:take], self._queue[take:]
             _QUEUE_DEPTH.set(len(self._queue))
             if not jobs:
+                self._sem.release()
                 continue
             # Engine isolation: DES jobs never share a dispatch with the
             # fast-engine fusion group.
             fast = [j for j in jobs if j.config.engine == "fast"]
             des = [j for j in jobs if j.config.engine != "fast"]
+            asyncio.get_running_loop().create_task(
+                self._dispatch_slot(fast, des)
+            )
+
+    async def _dispatch_slot(self, fast: list[_Job], des: list[_Job]) -> None:
+        """Run one drained window's engine groups under one slot.
+
+        Owns the dispatch slot the drain loop acquired; a mixed window's
+        two engine groups run sequentially under it (isolation is about
+        separate runner calls, not parallelism).
+        """
+        try:
             for engine, group in (("fast", fast), ("des", des)):
                 if group:
-                    asyncio.get_running_loop().create_task(
-                        self._dispatch(engine, group)
-                    )
+                    await self._dispatch(engine, group)
+        finally:
+            self._sem.release()
 
     async def _dispatch(self, engine: str, jobs: list[_Job]) -> None:
         loop = asyncio.get_running_loop()
-        async with self._sem:
-            # Batch-window attribution: enqueue -> dispatch actually
-            # starting (bounded delay + any wait behind max_inflight).
-            t_start = loop.time()
-            traced = obs_trace.enabled()
+        # Batch-window attribution: enqueue -> dispatch actually
+        # starting (bounded delay + any wait behind max_inflight).
+        t_start = loop.time()
+        traced = obs_trace.enabled()
+        for job in jobs:
+            if job.rec is not None:
+                job.rec["window"] = t_start - job.enqueued
+            if traced and job.ctx is not None:
+                obs_trace.emit(
+                    "batcher", job.enqueued, t_start, "window",
+                    label=engine, ctx=job.ctx,
+                )
+        if self.cache is not None:
+            # Miss-only slicing: probe the cache off the event loop,
+            # resolve warm jobs immediately and dispatch only misses.
+            tp0 = loop.time()
+            hits, pending, _ = await loop.run_in_executor(
+                self._executor,
+                split_cached,
+                [j.config for j in jobs],
+                self.cache,
+            )
+            tp1 = loop.time()
             for job in jobs:
                 if job.rec is not None:
-                    job.rec["window"] = t_start - job.enqueued
+                    job.rec["probe"] = tp1 - tp0
                 if traced and job.ctx is not None:
                     obs_trace.emit(
-                        "batcher", job.enqueued, t_start, "window",
+                        "batcher", tp0, tp1, "cache_probe",
                         label=engine, ctx=job.ctx,
                     )
-            if self.cache is not None:
-                # Miss-only slicing: probe the cache off the event loop,
-                # resolve warm jobs immediately and dispatch only misses.
-                tp0 = loop.time()
-                hits, pending, _ = await loop.run_in_executor(
-                    self._executor,
-                    split_cached,
-                    [j.config for j in jobs],
-                    self.cache,
-                )
-                tp1 = loop.time()
-                for job in jobs:
-                    if job.rec is not None:
-                        job.rec["probe"] = tp1 - tp0
-                    if traced and job.ctx is not None:
-                        obs_trace.emit(
-                            "batcher", tp0, tp1, "cache_probe",
-                            label=engine, ctx=job.ctx,
-                        )
-                n_hits = len(jobs) - len(pending)
-                if n_hits:
-                    for job, hit in zip(jobs, hits):
-                        if hit is not None:
-                            if job.rec is not None:
-                                job.rec["resolved"] = tp1
-                            if not job.future.done():
-                                job.future.set_result(hit)
-                    _CACHE_SLICED.inc(n_hits, engine=engine)
-                    self.stats.cache_hits += n_hits
-                    jobs = [jobs[i] for i, _ in pending]
-                    if not jobs:
-                        # Fully warm batch: no compute span in any tree.
-                        return
-            t0 = loop.time()
-            configs = [j.config for j in jobs]
-            # One real compute span, opened in the executor thread under
-            # the batch leader's request context so the pool chunks and
-            # fastpath groups below it join the leader's tree; every
-            # other rider records a reference interval linking it.
-            lead_ctx = (
-                next((j.ctx for j in jobs if j.ctx is not None), None)
-                if traced
-                else None
-            )
-            compute_ctx: list[str | None] = [None]
+            n_hits = len(jobs) - len(pending)
+            if n_hits:
+                for job, hit in zip(jobs, hits):
+                    if hit is not None:
+                        if job.rec is not None:
+                            job.rec["resolved"] = tp1
+                        if not job.future.done():
+                            job.future.set_result(hit)
+                _CACHE_SLICED.inc(n_hits, engine=engine)
+                self.stats.cache_hits += n_hits
+                jobs = [jobs[i] for i, _ in pending]
+                if not jobs:
+                    # Fully warm batch: no compute span in any tree.
+                    return
+        t0 = loop.time()
+        configs = [j.config for j in jobs]
+        # One real compute span, opened in the executor thread under
+        # the batch leader's request context so the pool chunks and
+        # fastpath groups below it join the leader's tree; every
+        # other rider records a reference interval linking it.
+        lead_ctx = (
+            next((j.ctx for j in jobs if j.ctx is not None), None)
+            if traced
+            else None
+        )
+        compute_ctx: list[str | None] = [None]
 
-            def _run() -> Sequence[SimulationResult]:
-                if lead_ctx is None:
+        def _run() -> Sequence[SimulationResult]:
+            if lead_ctx is None:
+                return self._runner(configs)
+            with obs_trace.use_context(lead_ctx):
+                with obs_trace.span(
+                    "batcher", "compute", label=engine, jobs=len(configs)
+                ) as sp:
+                    compute_ctx[0] = sp.ctx_id
                     return self._runner(configs)
-                with obs_trace.use_context(lead_ctx):
-                    with obs_trace.span(
-                        "batcher", "compute", label=engine, jobs=len(configs)
-                    ) as sp:
-                        compute_ctx[0] = sp.ctx_id
-                        return self._runner(configs)
 
-            try:
-                results = await loop.run_in_executor(self._executor, _run)
-            except Exception as exc:  # runner failure fans out to all waiters
-                for job in jobs:
-                    if not job.future.done():
-                        job.future.set_exception(exc)
-                return
-            finally:
-                t1 = loop.time()
-                for job in jobs:
-                    if job.rec is not None:
-                        job.rec["compute"] = t1 - t0
-                        job.rec["resolved"] = t1
-                if traced:
-                    shared = compute_ctx[0]
-                    for job in jobs:
-                        if job.ctx is not None and job.ctx is not lead_ctx:
-                            obs_trace.emit(
-                                "batcher", t0, t1, "compute", label=f"{engine}-shared",
-                                attrs={"jobs": len(configs)},
-                                ctx=job.ctx,
-                                links=[shared] if shared else None,
-                            )
-                _BATCH_SECONDS.observe(t1 - t0, engine=engine)
-                _BATCHES.inc(engine=engine)
-                _BATCHED.inc(len(jobs), engine=engine)
-                self.stats.batches[engine] = self.stats.batches.get(engine, 0) + 1
-                self.stats.batched_jobs[engine] = (
-                    self.stats.batched_jobs.get(engine, 0) + len(jobs)
-                )
-                self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(jobs))
-            if len(results) != len(jobs):  # pragma: no cover - defensive
-                exc = RuntimeError(
-                    f"runner returned {len(results)} results for {len(jobs)} configs"
-                )
-                for job in jobs:
-                    if not job.future.done():
-                        job.future.set_exception(exc)
-                return
-            for job, result in zip(jobs, results):
+        try:
+            results = await loop.run_in_executor(self._executor, _run)
+        except Exception as exc:  # runner failure fans out to all waiters
+            for job in jobs:
                 if not job.future.done():
-                    job.future.set_result(result)
+                    job.future.set_exception(exc)
+            return
+        finally:
+            t1 = loop.time()
+            for job in jobs:
+                if job.rec is not None:
+                    job.rec["compute"] = t1 - t0
+                    job.rec["resolved"] = t1
+            if traced:
+                shared = compute_ctx[0]
+                for job in jobs:
+                    if job.ctx is not None and job.ctx is not lead_ctx:
+                        obs_trace.emit(
+                            "batcher", t0, t1, "compute", label=f"{engine}-shared",
+                            attrs={"jobs": len(configs)},
+                            ctx=job.ctx,
+                            links=[shared] if shared else None,
+                        )
+            # Admission control's service-time signal: EWMA over
+            # dispatched batches (0.3 keeps it responsive to load
+            # shifts without chattering on one slow batch).
+            self._batch_ewma = (
+                t1 - t0
+                if self._batch_ewma is None
+                else 0.3 * (t1 - t0) + 0.7 * self._batch_ewma
+            )
+            _BATCH_SECONDS.observe(t1 - t0, engine=engine)
+            _BATCHES.inc(engine=engine)
+            _BATCHED.inc(len(jobs), engine=engine)
+            self.stats.batches[engine] = self.stats.batches.get(engine, 0) + 1
+            self.stats.batched_jobs[engine] = (
+                self.stats.batched_jobs.get(engine, 0) + len(jobs)
+            )
+            self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(jobs))
+        if len(results) != len(jobs):  # pragma: no cover - defensive
+            exc = RuntimeError(
+                f"runner returned {len(results)} results for {len(jobs)} configs"
+            )
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            return
+        for job, result in zip(jobs, results):
+            if not job.future.done():
+                job.future.set_result(result)

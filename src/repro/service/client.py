@@ -11,18 +11,38 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: The only failures worth a transparent reconnect: the server (or an
+#: idle-timeout middlebox) dropped the keep-alive connection, so the
+#: request provably never started computing and a retry cannot
+#: double-compute.  ``socket.timeout`` is deliberately absent — a
+#: timed-out request may still be executing server-side, and silently
+#: re-sending it doubles the work (and the wait); that failure belongs
+#: to the caller.
+_RECONNECT_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
+
 
 class ServiceError(RuntimeError):
-    """Non-200 response from the service."""
+    """Non-200 response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the 503 ``Retry-After`` hint (seconds) when
+    the admission controller shed the request, else ``None``.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -80,9 +100,13 @@ class ServiceClient:
             self._conn.request(method, path, body=payload, headers=headers)
             resp = self._conn.getresponse()
             data = resp.read()
-        except (http.client.HTTPException, OSError):
-            # One transparent reconnect: the server may have dropped an
-            # idle keep-alive connection between requests.
+        except _RECONNECT_ERRORS:
+            # One transparent reconnect, and only for connection drops:
+            # the server closed an idle keep-alive socket between
+            # requests, so nothing was computed and the retry is safe.
+            # Anything else (notably socket.timeout) propagates —
+            # retrying a request that may still be running server-side
+            # would compute it twice.
             self._conn.close()
             self._conn.request(method, path, body=payload, headers=headers)
             resp = self._conn.getresponse()
@@ -93,7 +117,12 @@ class ServiceClient:
                 message = json.loads(data).get("error", data.decode("utf-8", "replace"))
             except (ValueError, AttributeError):
                 message = data.decode("utf-8", "replace")
-            raise ServiceError(resp.status, message)
+            retry_after = resp.headers.get("Retry-After")
+            raise ServiceError(
+                resp.status,
+                message,
+                retry_after=float(retry_after) if retry_after else None,
+            )
         return data
 
     # -- raw and typed entry points -------------------------------------------
@@ -113,6 +142,71 @@ class ServiceClient:
     def sweep(self, body: dict) -> dict:
         """``POST /v1/sweep``."""
         return json.loads(self.post_raw("/v1/sweep", body))
+
+    def sweep_stream(
+        self, body: dict, trace_id: str | None = None
+    ) -> Iterator[dict]:
+        """``POST /v1/sweep`` with ``"stream": true``; yields cells.
+
+        The server answers chunked NDJSON: a header line, then one line
+        per sweep cell *as its batch group completes* — iterate to
+        consume rows incrementally instead of waiting for (and holding)
+        the whole grid.  Each yielded dict is one cell, byte-rendered
+        identically to the buffered response's ``cells`` entries.
+
+        Raises :class:`ServiceError` on a non-200 response, a mid-stream
+        error line, or a truncated stream.  Abandoning the iterator
+        early closes the connection (the remaining body is undelivered,
+        so the socket cannot be reused).
+        """
+        payload = json.dumps({**body, "stream": True}).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        tid = trace_id or self.trace_id
+        if tid:
+            headers["X-Repro-Trace"] = tid
+        try:
+            self._conn.request("POST", "/v1/sweep", body=payload, headers=headers)
+            resp = self._conn.getresponse()
+        except _RECONNECT_ERRORS:
+            self._conn.close()
+            self._conn.request("POST", "/v1/sweep", body=payload, headers=headers)
+            resp = self._conn.getresponse()
+        self.last_trace_id = resp.headers.get("X-Repro-Trace") or self.last_trace_id
+        if resp.status != 200:
+            data = resp.read()
+            try:
+                message = json.loads(data).get("error", data.decode("utf-8", "replace"))
+            except (ValueError, AttributeError):
+                message = data.decode("utf-8", "replace")
+            retry_after = resp.headers.get("Retry-After")
+            raise ServiceError(
+                resp.status,
+                message,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        # http.client de-chunks transparently; readline sees NDJSON.
+        header = json.loads(resp.readline())
+        n_cells = int(header["n_cells"])
+        got = 0
+        try:
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                row = json.loads(line)
+                if got < n_cells and "error" in row and "status" in row:
+                    raise ServiceError(int(row["status"]), str(row["error"]))
+                yield row
+                got += 1
+            if got != n_cells:
+                raise ServiceError(
+                    502, f"stream truncated: {got} of {n_cells} cells"
+                )
+        finally:
+            if got != n_cells:
+                # Unconsumed body left on the wire: this socket cannot
+                # carry another request.
+                self._conn.close()
 
     def optimize(self, body: dict) -> dict:
         """``POST /v1/optimize``."""

@@ -14,6 +14,14 @@ future, so a client disconnecting mid-flight cancels only its own wait —
 the computation keeps running and the remaining waiters are served.
 This is the semantics VELOC's engine queue gives concurrent checkpoint
 clients, applied to simulation requests.
+
+Scope under prefork serving: the coalescer's keyspace is **per worker
+process** — two identical requests landing on different ``SO_REUSEPORT``
+workers each compute (or each hit the *shared* on-disk result cache,
+which is the cross-worker dedup layer).  That is deliberate: an
+in-flight future cannot cross a process boundary cheaply, and the
+popular-key case still collapses to one computation per worker plus one
+cache write, with byte-identical results on every path.
 """
 
 from __future__ import annotations

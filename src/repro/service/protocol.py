@@ -38,11 +38,16 @@ from ..simulation.stats import SimulationResult
 __all__ = [
     "ProtocolError",
     "COMPRESSION_PRESETS",
+    "DEFAULT_PRIORITY",
+    "PRIORITY_MAX",
+    "PRIORITY_MIN",
+    "QoS",
     "canonical_dumps",
     "compression_from_json",
     "config_from_json",
     "model_result_to_json",
     "params_from_json",
+    "qos_from_json",
     "result_to_json",
     "sweep_rows_from_json",
 ]
@@ -82,6 +87,63 @@ def _reject_unknown(body: Mapping, allowed: set[str], what: str) -> None:
         raise ProtocolError(
             f"unknown {what} key(s) {unknown}; allowed: {sorted(allowed)}"
         )
+
+
+#: Priority classes: 0 is most urgent, 9 least; requests default to the
+#: middle so explicit "interactive" and "batch" traffic can sort around
+#: unmarked requests in both directions.
+PRIORITY_MIN = 0
+PRIORITY_MAX = 9
+DEFAULT_PRIORITY = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class QoS:
+    """Scheduling hints carried by a request, outside the scenario.
+
+    Deliberately **not** part of :class:`SimConfig`: a deadline or a
+    priority changes *when* (and whether) a request computes, never what
+    the computation returns — so QoS must stay out of the cache key and
+    the byte-identity contract.
+
+    ``deadline_s`` is a relative latency budget in seconds (wire field
+    ``deadline_ms``); the scheduler turns it into an absolute deadline
+    at admission.  ``None`` means "no deadline".
+    """
+
+    deadline_s: float | None = None
+    priority: int = DEFAULT_PRIORITY
+
+
+def qos_from_json(body: Any) -> tuple[QoS, Any]:
+    """Split the QoS fields off a request body, strictly validated.
+
+    Returns ``(qos, rest)`` where ``rest`` is the body with
+    ``deadline_ms``/``priority`` removed (the scenario parsers reject
+    unknown keys, so the split must happen first).  Non-mapping bodies
+    pass through untouched — the scenario parser owns that error.
+    """
+    if not isinstance(body, Mapping):
+        return QoS(), body
+    rest = dict(body)
+    deadline_ms = rest.pop("deadline_ms", None)
+    priority = rest.pop("priority", DEFAULT_PRIORITY)
+    deadline_s: float | None = None
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError(
+                f"deadline_ms must be a number of milliseconds, got {deadline_ms!r}"
+            )
+        deadline_s = float(deadline_ms) / 1e3
+        if not deadline_s > 0:
+            raise ProtocolError(f"deadline_ms must be > 0: {deadline_ms!r}")
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ProtocolError(f"priority must be an integer, got {priority!r}")
+    if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+        raise ProtocolError(
+            f"priority must be in [{PRIORITY_MIN}, {PRIORITY_MAX}]: {priority}"
+        )
+    return QoS(deadline_s=deadline_s, priority=priority), rest
 
 
 def params_from_json(body: Any) -> CRParameters:
@@ -164,15 +226,16 @@ def sweep_rows_from_json(body: Any) -> tuple[list[SimConfig], int, int]:
     """A sweep-request body -> flat per-(cell, seed) config rows.
 
     Schema: ``{"configs": [<simulate body>, ...], "seeds": [0, 1, ...]}``
-    plus an optional ``"detail"`` flag (consumed by the server: include
-    full per-seed results in each cell) — an explicit list of cells,
-    each replicated per seed (any ``seed``
+    plus optional ``"detail"`` and ``"stream"`` flags (consumed by the
+    server: include full per-seed results in each cell / answer as
+    chunked NDJSON, one line per completed cell) — an explicit list of
+    cells, each replicated per seed (any ``seed``
     on a cell is overwritten by the seed axis, exactly like
     :func:`~repro.simulation.grid.simulate_grid`).  Returns
     ``(rows, n_cells, n_seeds)`` with rows in cell-major order.
     """
     body = _require_mapping(body, "sweep request")
-    _reject_unknown(body, {"configs", "seeds", "detail"}, "sweep")
+    _reject_unknown(body, {"configs", "seeds", "detail", "stream"}, "sweep")
     cells_raw = body.get("configs")
     if not isinstance(cells_raw, (list, tuple)) or not cells_raw:
         raise ProtocolError("sweep needs a non-empty 'configs' list")

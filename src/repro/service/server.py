@@ -27,10 +27,14 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import os
+import signal
+import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from pathlib import Path
+from typing import Any, AsyncIterator, Sequence
 from urllib.parse import parse_qs
 
 from ..core.optimizer import optimal_host
@@ -43,15 +47,17 @@ from ..simulation.pool import ResultCache, config_key, run_simulations
 from ..simulation.simulator import SimConfig
 from ..simulation.stats import SimulationResult
 from . import timing as req_timing
-from .batcher import Batcher
+from .batcher import Batcher, DeadlineExceeded, Overloaded
 from .coalescer import Coalescer
 from .protocol import (
     ProtocolError,
+    QoS,
     canonical_dumps,
     compression_from_json,
     config_from_json,
     model_result_to_json,
     params_from_json,
+    qos_from_json,
     result_to_json,
     sweep_rows_from_json,
 )
@@ -115,6 +121,27 @@ class ServiceConfig:
     flight_capacity:
         Requests retained by the always-on flight recorder
         (``/debug/requests``, ``/debug/trace/<id>``).
+    queue_budget:
+        Admission-control budget in seconds (``None`` = never shed):
+        once the batcher's estimated queue drain time exceeds it, new
+        simulate/sweep work is answered 503 + ``Retry-After``.
+    aging:
+        Seconds of queueing that promote a job one priority class
+        (starvation control for the low classes).
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several worker processes can
+        share one port (the kernel load-balances accepts).  Set by the
+        prefork supervisor; harmless but pointless for one process.
+    worker_index:
+        This process's index under a prefork supervisor (``None`` =
+        standalone).  Stamped onto every exported metric as the
+        ``worker`` label and into ``/stats``.
+    stats_dir:
+        Directory where prefork workers publish their stats snapshots
+        (one JSON file per worker, atomic replace).  Any worker
+        answering ``GET /stats`` merges every sibling's snapshot into a
+        ``workers`` list, so one scrape sees the whole group no matter
+        which worker the kernel picked.
     """
 
     host: str = "127.0.0.1"
@@ -127,6 +154,19 @@ class ServiceConfig:
     coalesce: bool = True
     slo: tuple[SLOTarget, ...] = ()
     flight_capacity: int = 256
+    queue_budget: float | None = None
+    aging: float = 1.0
+    reuse_port: bool = False
+    worker_index: int | None = None
+    stats_dir: str | None = None
+
+
+@dataclass
+class _StreamBody:
+    """A chunked NDJSON response body (the streaming sweep)."""
+
+    gen: AsyncIterator[bytes]
+    content_type: str = "application/x-ndjson"
 
 
 class ServiceServer:
@@ -142,14 +182,28 @@ class ServiceServer:
             max_batch=self.config.max_batch,
             max_inflight=self.config.max_inflight,
             cache=self.cache,
+            queue_budget=self.config.queue_budget,
+            aging=self.config.aging,
         )
         self._server: asyncio.AbstractServer | None = None
         self._started = time.monotonic()
         self.requests = 0
+        #: In-flight HTTP requests (graceful drain waits on this).
+        self._inflight_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stats_task: asyncio.Task | None = None
         self.flight = FlightRecorder(capacity=self.config.flight_capacity).install()
         self.slo = SLOTracker(self.config.slo)
         if self.config.slo:
             self.slo.register_metrics(obs_metrics.REGISTRY)
+        if self.config.worker_index is not None:
+            # Every metric this worker exports carries its identity.
+            obs_metrics.REGISTRY.set_constant_labels(
+                worker=str(self.config.worker_index)
+            )
 
     # -- the blocking batch runner (executor thread) -------------------------
 
@@ -166,41 +220,100 @@ class ServiceServer:
 
     # -- request execution ----------------------------------------------------
 
-    async def _simulate(self, cfg: SimConfig) -> SimulationResult:
+    async def _simulate(
+        self, cfg: SimConfig, qos: QoS | None = None
+    ) -> SimulationResult:
+        # A coalesced duplicate inherits the primary's QoS: it attaches
+        # to work already admitted and scheduled, so its own deadline or
+        # priority cannot (and need not) reshape that computation.
         if not self.config.coalesce:
-            return await self.batcher.submit(cfg)
+            return await self.batcher.submit(cfg, qos)
         return await self.coalescer.get(
-            config_key(cfg), lambda: self.batcher.submit(cfg)
+            config_key(cfg), lambda: self.batcher.submit(cfg, qos)
         )
 
     async def _handle_simulate(self, body: Any) -> dict:
+        qos, body = qos_from_json(body)
         cfg = config_from_json(body)
-        result = await self._simulate(cfg)
+        result = await self._simulate(cfg, qos)
         return {"result": result_to_json(result)}
 
-    async def _handle_sweep(self, body: Any) -> dict:
+    @staticmethod
+    def _cell_payload(per_seed: Sequence[SimulationResult], detail: bool) -> dict:
+        """One sweep cell's aggregates — shared by the buffered and the
+        streaming path, so a streamed cell is byte-identical to its
+        buffered counterpart by construction."""
+        effs = [r.efficiency for r in per_seed]
+        mean = sum(effs) / len(effs)
+        if len(effs) > 1:
+            var = sum((e - mean) ** 2 for e in effs) / (len(effs) - 1)
+            ci = _t95(len(effs) - 1) * (var**0.5) / (len(effs) ** 0.5)
+        else:
+            ci = float("inf")
+        cell: dict[str, Any] = {
+            "mean_efficiency": mean,
+            "ci95": ci,
+            "efficiencies": effs,
+        }
+        if detail:
+            cell["results"] = [result_to_json(r) for r in per_seed]
+        return cell
+
+    async def _handle_sweep(self, body: Any) -> "dict | _StreamBody":
+        qos, body = qos_from_json(body)
         rows, n_cells, n_seeds = sweep_rows_from_json(body)
-        detail = bool(body.get("detail", False)) if isinstance(body, dict) else False
-        results = await asyncio.gather(*(self._simulate(cfg) for cfg in rows))
-        cells = []
-        for c in range(n_cells):
-            per_seed = results[c * n_seeds : (c + 1) * n_seeds]
-            effs = [r.efficiency for r in per_seed]
-            mean = sum(effs) / len(effs)
-            if len(effs) > 1:
-                var = sum((e - mean) ** 2 for e in effs) / (len(effs) - 1)
-                ci = _t95(len(effs) - 1) * (var**0.5) / (len(effs) ** 0.5)
-            else:
-                ci = float("inf")
-            cell: dict[str, Any] = {
-                "mean_efficiency": mean,
-                "ci95": ci,
-                "efficiencies": effs,
-            }
-            if detail:
-                cell["results"] = [result_to_json(r) for r in per_seed]
-            cells.append(cell)
+        detail = bool(body.get("detail", False))
+        if bool(body.get("stream", False)):
+            return _StreamBody(
+                self._sweep_stream(rows, n_cells, n_seeds, detail, qos)
+            )
+        results = await asyncio.gather(*(self._simulate(cfg, qos) for cfg in rows))
+        cells = [
+            self._cell_payload(results[c * n_seeds : (c + 1) * n_seeds], detail)
+            for c in range(n_cells)
+        ]
         return {"cells": cells, "n_cells": n_cells, "n_seeds": n_seeds}
+
+    async def _sweep_stream(
+        self,
+        rows: list[SimConfig],
+        n_cells: int,
+        n_seeds: int,
+        detail: bool,
+        qos: QoS | None,
+    ) -> AsyncIterator[bytes]:
+        """NDJSON sweep body: a header line, then one line per cell.
+
+        Every row is submitted up front (fusion across the whole grid is
+        the point), but cells are rendered and released **in order as
+        they complete** — the response never holds the whole grid's
+        rendered JSON, and time-to-first-row is the first cell group's
+        latency, not the grid's.  Each cell line is rendered by
+        ``canonical_dumps`` exactly like the buffered path, so the
+        concatenation of streamed rows is byte-identical to the buffered
+        response's ``cells`` (the acceptance test checks this at the
+        socket level).
+        """
+        tasks: list[asyncio.Task | None] = [
+            asyncio.ensure_future(self._simulate(cfg, qos)) for cfg in rows
+        ]
+        for t in tasks:
+            # A cell that errors aborts the stream before later cells are
+            # awaited; consume their exceptions so nothing warns.
+            t.add_done_callback(lambda t: t.cancelled() or t.exception())
+        try:
+            yield canonical_dumps({"n_cells": n_cells, "n_seeds": n_seeds}) + b"\n"
+            for c in range(n_cells):
+                sl = slice(c * n_seeds, (c + 1) * n_seeds)
+                per_seed = await asyncio.gather(*tasks[sl])
+                # Release each cell's rows as soon as it is rendered:
+                # peak memory is in-flight cells, not the whole grid.
+                tasks[sl] = [None] * n_seeds
+                yield canonical_dumps(self._cell_payload(per_seed, detail)) + b"\n"
+        finally:
+            for t in tasks:
+                if t is not None:
+                    t.cancel()
 
     async def _handle_optimize(self, body: Any) -> dict:
         if not isinstance(body, dict):
@@ -266,9 +379,9 @@ class ServiceServer:
             }
         return out
 
-    def _stats_payload(self) -> dict:
+    def _own_stats(self) -> dict:
         stats = self.batcher.stats
-        return {
+        out = {
             "uptime_seconds": time.monotonic() - self._started,
             "requests": self.requests,
             "latency": self._latency_payload(),
@@ -286,6 +399,8 @@ class ServiceServer:
                 "max_batch_seen": stats.max_batch_seen,
                 "cache_hits": stats.cache_hits,
                 "queue_depth": self.batcher.queue_depth,
+                "shed": stats.shed,
+                "expired": stats.expired,
             },
             "cache": {
                 "enabled": self.cache is not None,
@@ -293,6 +408,48 @@ class ServiceServer:
                 "misses": getattr(self.cache, "misses", 0),
             },
         }
+        if self.config.worker_index is not None:
+            out["worker"] = self.config.worker_index
+            out["pid"] = os.getpid()
+        return out
+
+    def _publish_stats(self) -> dict:
+        """Atomically publish this worker's snapshot to ``stats_dir``."""
+        own = self._own_stats()
+        if self.config.stats_dir is not None and self.config.worker_index is not None:
+            d = Path(self.config.stats_dir)
+            name = f"worker-{self.config.worker_index}.json"
+            tmp = d / f".{name}.{os.getpid()}.tmp"
+            try:
+                tmp.write_text(json.dumps(own))
+                tmp.replace(d / name)
+            except OSError:
+                pass  # stats publication must never take a worker down
+        return own
+
+    def _stats_payload(self) -> dict:
+        """This process's stats, plus — under a prefork supervisor —
+        every sibling's last published snapshot as a ``workers`` list.
+
+        SO_REUSEPORT means a scrape lands on whichever worker the kernel
+        picks; merging the published files makes any worker's answer
+        describe the whole group."""
+        out = self._publish_stats()
+        if self.config.stats_dir is None:
+            return out
+        workers = []
+        try:
+            files = sorted(Path(self.config.stats_dir).glob("worker-*.json"))
+        except OSError:
+            files = []
+        for f in files:
+            try:
+                workers.append(json.loads(f.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue  # sibling mid-replace or gone; skip this scrape
+        workers.sort(key=lambda w: w.get("worker", -1))
+        out["workers"] = workers
+        return out
 
     # -- HTTP framing ----------------------------------------------------------
 
@@ -334,34 +491,66 @@ class ServiceServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
-    @staticmethod
+    _REASONS = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        431: "Request Header Fields Too Large",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+        504: "Gateway Timeout",
+    }
+
+    @classmethod
+    def _head(
+        cls,
+        status: int,
+        framing: str,
+        *,
+        content_type: str,
+        keep_alive: bool,
+        trace_id: str | None,
+        extra: dict[str, str] | None = None,
+    ) -> bytes:
+        trace_hdr = f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
+        extra_hdr = "".join(f"{k}: {v}\r\n" for k, v in (extra or {}).items())
+        return (
+            f"HTTP/1.1 {status} {cls._REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"{framing}"
+            f"{trace_hdr}"
+            f"{extra_hdr}"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+
+    @classmethod
     def _response(
+        cls,
         status: int,
         body: bytes,
         *,
         content_type: str = "application/json",
         keep_alive: bool = True,
         trace_id: str | None = None,
+        extra: dict[str, str] | None = None,
     ) -> bytes:
-        reason = {
-            200: "OK",
-            400: "Bad Request",
-            404: "Not Found",
-            405: "Method Not Allowed",
-            413: "Payload Too Large",
-            431: "Request Header Fields Too Large",
-            500: "Internal Server Error",
-        }.get(status, "Unknown")
-        trace_hdr = f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{trace_hdr}"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
+        head = cls._head(
+            status,
+            f"Content-Length: {len(body)}\r\n",
+            content_type=content_type,
+            keep_alive=keep_alive,
+            trace_id=trace_id,
+            extra=extra,
         )
-        return head.encode("latin-1") + body
+        return head + body
+
+    @staticmethod
+    def _chunk(data: bytes) -> bytes:
+        """One HTTP/1.1 chunked-transfer frame."""
+        return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
 
     def _handle_debug(self, path: str, query: str) -> tuple[int, bytes, str]:
         """The flight-recorder endpoints (always on, allocation-bounded)."""
@@ -393,32 +582,39 @@ class ServiceServer:
 
     async def _dispatch(
         self, method: str, path: str, body: bytes, want_timing: bool = False
-    ) -> tuple[int, bytes, str, dict[str, float] | None]:
-        """Route one request; returns (status, body, content type, timing).
+    ) -> tuple[int, "bytes | _StreamBody", str, dict[str, float] | None, dict[str, str]]:
+        """Route one request.
 
-        The fourth element is the six-stage ``server_timing`` breakdown
-        for successful ``/v1/*`` requests (always handed to the flight
+        Returns ``(status, body, content type, timing, extra headers)``.
+        ``body`` is rendered bytes, or a :class:`_StreamBody` whose
+        NDJSON lines the connection loop writes chunked.  The timing
+        element is the six-stage ``server_timing`` breakdown for
+        successful ``/v1/*`` requests (always handed to the flight
         recorder; embedded in the response only when the client asked
-        via ``X-Repro-Timing``), ``None`` otherwise.
+        via ``X-Repro-Timing``), ``None`` otherwise.  Extra headers
+        carry ``Retry-After`` on admission-control 503s.
         """
+        def _err(status: int, message: str) -> tuple:
+            return status, canonical_dumps({"error": message}), "application/json", None, {}
+
         path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
-            return 200, canonical_dumps({"status": "ok"}), "application/json", None
+                return _err(405, "GET only")
+            return 200, canonical_dumps({"status": "ok"}), "application/json", None, {}
         if path == "/metrics":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
+                return _err(405, "GET only")
             text = obs_metrics.REGISTRY.render_prometheus()
-            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", None
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", None, {}
         if path == "/stats":
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
-            return 200, canonical_dumps(self._stats_payload()), "application/json", None
+                return _err(405, "GET only")
+            return 200, canonical_dumps(self._stats_payload()), "application/json", None, {}
         if path.startswith("/debug/"):
             if method != "GET":
-                return 405, canonical_dumps({"error": "GET only"}), "application/json", None
-            return (*self._handle_debug(path, query), None)
+                return _err(405, "GET only")
+            return (*self._handle_debug(path, query), None, {})
 
         handlers = {
             "/v1/simulate": self._handle_simulate,
@@ -427,23 +623,43 @@ class ServiceServer:
         }
         handler = handlers.get(path)
         if handler is None:
-            return 404, canonical_dumps({"error": f"no such endpoint: {path}"}), "application/json", None
+            return _err(404, f"no such endpoint: {path}")
         if method != "POST":
-            return 405, canonical_dumps({"error": "POST only"}), "application/json", None
+            return _err(405, "POST only")
+        route = path[len("/v1/") :]
         with req_timing.activate() as rt:
             p0 = time.monotonic()
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                return 400, canonical_dumps({"error": f"invalid JSON body: {exc}"}), "application/json", None
+                return _err(400, f"invalid JSON body: {exc}")
             p1 = time.monotonic()
             try:
                 out = await handler(payload)
             except ProtocolError as exc:
-                return 400, canonical_dumps({"error": str(exc)}), "application/json", None
+                return _err(400, str(exc))
+            except DeadlineExceeded as exc:
+                # The fast 504: the scheduler failed the job before it
+                # ever reached the runner.
+                self.slo.note(route, "expired")
+                return 504, canonical_dumps({"error": str(exc)}), "application/json", None, {}
+            except Overloaded as exc:
+                self.slo.note(route, "shed")
+                return (
+                    503,
+                    canonical_dumps({"error": str(exc)}),
+                    "application/json",
+                    None,
+                    {"Retry-After": str(int(exc.retry_after))},
+                )
             except Exception as exc:  # computation failure must not kill the server
-                return 500, canonical_dumps({"error": f"{type(exc).__name__}: {exc}"}), "application/json", None
+                return _err(500, f"{type(exc).__name__}: {exc}")
             p2 = time.monotonic()
+            if isinstance(out, _StreamBody):
+                # Serialization happens per line on the wire; the handler
+                # segment here only covers submitting the rows.
+                stages = rt.finalize(parse=p1 - p0, handle=p2 - p1, serialize=0.0)
+                return 200, out, out.content_type, stages, {}
             rendered = canonical_dumps(out)
             p3 = time.monotonic()
             stages = rt.finalize(parse=p1 - p0, handle=p2 - p1, serialize=p3 - p2)
@@ -452,11 +668,54 @@ class ServiceServer:
             # to serial evaluation (the service's determinism contract).
             out["server_timing"] = stages
             rendered = canonical_dumps(out)
-        return 200, rendered, "application/json", stages
+        return 200, rendered, "application/json", stages, {}
+
+    async def _write_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        stream: _StreamBody,
+        *,
+        keep_alive: bool,
+        trace_id: str | None,
+    ) -> tuple[int, bool]:
+        """Write one chunked NDJSON body; returns (status, keep alive).
+
+        Each line is flushed as its cell completes — a slow consumer's
+        backpressure (``drain``) bounds server-side buffering.  A
+        mid-stream failure cannot rewrite the already-sent 200 head, so
+        it becomes a final ``{"error": ...}`` line followed by a
+        connection close (the truncation is the client's signal).
+        """
+        writer.write(
+            self._head(
+                200,
+                "Transfer-Encoding: chunked\r\n",
+                content_type=stream.content_type,
+                keep_alive=keep_alive,
+                trace_id=trace_id,
+            )
+        )
+        status, keep = 200, keep_alive
+        try:
+            async for line in stream.gen:
+                writer.write(self._chunk(line))
+                await writer.drain()
+        except Exception as exc:
+            status, keep = 500, False
+            if isinstance(exc, DeadlineExceeded):
+                status = 504
+            elif isinstance(exc, Overloaded):
+                status = 503
+            err = {"error": f"{type(exc).__name__}: {exc}", "status": status}
+            writer.write(self._chunk(canonical_dumps(err) + b"\n"))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return status, keep
 
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -473,47 +732,64 @@ class ServiceServer:
                     return
                 if req is None:
                     return
-                method, path, headers, body = req
-                route = path.partition("?")[0]
-                endpoint = route if route.startswith("/v1/") or route in (
-                    "/metrics", "/healthz", "/stats"
-                ) else "other"
-                # Request ingress: honor the client's X-Repro-Trace id or
-                # mint one; every span below joins this request's tree.
-                trace_id = _clean_trace_id(headers.get("x-repro-trace")) or obs_trace.new_trace_id()
-                want_timing = "x-repro-timing" in headers
-                self.flight.begin(trace_id, method, route)
-                t0 = time.monotonic()
-                with obs_trace.span(
-                    "server",
-                    "request",
-                    label=route,
-                    ctx=obs_trace.TraceContext(trace_id),
-                    method=method,
-                ) as sp:
-                    status, payload, ctype, stages = await self._dispatch(
-                        method, path, body, want_timing
+                self._inflight_requests += 1
+                self._idle.clear()
+                try:
+                    method, path, headers, body = req
+                    route = path.partition("?")[0]
+                    endpoint = route if route.startswith("/v1/") or route in (
+                        "/metrics", "/healthz", "/stats"
+                    ) else "other"
+                    # Request ingress: honor the client's X-Repro-Trace id or
+                    # mint one; every span below joins this request's tree.
+                    trace_id = _clean_trace_id(headers.get("x-repro-trace")) or obs_trace.new_trace_id()
+                    want_timing = "x-repro-timing" in headers
+                    self.flight.begin(trace_id, method, route)
+                    keep = headers.get("connection", "keep-alive").lower() != "close"
+                    if self._draining:
+                        # Finish what is in flight, invite no more.
+                        keep = False
+                    t0 = time.monotonic()
+                    with obs_trace.span(
+                        "server",
+                        "request",
+                        label=route,
+                        ctx=obs_trace.TraceContext(trace_id),
+                        method=method,
+                    ) as sp:
+                        status, payload, ctype, stages, extra = await self._dispatch(
+                            method, path, body, want_timing
+                        )
+                        if isinstance(payload, _StreamBody):
+                            # The streamed request's wall time includes the
+                            # full body: the last cell is part of serving it.
+                            status, keep = await self._write_stream(
+                                writer, payload, keep_alive=keep, trace_id=trace_id
+                            )
+                        sp.set(status=status)
+                    wall = time.monotonic() - t0
+                    _REQUEST_SECONDS.observe(
+                        wall,
+                        exemplar=trace_id if obs_trace.enabled() else None,
+                        endpoint=endpoint,
                     )
-                    sp.set(status=status)
-                wall = time.monotonic() - t0
-                _REQUEST_SECONDS.observe(
-                    wall,
-                    exemplar=trace_id if obs_trace.enabled() else None,
-                    endpoint=endpoint,
-                )
-                _REQUESTS.inc(endpoint=endpoint, status=str(status))
-                if route.startswith("/v1/"):
-                    self.slo.record(route[len("/v1/") :], wall, ok=status < 500)
-                self.flight.finish(trace_id, status, wall, server_timing=stages)
-                self.requests += 1
-                keep = headers.get("connection", "keep-alive").lower() != "close"
-                writer.write(
-                    self._response(
-                        status, payload, content_type=ctype, keep_alive=keep,
-                        trace_id=trace_id,
-                    )
-                )
-                await writer.drain()
+                    _REQUESTS.inc(endpoint=endpoint, status=str(status))
+                    if route.startswith("/v1/"):
+                        self.slo.record(route[len("/v1/") :], wall, ok=status < 500)
+                    self.flight.finish(trace_id, status, wall, server_timing=stages)
+                    self.requests += 1
+                    if not isinstance(payload, _StreamBody):
+                        writer.write(
+                            self._response(
+                                status, payload, content_type=ctype, keep_alive=keep,
+                                trace_id=trace_id, extra=extra,
+                            )
+                        )
+                        await writer.drain()
+                finally:
+                    self._inflight_requests -= 1
+                    if self._inflight_requests == 0:
+                        self._idle.set()
                 if not keep:
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
@@ -521,6 +797,7 @@ class ServiceServer:
         except asyncio.CancelledError:
             pass  # server shutdown while the connection idled
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -536,14 +813,46 @@ class ServiceServer:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self) -> None:
-        """Bind and start accepting connections (non-blocking)."""
-        self._server = await asyncio.start_server(
-            self._handle_conn,
-            self.config.host,
-            self.config.port,
-            limit=_MAX_HEADER_BYTES,
-        )
+    async def start(self, sock: "socket.socket | None" = None) -> None:
+        """Bind and start accepting connections (non-blocking).
+
+        ``sock`` lets a prefork supervisor hand every worker the *same*
+        already-bound listener (the fallback when ``SO_REUSEPORT`` is
+        unavailable); with ``reuse_port`` each worker binds its own
+        socket to the shared port and the kernel load-balances accepts.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_conn, sock=sock, limit=_MAX_HEADER_BYTES
+            )
+        else:
+            kwargs: dict[str, Any] = {}
+            if self.config.reuse_port:
+                kwargs["reuse_port"] = True
+            self._server = await asyncio.start_server(
+                self._handle_conn,
+                self.config.host,
+                self.config.port,
+                limit=_MAX_HEADER_BYTES,
+                **kwargs,
+            )
+        if self.config.stats_dir is not None and self.config.worker_index is not None:
+            self._stats_task = asyncio.get_running_loop().create_task(
+                self._stats_publisher()
+            )
+
+    async def _stats_publisher(self) -> None:
+        """Keep this worker's published snapshot fresh for siblings.
+
+        A scrape merges *published* files, so a worker the kernel never
+        routes ``GET /stats`` to must still publish periodically."""
+        try:
+            while True:
+                self._publish_stats()
+                await asyncio.sleep(0.5)
+        except asyncio.CancelledError:
+            self._publish_stats()  # one last snapshot on shutdown
+            raise
 
     async def stop(self) -> None:
         """Stop accepting, close the batcher and release the socket."""
@@ -551,8 +860,34 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._stats_task is not None:
+            self._stats_task.cancel()
+            try:
+                await self._stats_task
+            except asyncio.CancelledError:
+                pass
+            self._stats_task = None
         self.batcher.close()
         self.flight.uninstall()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, exit.
+
+        New connections are refused immediately; requests already being
+        served complete and are answered (their connections then close —
+        ``Connection: close`` is stamped while draining); only then does
+        the batcher shut down.  Idle keep-alive connections are cut last:
+        they hold no work.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._idle.wait()
+        for w in list(self._writers):
+            w.close()
+        await self.stop()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (KeyboardInterrupt-friendly)."""
@@ -572,18 +907,44 @@ class _HttpError(Exception):
         self.message = message
 
 
-def serve(config: ServiceConfig | None = None) -> None:
-    """Blocking entry point: run a server until interrupted."""
+def serve(
+    config: ServiceConfig | None = None,
+    sock: "socket.socket | None" = None,
+    ready: "Any | None" = None,
+) -> None:
+    """Blocking entry point: run a server until interrupted.
+
+    SIGTERM triggers a graceful drain (stop accepting, finish in-flight
+    requests, then exit) — what the prefork supervisor sends its workers
+    on shutdown, and what process managers send everywhere else.
+    ``sock`` is a pre-bound listener to adopt (supervisor fallback when
+    ``SO_REUSEPORT`` is unavailable); ``ready`` is an optional event
+    whose ``set()`` is called once the socket is accepting.
+    """
     server = ServiceServer(config)
 
     async def _main() -> None:
-        await server.start()
+        await server.start(sock=sock)
         host, port = server.config.host, server.port
-        print(f"repro service listening on http://{host}:{port}", flush=True)
+        if ready is not None:
+            ready.set()
+        if server.config.worker_index is None:
+            print(f"repro service listening on http://{host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        term: asyncio.Future[None] = loop.create_future()
         try:
-            await server.serve_forever()
-        finally:
+            loop.add_signal_handler(
+                signal.SIGTERM, lambda: term.done() or term.set_result(None)
+            )
+        except (NotImplementedError, RuntimeError):  # non-Unix event loops
+            pass
+        try:
+            # start() already accepts in the background; just park here.
+            await term
+            await server.drain()
+        except asyncio.CancelledError:
             await server.stop()
+            raise
 
     try:
         asyncio.run(_main())

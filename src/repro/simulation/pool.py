@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import math
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -251,11 +253,28 @@ class ResultCache:
         self.hits += 1
         return result
 
+    #: Monotonic per-process tmp-name disambiguator (see :meth:`put`).
+    _tmp_seq = itertools.count()
+
     def put(self, key: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``key`` (atomic rename, last writer wins)."""
+        """Store ``result`` under ``key`` (atomic rename, last writer wins).
+
+        Safe under concurrent writers in *any* mix of processes and
+        threads — prefork service workers share one cache directory, and
+        each worker's batcher dispatches from a thread pool.  The write
+        goes to a tmp file whose name is unique per (pid, thread,
+        sequence), then lands via ``os.replace`` — atomic on POSIX, so a
+        reader sees either the old complete entry or the new complete
+        entry, never a partial write.  Concurrent identical puts both
+        succeed; last writer wins, which is indistinguishable from one
+        writer because equal keys imply equal bytes (determinism
+        contract).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}.{next(self._tmp_seq)}"
+        )
         tmp.write_text(json.dumps(_result_to_dict(result)))
         tmp.replace(path)
 

@@ -1,0 +1,101 @@
+"""Regression: transparent reconnect fires only for connection drops.
+
+A dropped keep-alive socket (RemoteDisconnected / ECONNRESET / EPIPE)
+means the request never started computing, so one silent retry is safe.
+A ``socket.timeout`` is the opposite: the request may still be running
+server-side, and re-sending it would compute it twice — it must
+propagate to the caller untouched.
+"""
+
+import http.client
+import socket
+
+import pytest
+
+from repro.service import ServiceClient
+
+
+class _FakeResponse:
+    status = 200
+    headers = {}
+
+    def read(self) -> bytes:
+        return b"{}"
+
+
+class _FakeConn:
+    """Scripted stand-in for http.client.HTTPConnection.
+
+    ``errors`` is consumed one entry per request() call; a ``None``
+    entry means that attempt succeeds.
+    """
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        self.requests = 0
+        self.closes = 0
+
+    def request(self, *args, **kwargs):
+        self.requests += 1
+        err = self.errors.pop(0) if self.errors else None
+        if err is not None:
+            raise err
+
+    def getresponse(self):
+        return _FakeResponse()
+
+    def close(self):
+        self.closes += 1
+
+
+def _client_with(conn: _FakeConn) -> ServiceClient:
+    c = ServiceClient("127.0.0.1", 1)
+    c._conn.close()
+    c._conn = conn
+    return c
+
+
+class TestReconnectOnDrop:
+    @pytest.mark.parametrize(
+        "err",
+        [
+            http.client.RemoteDisconnected("gone"),
+            ConnectionResetError(),
+            BrokenPipeError(),
+        ],
+    )
+    def test_connection_drop_is_retried_exactly_once(self, err):
+        conn = _FakeConn([err, None])
+        out = _client_with(conn).get_raw("/healthz")
+        assert out == b"{}"
+        assert conn.requests == 2
+        assert conn.closes == 1  # stale socket torn down before the retry
+
+    def test_second_drop_propagates(self):
+        conn = _FakeConn(
+            [http.client.RemoteDisconnected("a"), http.client.RemoteDisconnected("b")]
+        )
+        with pytest.raises(http.client.RemoteDisconnected):
+            _client_with(conn).get_raw("/healthz")
+        assert conn.requests == 2
+
+
+class TestNoRetryOnTimeout:
+    def test_socket_timeout_is_never_retried(self):
+        """The regression this file pins: a timed-out request must NOT
+        be transparently re-sent (the server may still be computing it)."""
+        conn = _FakeConn([socket.timeout("read timed out"), None])
+        with pytest.raises(socket.timeout):
+            _client_with(conn).get_raw("/healthz")
+        assert conn.requests == 1
+        assert conn.closes == 0
+
+    def test_timeout_mid_response_not_retried_either(self):
+        class _TimeoutOnResponse(_FakeConn):
+            def getresponse(self):
+                raise socket.timeout("read timed out")
+
+        conn = _TimeoutOnResponse([None, None])
+        with pytest.raises(socket.timeout):
+            _client_with(conn).get_raw("/healthz")
+        assert conn.requests == 1

@@ -1,0 +1,152 @@
+"""Multi-writer safety of the on-disk ResultCache.
+
+Prefork service workers share one cache directory, and each worker's
+batcher writes from executor threads — so ``put``/``put_many`` run
+concurrently in an arbitrary mix of processes and threads.  These tests
+hammer that path: no torn reads, no lost entries, no leftover temp
+files from name collisions.
+"""
+
+import json
+import multiprocessing as mp
+import threading
+
+import pytest
+
+from repro.core.breakdown import OverheadBreakdown
+from repro.simulation.pool import ResultCache
+from repro.simulation.simulator import SimulationResult
+
+
+def _result(tag: int) -> SimulationResult:
+    frac = 100.0 / (100.0 + tag)
+    return SimulationResult(
+        work=100.0,
+        wall_time=100.0 + tag,
+        efficiency=frac,
+        breakdown=OverheadBreakdown(
+            compute=frac,
+            checkpoint_local=1.0 - frac,
+            checkpoint_io=0.0,
+            restore_local=0.0,
+            restore_io=0.0,
+            rerun_local=0.0,
+            rerun_io=0.0,
+        ),
+        failures=tag,
+        recoveries_local=0,
+        recoveries_io=0,
+        io_checkpoints=0,
+        local_checkpoints=tag,
+        host_stall_time=0.0,
+        recoveries_partner=0,
+        partner_checkpoints=0,
+    )
+
+
+def _hammer_same_keys(root: str, rounds: int) -> None:
+    """Worker: repeatedly put_many the SAME entries everyone else does."""
+    cache = ResultCache(root)
+    items = [(f"shared-{i:02x}", _result(i)) for i in range(8)]
+    for _ in range(rounds):
+        cache.put_many(items)
+
+
+def _write_own_range(root: str, start: int, count: int) -> None:
+    cache = ResultCache(root)
+    cache.put_many((f"own-{k:04x}", _result(k)) for k in range(start, start + count))
+
+
+def _leftover_tmp_files(cache: ResultCache) -> list[str]:
+    return [str(p) for p in cache.root.rglob("*.tmp.*")]
+
+
+class TestCrossProcess:
+    def test_concurrent_identical_puts_never_corrupt(self, tmp_path):
+        """N processes replacing the same keys, while this process reads
+        continuously: every read parses and matches the expected value
+        (atomic replace means no reader ever sees a partial file)."""
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        cache.put("shared-00", _result(0))  # pre-seed so reads must hit
+
+        ctx = mp.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_same_keys, args=(str(root), 60))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        torn = 0
+        while any(p.is_alive() for p in procs):
+            got = cache.get("shared-00")
+            if got is None or got != _result(0):
+                torn += 1
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        assert torn == 0
+        for i in range(8):
+            assert cache.get(f"shared-{i:02x}") == _result(i)
+        assert _leftover_tmp_files(cache) == []
+
+    def test_concurrent_distinct_puts_all_land(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = mp.get_context("fork")
+        procs = [
+            ctx.Process(target=_write_own_range, args=(str(root), w * 40, 40))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        cache = ResultCache(root)
+        hits = cache.get_many(f"own-{k:04x}" for k in range(160))
+        assert len(hits) == 160
+        assert hits["own-002a"] == _result(0x2A)
+        assert _leftover_tmp_files(cache) == []
+
+
+class TestCrossThread:
+    def test_threaded_writers_unique_tmp_names(self, tmp_path):
+        """Writers in the same pid must not collide on temp names (the
+        name is unique per pid+thread+sequence, not just pid)."""
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        errors = []
+
+        def work():
+            try:
+                for r in range(50):
+                    cache.put_many([(f"t-{i}", _result(i)) for i in range(6)])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for i in range(6):
+            assert cache.get(f"t-{i}") == _result(i)
+        assert _leftover_tmp_files(cache) == []
+
+    def test_every_entry_file_is_valid_json(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = mp.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_same_keys, args=(str(root), 40))
+            for _ in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        cache = ResultCache(root)
+        entries = [p for p in cache.root.rglob("*") if p.is_file()]
+        assert entries, "stress run wrote nothing"
+        for path in entries:
+            json.loads(path.read_text())  # raises on a torn write
